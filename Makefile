@@ -1,0 +1,18 @@
+.PHONY: install test bench table1 examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+table1:
+	python -m repro table1
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+all: test bench table1 examples

@@ -1,0 +1,56 @@
+"""Optimizer benchmarks: cost of the cleanup passes and their effect on
+program size and analysis results across the benchmark subjects."""
+
+from repro.bench.metrics import run_app
+from repro.ir.optimize import optimize_program
+from repro.lang import parse_program
+
+
+def test_optimize_all_subjects(benchmark, apps):
+    """Optimizing every subject is cheap and removes filler copy chains."""
+
+    def optimize_fresh():
+        total = 0
+        for app in apps.values():
+            program = parse_program(app.source)
+            stats = optimize_program(program)
+            total += stats["dead_copies_removed"]
+        return total
+
+    removed = benchmark(optimize_fresh)
+    # the generated filler is all copy chains: plenty to remove
+    assert removed > 100
+
+
+def test_statement_reduction(apps):
+    app = apps["mysql-connector-j"]
+    program = parse_program(app.source)
+    before = program.statement_count()
+    optimize_program(program)
+    after = program.statement_count()
+    assert after < before
+
+
+def test_analysis_results_stable_after_optimization(benchmark, apps):
+    """Running the detector on an optimized subject keeps Table 1 row
+    values (the optimizer must not perturb the evaluation)."""
+    app = apps["derby"]
+
+    def optimized_run():
+        program = parse_program(app.source)
+        optimize_program(program)
+        from repro.core.detector import LeakChecker
+
+        return LeakChecker(program, app.config).check(app.region)
+
+    report = benchmark(optimized_run)
+    assert sorted(report.leaking_site_labels) == [
+        "blob_tracker",
+        "client_rs",
+        "cursor_obj",
+        "cursor_section",
+        "fetch_buffer",
+        "head_section",
+        "hold_section",
+        "tail_section",
+    ]

@@ -1,0 +1,38 @@
+"""Configuration-sweep benchmark: the context-depth trade-off grid.
+
+Produces the data behind a "precision vs. context depth" curve on the
+SPECjbb2000 subject — LS climbs with k until every allocation chain is
+within the horizon (k=3 for this subject), then saturates at the paper's
+21 context-sensitive sites.
+"""
+
+from repro.bench.apps import build_app
+from repro.bench.sweep import run_sweep
+
+
+def test_context_depth_grid(benchmark):
+    apps = [build_app("specjbb2000")]
+
+    def sweep():
+        return run_sweep({"context_depth": [1, 2, 3, 8]}, apps=apps)
+
+    result = benchmark(sweep)
+    series = dict(result.series("context_depth", "ls"))
+    assert series[1] < series[3]
+    assert series[3] == series[8] == 21.0
+
+
+def test_callgraph_grid(benchmark):
+    apps = [build_app("findbugs")]
+
+    def sweep():
+        return run_sweep(
+            {"callgraph": ["cha", "rta", "otf"], "strong_updates": [False, True]},
+            apps=apps,
+        )
+
+    result = benchmark(sweep)
+    best = result.cells_for(callgraph="otf", strong_updates=True)[0]
+    paper = result.cells_for(callgraph="rta", strong_updates=False)[0]
+    assert (best.row.ls, best.row.fp) == (4, 0)
+    assert (paper.row.ls, paper.row.fp) == (9, 5)

@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness.
+
+Application models are built once per session; each benchmark measures
+the *analysis*, not model construction/parsing.
+"""
+
+import pytest
+
+from repro.bench.apps import all_apps
+
+
+@pytest.fixture(scope="session")
+def apps():
+    return {app.name: app for app in all_apps()}

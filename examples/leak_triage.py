@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Triage workflow: rank loops, scan the suspicious ones, export JSON.
+
+For programs where no single "main event loop" is known, the paper's
+future-work section suggests ranking loops by structural information or
+run-time frequency.  This example shows the full triage pipeline on a
+program with several loops of very different leak potential:
+
+1. rank all labelled loops structurally;
+2. boost the ranking with trip counts from a profiling run;
+3. scan the top candidates with the detector;
+4. export the winning report as JSON for a CI pipeline.
+"""
+
+from repro import FixedSchedule, parse_program
+from repro.core import LeakChecker, rank_loops, scan_all_loops
+
+PROGRAM = """
+entry Server.main;
+
+class Server {
+  static method main() {
+    s = new Server @server;
+    call s.boot() @boot;
+    call s.serve() @serve;
+  }
+  field cache;
+  field stats;
+  method boot() {
+    c = new Cache @cache_obj;
+    call c.cacheInit() @ci;
+    this.cache = c;
+    // a small configuration loop: runs a handful of times, leaks nothing
+    loop CONFIG (*) {
+      o = new Option @option;
+      v = o;
+    }
+  }
+  method serve() {
+    // the hot request loop: every request parks a Session in the cache
+    loop REQUESTS (*) {
+      req = new Request @request;
+      sess = new Session @session;
+      sess.request = req;
+      c = this.cache;
+      call c.store(sess) @park;
+      call this.account(req) @acct;
+    }
+  }
+  method account(r) {
+    // bounded statistics: the stats slot is overwritten every request
+    t = new Tally @tally;
+    this.stats = t;
+  }
+}
+
+class Cache {
+  field slots;
+  method cacheInit() {
+    a = new Session[] @cache_slots;
+    this.slots = a;
+  }
+  method store(x) {
+    a = this.slots;
+    a.elem = x;     // parked forever: nothing ever reads the slots
+  }
+}
+
+class Request { }
+class Session { field request; }
+class Option { }
+class Tally { }
+"""
+
+
+def main():
+    program = parse_program(PROGRAM)
+
+    print("=== step 1: structural ranking ===")
+    for entry in rank_loops(program):
+        print(
+            "  %7.2f  %s:%s  %s"
+            % (
+                entry.score,
+                entry.spec.method_sig,
+                entry.spec.loop_label,
+                {k: v for k, v in entry.features.items() if v},
+            )
+        )
+
+    print("\n=== step 2: profile-boosted ranking ===")
+    schedule = FixedSchedule(trips_map={"REQUESTS": 500, "CONFIG": 3})
+    ranked = rank_loops(program, schedule=schedule)
+    top = ranked[0]
+    print("  hottest loop: %s (%d observed trips)" % (
+        top.spec.loop_label,
+        top.features["trips"],
+    ))
+    assert top.spec.loop_label == "REQUESTS"
+
+    print("\n=== step 3: scan the top candidates ===")
+    scan = scan_all_loops(program, ranked=True, limit=2)
+    print(scan.format())
+
+    print("\n=== step 4: JSON export of the top report ===")
+    report = LeakChecker(program).check(top.spec)
+    print(report.to_json())
+    assert report.leaking_site_labels == ["session", "tally"]
+    print(
+        "\nthe Session objects parked in the cache are the real leak; the\n"
+        "Tally finding is the classic overwritten-slot false positive (no\n"
+        "strong updates) and the Request is inside the Session, so pivot\n"
+        "mode folds it into the session finding"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Quickstart: detect the leak in the paper's Figure 1 example.
+
+The program is the SPECjbb2000 excerpt: a transaction loop creates an
+``Order`` per iteration; the order is displayed from ``Transaction.curr``
+(and that reference is cleaned up), but the developer forgets that each
+order is also saved inside a ``Customer``'s order array.
+
+Running this script shows the full LeakChecker pipeline:
+
+1. parse while-language source to the IR;
+2. run the interprocedural detector on the user-specified loop;
+3. cross-check with the concrete interpreter's ground truth
+   (Definition 1);
+4. run the *formal* type and effect system on the inlined loop method and
+   show the per-site ERA values.
+"""
+
+from repro import (
+    FixedSchedule,
+    LeakChecker,
+    LoopSpec,
+    analyze_loop,
+    analyze_trace,
+    execute,
+    inline_calls,
+    parse_program,
+)
+
+FIGURE1 = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    t = new Transaction @a2;
+    call t.txInit() @c1;
+    loop L1 (*) {
+      call t.display() @cd;
+      order = new Order @a5;
+      call t.process(order) @cp;
+    }
+  }
+}
+
+class Transaction {
+  field curr;
+  field customers;
+  method txInit() {
+    cs = new Customer[] @a10;
+    this.customers = cs;
+    loop LC (*) {
+      c = new Customer @a13;
+      call c.custInit() @ci;
+      cs.elem = c;
+    }
+  }
+  method process(p) {
+    this.curr = p;
+    custs = this.customers;
+    c = custs.elem;
+    call c.addOrder(p) @ca;
+  }
+  method display() {
+    o = this.curr;
+    if (nonnull o) {
+      this.curr = null;   // the developer cleans up curr ...
+    }
+  }
+}
+
+class Customer {
+  field orders;
+  method custInit() {
+    arr = new Order[] @a34;
+    this.orders = arr;
+  }
+  method addOrder(y) {
+    arr = this.orders;
+    arr.elem = y;         // ... but forgets the Customer's array
+  }
+}
+
+class Order { }
+"""
+
+
+def main():
+    program = parse_program(FIGURE1)
+
+    print("=== static leak report (interprocedural detector) ===")
+    report = LeakChecker(program).check(LoopSpec("Main.main", "L1"))
+    print(report.format())
+
+    print("=== concrete ground truth (Definition 1) ===")
+    trace = execute(
+        program, schedule=FixedSchedule(trips_map={"L1": 5, "LC": 2})
+    )
+    truth = analyze_trace(trace, "L1")
+    print("run-time leaking sites:", truth.leaking_sites())
+    print(
+        "%d of %d Order instances leaked"
+        % (
+            sum(1 for o in truth.leaking_objects if o.site == "a5"),
+            len(trace.objects_of_site("a5")),
+        )
+    )
+    print()
+
+    print("=== formal type and effect system (Section 3) ===")
+    inlined = inline_calls(program, "Main.main")
+    result = analyze_loop(inlined, "L1")
+    for site, era in sorted(result.era_summary().items()):
+        print("  ERA(%s) = %s" % (site, era))
+
+    assert report.leaking_site_labels == ["a5"]
+    assert "a5" in truth.leaking_sites()
+    print("\nall three views agree: the Order (a5) leaks through a34.elem")
+
+
+if __name__ == "__main__":
+    main()

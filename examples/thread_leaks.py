@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Thread modeling: the Mikou case study, before and after.
+
+Objects kept alive by running threads defeat the basic loop-escape
+formulation: a dispatcher thread created inside the loop looks like an
+ordinary inside object, so stores into it are invisible.  The paper's
+workaround — treat every *started* ``Thread`` object as an outside
+object — finds the real leak at the cost of false positives for threads
+that do terminate (thread termination is undecidable).
+
+This example runs the detector both ways on the Mikou model and shows
+the exact before/after the case study reports: 1 finding (a false
+positive) without thread modeling, 18 context-sensitive findings with
+it, including the true ``DatabaseSystem`` leak.
+"""
+
+from repro.bench.apps.mikou import build
+from repro.bench.metrics import classify_findings, run_app
+
+
+def main():
+    print("=== attempt 1: no thread modeling ===")
+    app_plain = build(model_threads=False)
+    row, report = run_app(app_plain)
+    print(report.format())
+    print(
+        "only the bootstrap singleton is reported (a false positive); the\n"
+        "real leak is invisible because the dispatcher thread is created\n"
+        "inside the loop.\n"
+    )
+
+    print("=== attempt 2: started threads as outside objects ===")
+    app = build(model_threads=True)
+    row, report = run_app(app)
+    true_ctx, false_ctx = classify_findings(app, report)
+    print(report.format())
+    print(
+        "context-sensitive sites: %d (paper: 18); true: %d, false: %d"
+        % (row.ls, len(true_ctx), len(false_ctx))
+    )
+    assert {site for site, _ in true_ctx} == {"database_system"}
+    print(
+        "\nthe DatabaseSystem kept alive by the non-terminating dispatcher\n"
+        "is found; the worker-thread escapes are the price of treating\n"
+        "all started threads as immortal (FPR %.1f%%, the paper's worst)"
+        % (row.fpr * 100)
+    )
+
+
+if __name__ == "__main__":
+    main()

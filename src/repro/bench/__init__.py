@@ -1,0 +1,1 @@
+"""Evaluation substrate: application models, ground truth and Table 1."""

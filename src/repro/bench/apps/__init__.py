@@ -1,0 +1,51 @@
+"""Models of the paper's eight evaluated applications.
+
+Each module exposes ``build() -> AppModel``; :func:`all_apps` builds them
+in Table 1 order.
+"""
+
+from repro.bench.apps import (
+    derby,
+    eclipse_cp,
+    eclipse_diff,
+    findbugs,
+    log4j,
+    mikou,
+    mysql_connector,
+    specjbb,
+)
+from repro.bench.apps.base import AppModel
+
+_BUILDERS = {
+    "specjbb2000": specjbb.build,
+    "eclipse-diff": eclipse_diff.build,
+    "eclipse-cp": eclipse_cp.build,
+    "mysql-connector-j": mysql_connector.build,
+    "log4j": log4j.build,
+    "findbugs": findbugs.build,
+    "mikou": mikou.build,
+    "derby": derby.build,
+}
+
+
+def app_names():
+    """Names of the eight subjects, in Table 1 order."""
+    return list(_BUILDERS)
+
+
+def build_app(name):
+    """Build one application model by name."""
+    try:
+        return _BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            "unknown app %r (choose from %s)" % (name, ", ".join(_BUILDERS))
+        ) from None
+
+
+def all_apps():
+    """Build all eight application models."""
+    return [builder() for builder in _BUILDERS.values()]
+
+
+__all__ = ["AppModel", "all_apps", "app_names", "build_app"]

@@ -1,0 +1,34 @@
+"""Common structure of the eight benchmark application models."""
+
+from repro.core.detector import DetectorConfig
+from repro.lang import parse_program
+
+
+class AppModel:
+    """One modeled application: program, region to check, ground truth,
+    detector configuration, and the paper's reported numbers for shape
+    comparison."""
+
+    def __init__(
+        self,
+        name,
+        source,
+        region,
+        truth,
+        config=None,
+        paper=None,
+        description="",
+    ):
+        self.name = name
+        self.source = source
+        self.program = parse_program(source)
+        self.region = region
+        self.truth = truth
+        self.config = config or DetectorConfig()
+        #: the paper's Table 1 / case-study numbers for this subject:
+        #: keys ls (reported ctx sites), fp, and optional lo
+        self.paper = dict(paper or {})
+        self.description = description
+
+    def __repr__(self):
+        return "AppModel(%s)" % self.name

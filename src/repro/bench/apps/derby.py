@@ -1,0 +1,162 @@
+"""Apache Derby model (client/server mode, statements never closed).
+
+A client loop executes one SQL query per iteration without calling
+``close`` on the statement or result set.  True leaks (4 sites): result
+sets, cursors, blob trackers and fetch buffers saved into the
+``SectionManager``'s ``Hashtable`` and never retrieved.  False positives
+(4 sites): ``Section`` objects pushed onto a ``Stack`` behind singleton
+guards — only one instance per site can ever be created and escape, an
+internal constraint the static analysis cannot see.
+
+Case-study shape: 8 reported sites, 4 false positives (50% FPR).
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    srv = new DerbyServer @server;
+    call srv.srvInit() @srv_init;
+    fres = call DbFiller0.warmup(srv) @db_entry;
+    cl = new SqlClient @sql_client;
+    cl.server = srv;
+    call cl.queryLoop() @drive;
+  }
+}
+
+class DerbyServer {
+  field sections;
+  field queryKey;
+  method srvInit() {
+    sm = new SectionManager @section_manager;
+    call sm.smInit() @sm_init;
+    this.sections = sm;
+    k = new SqlText @query_key;
+    this.queryKey = k;
+  }
+}
+
+class SectionManager {
+  field table;
+  field stack;
+  field gotHead;
+  field gotTail;
+  field gotCursor;
+  field gotHold;
+  method smInit() {
+    t = new Hashtable @section_table;
+    call t.htInit() @st_init;
+    this.table = t;
+    s = new Stack @section_stack;
+    call s.stInit() @ss_init;
+    this.stack = s;
+  }
+  method saveResult(k, v) {
+    t = this.table;
+    call t.put(k, v) @save_put;
+  }
+  method headSection() {
+    flag = this.gotHead;
+    if (null flag) {
+      s = new Section @head_section;
+      st = this.stack;
+      call st.push(s) @push1;
+      this.gotHead = s;
+    }
+  }
+  method tailSection() {
+    flag = this.gotTail;
+    if (null flag) {
+      s = new Section @tail_section;
+      st = this.stack;
+      call st.push(s) @push2;
+      this.gotTail = s;
+    }
+  }
+  method cursorSection() {
+    flag = this.gotCursor;
+    if (null flag) {
+      s = new Section @cursor_section;
+      st = this.stack;
+      call st.push(s) @push3;
+      this.gotCursor = s;
+    }
+  }
+  method holdSection() {
+    flag = this.gotHold;
+    if (null flag) {
+      s = new Section @hold_section;
+      st = this.stack;
+      call st.push(s) @push4;
+      this.gotHold = s;
+    }
+  }
+}
+
+class SqlClient {
+  field server;
+  method queryLoop() {
+    loop L1 (*) {
+      call this.execQuery() @top_q;
+    }
+  }
+  method execQuery() {
+    srv = this.server;
+    sm = srv.sections;
+    q = srv.queryKey;
+    rs = new ClientResultSet @client_rs;
+    call sm.saveResult(q, rs) @s1;
+    cur = new Cursor @cursor_obj;
+    call sm.saveResult(q, cur) @s2;
+    bl = new BlobTracker @blob_tracker;
+    call sm.saveResult(q, bl) @s3;
+    fb = new FetchBuffer @fetch_buffer;
+    call sm.saveResult(q, fb) @s4;
+    call sm.headSection() @g1;
+    call sm.tailSection() @g2;
+    call sm.cursorSection() @g3;
+    call sm.holdSection() @g4;
+    // the query is "executed" but neither Statement nor ResultSet is
+    // closed, so nothing is ever removed from the section table
+  }
+}
+
+class SqlText { }
+class ClientResultSet { }
+class Cursor { }
+class BlobTracker { }
+class FetchBuffer { }
+class Section { }
+"""
+
+
+def build():
+    source = (
+        library_source("hashtable", "stack")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Db", classes=9, methods_per_class=9, stmts_per_method=9)
+    )
+    truth = Truth(
+        leak_sites={"client_rs", "cursor_obj", "blob_tracker", "fetch_buffer"},
+        fp_sites={"head_section", "tail_section", "cursor_section", "hold_section"},
+    )
+    return AppModel(
+        name="derby",
+        source=source,
+        region=LoopSpec("SqlClient.queryLoop", "L1"),
+        truth=truth,
+        paper={"ls": 8, "fp": 4, "sites": 8},
+        description=(
+            "Per-query result objects saved in the SectionManager "
+            "Hashtable; singleton Section objects in a Stack are FPs"
+        ),
+    )

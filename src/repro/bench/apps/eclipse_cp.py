@@ -1,0 +1,143 @@
+"""Eclipse CP model (the second compare-plugin configuration in Table 1).
+
+Checks the structure-creation path of the compare plugin as an artificial
+loop: ``StructureCreator.createStructure`` parses an archive and caches
+per-entry structure objects in a platform-level cache keyed by archive.
+
+Report shape matched to Table 1's Eclipse CP row: 7 context-sensitive
+leaking sites, 4 false positives.  The true leak is the ``ZipEntryNode``
+cache entries (3 contexts via parse/attach/index paths); the false
+positives are a parse buffer and a marker overwritten per invocation, a
+listener installed once behind a singleton guard, and a statistics record
+that the platform evicts (a bounded cache, invisible statically).
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    pl = new Platform @platform;
+    call pl.plInit() @pl_init;
+    fres = call CpFiller0.warmup(pl) @cp_entry;
+    sc = new StructureCreator @creator;
+    sc.platform = pl;
+    zip = new ZipFile @zipfile0;
+    s = call sc.createStructure(zip) @drive;
+  }
+}
+
+class Platform {
+  field cache;
+  field buffer;
+  field marker;
+  field listener;
+  field installed;
+  field stats;
+  method plInit() {
+    c = new HashMap @structure_cache;
+    call c.hmInit() @sc_init;
+    this.cache = c;
+  }
+}
+
+class StructureCreator {
+  field platform;
+  method createStructure(zip) {
+    b = new ParseBuffer @parse_buffer;
+    pl = this.platform;
+    pl.buffer = b;
+    root = call this.parseEntries(zip) @c_parse;
+    call this.attachChildren(root) @c_attach;
+    call this.indexEntries(root) @c_index;
+    call this.installListener() @c_listen;
+    call this.recordStats(zip) @c_stats;
+    m = new Marker @marker_obj;
+    pl.marker = m;
+    return root;
+  }
+  method parseEntries(zip) {
+    n = call this.cacheEntry(zip) @p1;
+    return n;
+  }
+  method attachChildren(root) {
+    n = call this.cacheEntry(root) @a1;
+    return n;
+  }
+  method indexEntries(root) {
+    n = call this.cacheEntry(root) @i1;
+    return n;
+  }
+  method cacheEntry(x) {
+    n = new ZipEntryNode @zip_entry_node;
+    n.payload = x;
+    pl = this.platform;
+    c = pl.cache;
+    call c.put(x, n) @cache_put;
+    return n;
+  }
+  method installListener() {
+    pl = this.platform;
+    flag = pl.installed;
+    if (null flag) {
+      l = new ChangeListener @change_listener;
+      pl.listener = l;
+      f = new Marker @installed_flag;
+      pl.installed = f;
+    }
+  }
+  method recordStats(zip) {
+    s = new StatsRecord @stats_record;
+    s.subject = zip;
+    pl = this.platform;
+    pl.stats = s;
+  }
+}
+
+class ZipFile {
+  field entries;
+}
+
+class ZipEntryNode {
+  field payload;
+  field children;
+}
+
+class ParseBuffer { }
+class Marker { }
+class ChangeListener { }
+class StatsRecord {
+  field subject;
+}
+"""
+
+
+def build():
+    source = (
+        library_source("hashmap")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Cp", classes=7, methods_per_class=9, stmts_per_method=8)
+    )
+    truth = Truth(
+        leak_sites={"zip_entry_node"},
+        fp_sites={"parse_buffer", "marker_obj", "change_listener", "stats_record"},
+    )
+    return AppModel(
+        name="eclipse-cp",
+        source=source,
+        region=RegionSpec("StructureCreator.createStructure"),
+        truth=truth,
+        paper={"ls": 7, "fp": 4, "sites": 5},
+        description=(
+            "Structure-creation path of the compare plugin; ZipEntryNode "
+            "cache entries accumulate in the platform cache"
+        ),
+    )

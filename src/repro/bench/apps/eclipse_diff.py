@@ -1,0 +1,176 @@
+"""Eclipse Diff model (org.eclipse.compare case study).
+
+The leak manifests when two large JAR structures are compared repeatedly:
+``runCompare`` opens editors to show results, and the platform-level
+``History`` records a ``HistoryEntry`` per opened editor in a list that is
+never cleared.  There is no visible loop — the entry method of the plugin
+is checked as an artificial loop (a :class:`RegionSpec`), exactly as the
+case study describes.
+
+Report shape matched to the paper: 7 context-sensitive leaking sites — 3
+temporary GUI objects (progress dialog, message box, compare dialog; false
+positives, their display slots are overwritten per invocation) and the
+``HistoryEntry`` site under 4 contexts (the true leak, rooted in platform
+code the plugin developer does not own).
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    ws = new Workbench @workbench;
+    call ws.wbInit() @wb_init;
+    fres = call EdFiller0.warmup(ws) @ed_entry;
+    ui = new CompareUI @compare_ui;
+    ui.workbench = ws;
+    sel = new Selection @selection0;
+    call ui.runCompare(sel) @drive;
+  }
+}
+
+class Workbench {
+  field history;
+  field display;
+  method wbInit() {
+    h = new History @history_singleton;
+    call h.hInit() @h_init;
+    this.history = h;
+    d = new Display @display_obj;
+    this.display = d;
+  }
+}
+
+class History {
+  field entries;
+  method hInit() {
+    l = new ArrayList @entry_list;
+    call l.alInit() @el_init;
+    this.entries = l;
+  }
+  method addEntry(ed) {
+    e = new HistoryEntry @hentry;
+    e.editor = ed;
+    l = this.entries;
+    call l.add(e) @add_e;
+  }
+}
+
+class HistoryEntry {
+  field editor;
+}
+
+class Display {
+  field shell;
+  field status;
+}
+
+class CompareUI {
+  field workbench;
+  method runCompare(sel) {
+    in = new CompareInput @cmp_input;
+    in.selection = sel;
+    call this.showProgress() @c_prog;
+    s = call this.buildStructure(in) @c_build;
+    call this.openResultEditor(s) @c_open;
+    call this.openSourceEditor(s) @c_open2;
+    call this.reportStatus(s) @c_stat;
+  }
+  method showProgress() {
+    d = new ProgressDialog @progress_dialog;
+    ws = this.workbench;
+    disp = ws.display;
+    disp.shell = d;
+  }
+  method buildStructure(in) {
+    s = new DiffStructure @diff_structure;
+    s.input = in;
+    n = new DiffNode @diff_node;
+    s.root = n;
+    return s;
+  }
+  method openResultEditor(s) {
+    ed = new Editor @result_editor;
+    ed.content = s;
+    call this.recordEditor(ed) @rec1;
+    call this.notifyOpened(ed) @rec2;
+  }
+  method openSourceEditor(s) {
+    ed = new Editor @source_editor;
+    ed.content = s;
+    call this.recordEditor(ed) @rec3;
+    call this.notifyOpened(ed) @rec4;
+  }
+  method recordEditor(ed) {
+    ws = this.workbench;
+    h = ws.history;
+    call h.addEntry(ed) @do_add;
+  }
+  method notifyOpened(ed) {
+    ws = this.workbench;
+    h = ws.history;
+    call h.addEntry(ed) @do_add2;
+  }
+  method reportStatus(s) {
+    m = new MessageBox @message_box;
+    c = new CompareDialog @compare_dialog;
+    ws = this.workbench;
+    disp = ws.display;
+    disp.status = m;
+    disp.shell = c;
+  }
+}
+
+class CompareInput {
+  field selection;
+}
+
+class DiffStructure {
+  field input;
+  field root;
+}
+
+class DiffNode {
+  field children;
+}
+
+class Editor {
+  field content;
+}
+
+class Selection { }
+class ProgressDialog { }
+class MessageBox { }
+class CompareDialog { }
+"""
+
+
+def build():
+    source = (
+        library_source("arraylist")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Ed", classes=18, methods_per_class=11, stmts_per_method=6)
+    )
+    truth = Truth(
+        leak_sites={"hentry"},
+        fp_sites={"progress_dialog", "message_box", "compare_dialog"},
+    )
+    return AppModel(
+        name="eclipse-diff",
+        source=source,
+        region=RegionSpec("CompareUI.runCompare"),
+        truth=truth,
+        paper={"ls": 7, "fp": 3, "sites": 4},
+        description=(
+            "Artificial loop around the compare plugin entry method; "
+            "HistoryEntry objects accumulate in the platform History"
+        ),
+    )

@@ -1,0 +1,153 @@
+"""FindBugs model.
+
+A loop iterates over JAR files and runs the analysis engine on each.  Per
+JAR, descriptor objects are interned into ``DescriptorFactory`` hash maps
+that are *cleared at the end of each analysis* — the clear is a destructive
+update the static analysis cannot see, producing 5 false positives.  The
+true leak: per-method analysis artifacts (``MethodInfo`` and friends) are
+added to a long-lived ``IdentityHashMap`` analysis cache that is never
+cleared or read — 4 sites, fixable by clearing the map.
+
+Case-study shape: 9 reported sites, 5 false positives (55.6% FPR).
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    f = new DescriptorFactory @factory;
+    call f.dfInit() @f_init;
+    fres = call FbFiller0.warmup(f) @fb_entry;
+    eng = new Engine @engine;
+    eng.factory = f;
+    cache = new IdentityHashMap @analysis_cache;
+    call cache.ihmInit() @ac_init;
+    eng.cache = cache;
+    call eng.mainLoop() @drive;
+  }
+}
+
+class DescriptorFactory {
+  field classMap;
+  field methodMap;
+  field fieldMap;
+  method dfInit() {
+    c = new HashMap @class_map;
+    call c.hmInit() @cm_init;
+    this.classMap = c;
+    m = new HashMap @method_map;
+    call m.hmInit() @mm_init;
+    this.methodMap = m;
+    fm = new HashMap @field_map;
+    call fm.hmInit() @fm_init;
+    this.fieldMap = fm;
+  }
+  method internClass(d) {
+    c = this.classMap;
+    call c.put(d, d) @ic_put;
+  }
+  method internMethod(d) {
+    m = this.methodMap;
+    call m.put(d, d) @im_put;
+  }
+  method internField(d) {
+    fm = this.fieldMap;
+    call fm.put(d, d) @if_put;
+  }
+  method clearAll() {
+    c = this.classMap;
+    call c.clear() @cc;
+    m = this.methodMap;
+    call m.clear() @mc;
+    fm = this.fieldMap;
+    call fm.clear() @fc;
+  }
+}
+
+class Engine {
+  field factory;
+  field cache;
+  method mainLoop() {
+    loop L1 (*) {
+      jar = new JarFile @jar_file;
+      call this.execute(jar) @top_exec;
+    }
+  }
+  method execute(jar) {
+    f = this.factory;
+    cd = new ClassDescriptor @class_desc;
+    call f.internClass(cd) @e1;
+    md = new MethodDescriptor @method_desc;
+    call f.internMethod(md) @e2;
+    fd = new FieldDescriptor @field_desc;
+    call f.internField(fd) @e3;
+    si = new SourceInfo @source_info;
+    call f.internClass(si) @e4;
+    xc = new XClass @xclass_obj;
+    call f.internClass(xc) @e5;
+    call this.analyzeMethods(jar) @e6;
+    call f.clearAll() @e_clear;
+  }
+  method analyzeMethods(jar) {
+    c = this.cache;
+    mi = new MethodInfo @method_info;
+    call c.put(mi, mi) @a1;
+    mg = new MethodGen @method_gen;
+    call c.put(mg, mg) @a2;
+    oc = new OpcodeCache @opcode_cache;
+    call c.put(oc, oc) @a3;
+    cf = new CFGInfo @cfg_info;
+    call c.put(cf, cf) @a4;
+  }
+}
+
+class JarFile { }
+class ClassDescriptor { }
+class MethodDescriptor { }
+class FieldDescriptor { }
+class SourceInfo { }
+class XClass { }
+class MethodInfo { }
+class MethodGen { }
+class OpcodeCache { }
+class CFGInfo { }
+"""
+
+
+def build():
+    source = (
+        library_source("hashmap", "identityhashmap")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Fb", classes=5, methods_per_class=7, stmts_per_method=7)
+    )
+    truth = Truth(
+        leak_sites={"method_info", "method_gen", "opcode_cache", "cfg_info"},
+        fp_sites={
+            "class_desc",
+            "method_desc",
+            "field_desc",
+            "source_info",
+            "xclass_obj",
+        },
+    )
+    return AppModel(
+        name="findbugs",
+        source=source,
+        region=LoopSpec("Engine.mainLoop", "L1"),
+        truth=truth,
+        paper={"ls": 9, "fp": 5, "sites": 9},
+        description=(
+            "JAR-analysis loop; MethodInfo artifacts leak through an "
+            "uncleared IdentityHashMap; cleared factory maps yield "
+            "destructive-update FPs"
+        ),
+    )

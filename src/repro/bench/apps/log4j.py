@@ -1,0 +1,123 @@
+"""log4j model.
+
+A logging loop that creates one ``Logger`` per dynamically generated
+category name.  Loggers are registered in the repository's ``Hashtable``
+and never retrieved (the well-known unbounded-logger-repository leak);
+related per-event objects accumulate in the async appender's buffer and
+the error store.
+
+Table 1 shape: LO = 7 context-sensitive loop sites, LS = 4, FP = 0 — the
+cleanest subject in the paper's table.  Three of the seven loop sites are
+iteration-local (message, formatter scratch, timestamp) and are correctly
+not reported.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    h = new Hierarchy @hierarchy;
+    call h.hierInit() @h_init;
+    fres = call LjFiller0.warmup(h) @lj_entry;
+    d = new Driver @driver;
+    d.repo = h;
+    call d.logLoop() @drive;
+  }
+}
+
+class Hierarchy {
+  field loggers;
+  field refs;
+  field buffer;
+  field errors;
+  method hierInit() {
+    t = new Hashtable @logger_table;
+    call t.htInit() @lt_init;
+    this.loggers = t;
+    r = new ArrayList @ref_list;
+    call r.alInit() @rl_init;
+    this.refs = r;
+    b = new Vector @async_buffer;
+    call b.vecInit() @ab_init;
+    this.buffer = b;
+    e = new ErrorStore @error_store;
+    this.errors = e;
+  }
+  method register(name, lg) {
+    t = this.loggers;
+    call t.put(name, lg) @reg_put;
+  }
+}
+
+class ErrorStore {
+  field head;
+}
+
+class Driver {
+  field repo;
+  method logLoop() {
+    loop L1 (*) {
+      name = new CategoryName @category_name;
+      lg = new Logger @logger_obj;
+      lg.name = name;
+      h = this.repo;
+      call h.register(name, lg) @do_reg;
+      ref = new AppenderRef @appender_ref;
+      rl = h.refs;
+      call rl.add(ref) @ref_add;
+      msg = new Message @message_obj;
+      ts = new TimeStamp @timestamp_obj;
+      ev = new LoggingEvent @event_obj;
+      buf = h.buffer;
+      call buf.addElement(ev) @buf_add;
+      if (*) {
+        ti = new ThrowableInfo @throwable_info;
+        es = h.errors;
+        es.head = ti;
+      }
+    }
+  }
+}
+
+class CategoryName { }
+class Logger {
+  field name;
+}
+class AppenderRef { }
+class Message { }
+class TimeStamp { }
+class LoggingEvent { }
+class ThrowableInfo { }
+"""
+
+
+def build():
+    source = (
+        library_source("hashtable", "arraylist", "vector")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Lj", classes=3, methods_per_class=6, stmts_per_method=6)
+    )
+    truth = Truth(
+        leak_sites={"logger_obj", "appender_ref", "event_obj", "throwable_info"},
+        fp_sites=set(),
+    )
+    return AppModel(
+        name="log4j",
+        source=source,
+        region=LoopSpec("Driver.logLoop", "L1"),
+        truth=truth,
+        paper={"ls": 4, "fp": 0, "lo": 7, "sites": 4},
+        description=(
+            "Per-category Logger objects registered in the repository "
+            "Hashtable and never retrieved"
+        ),
+    )

@@ -1,0 +1,175 @@
+"""Mikou model (the embedded-database thread-leak case study).
+
+A client loop establishes a database connection and closes it, once per
+iteration.  The real leak: each connection spawns a ``DatabaseDispatcher``
+thread that never terminates and keeps its ``DatabaseSystem`` alive.
+
+Thread modeling is the point of this subject:
+
+* **without** threads-as-outside (``model_threads=False``), only the
+  ``LocalBootstrap`` singleton is reported — a false positive (one
+  instance per process, guaranteed by a boot flag) — and the real leak is
+  missed, exactly as on the paper's first attempt;
+* **with** thread modeling, 18 context-sensitive sites are reported: the
+  ``DatabaseSystem`` (the true leak, kept alive by the non-terminating
+  dispatcher) plus 16 contexts of per-connection objects that escape to
+  *terminating* worker threads (false positives — thread termination is
+  undecidable, so the workaround over-approximates) and the bootstrap
+  singleton.
+
+Case-study shape: 18 reported context-sensitive sites with thread
+modeling, 17 of them false (94.4% FPR — the paper's worst subject);
+1 report without.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.detector import DetectorConfig
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    drv = new JdbcDriver @jdbc_driver;
+    fres = call MkFiller0.warmup(drv) @mk_entry;
+    cl = new DbClient @db_client;
+    cl.driver = drv;
+    call cl.connectLoop() @drive;
+  }
+}
+
+class JdbcDriver {
+  field boot;
+  field booted;
+}
+
+class DbClient {
+  field driver;
+  method connectLoop() {
+    loop L1 (*) {
+      conn = call this.openConnection() @top_open;
+      call conn.close() @top_close;
+    }
+  }
+  method openConnection() {
+    drv = this.driver;
+    flag = drv.booted;
+    if (null flag) {
+      b = new LocalBootstrap @local_bootstrap;
+      drv.boot = b;
+      m = new BootMarker @boot_marker;
+      drv.booted = m;
+    }
+    db = new DatabaseSystem @database_system;
+    disp = new DatabaseDispatcher @dispatcher;
+    disp.system = db;
+    call disp.start() @start_disp;
+    w = new WorkerThread @worker_thread;
+    call this.setupWorker(w) @oc_setup;
+    call w.start() @start_worker;
+    conn = new EmbedConnection @connection;
+    conn.db = db;
+    return conn;
+  }
+  method setupWorker(w) {
+    call this.attachState(w) @w1;
+    call this.attachState(w) @w2;
+    call this.attachState(w) @w3;
+    call this.attachState(w) @w4;
+  }
+  method attachState(w) {
+    s = new SessionData @session_data;
+    w.session = s;
+    l = new LogRecord @log_record;
+    w.log = l;
+    t = new TimerTask @timer_task;
+    w.task = t;
+    c = new CacheLine @cache_line;
+    w.cache = c;
+  }
+}
+
+class EmbedConnection {
+  field db;
+  method close() {
+    this.db = null;
+  }
+}
+
+class DatabaseSystem {
+  field tables;
+}
+
+// Never terminates: waits for work forever, keeping `system` alive.
+class DatabaseDispatcher extends Thread {
+  field system;
+  method run() {
+    loop LD (*) {
+      s = this.system;
+      if (nonnull s) {
+        t = s.tables;
+      }
+    }
+  }
+}
+
+// Terminates after draining its state: keeps nothing alive in the end.
+class WorkerThread extends Thread {
+  field session;
+  field log;
+  field task;
+  field cache;
+  method run() {
+    s = this.session;
+    l = this.log;
+    t = this.task;
+    c = this.cache;
+    return;
+  }
+}
+
+class LocalBootstrap { }
+class BootMarker { }
+class SessionData { }
+class LogRecord { }
+class TimerTask { }
+class CacheLine { }
+"""
+
+
+def build(model_threads=True):
+    source = (
+        library_source("thread")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Mk", classes=4, methods_per_class=7, stmts_per_method=7)
+    )
+    truth = Truth(
+        leak_sites={"database_system"},
+        fp_sites={
+            "local_bootstrap",
+            "boot_marker",
+            "session_data",
+            "log_record",
+            "timer_task",
+            "cache_line",
+        },
+    )
+    return AppModel(
+        name="mikou",
+        source=source,
+        region=LoopSpec("DbClient.connectLoop", "L1"),
+        truth=truth,
+        config=DetectorConfig(model_threads=model_threads),
+        paper={"ls": 18, "fp": 17, "sites": 7, "ls_without_threads": 1},
+        description=(
+            "Connect/close loop; DatabaseSystem kept alive by a "
+            "non-terminating dispatcher thread; requires threads-as-"
+            "outside modeling"
+        ),
+    )

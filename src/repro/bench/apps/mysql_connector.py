@@ -1,0 +1,209 @@
+"""MySQL Connector/J model.
+
+A client loop executes queries without closing statements or result sets.
+True leaks: ``ResultSet`` objects registered in the connection's
+``openResults`` list (4 contexts) and server-side prepared statements
+cached in the connection (2 contexts) — neither is ever read back.
+False positives (9 contexts): profiler events, log buffers and ping
+markers saved into singleton diagnostics objects whose fields are
+overwritten on every operation.
+
+Table 1 shape: LS = 15 context-sensitive sites, FP = 9, FPR = 60%.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    conn = new Connection @connection;
+    call conn.connInit() @conn_init;
+    fres = call MyFiller0.warmup(conn) @my_entry;
+    cl = new Client @client;
+    cl.conn = conn;
+    call cl.workload() @drive;
+  }
+}
+
+class Connection {
+  field openResults;
+  field psCache;
+  field profiler;
+  field logger;
+  field monitor;
+  method connInit() {
+    l = new ArrayList @open_results;
+    call l.alInit() @or_init;
+    this.openResults = l;
+    c = new HashMap @ps_cache;
+    call c.hmInit() @pc_init;
+    this.psCache = c;
+    p = new Profiler @profiler_obj;
+    this.profiler = p;
+    g = new Logger @logger_obj;
+    this.logger = g;
+    m = new Monitor @monitor_obj;
+    this.monitor = m;
+  }
+  method prepareStatement(q) {
+    ps = new ServerPreparedStatement @server_ps;
+    ps.conn = this;
+    ps.query = q;
+    k = this;
+    c = this.psCache;
+    call c.put(k, ps) @cache_ps;
+    return ps;
+  }
+}
+
+class Client {
+  field conn;
+  method workload() {
+    loop L1 (*) {
+      if (*) {
+        call this.simpleQuery() @t1;
+      }
+      if (*) {
+        call this.preparedQuery() @t2;
+      }
+      if (*) {
+        call this.batchQuery() @t3;
+      }
+    }
+  }
+  method simpleQuery() {
+    c = this.conn;
+    st = new Statement @stmt_obj;
+    st.conn = c;
+    r1 = call st.executeQuery(st) @q1;
+    r2 = call st.executeQuery(st) @q2;
+    p = c.profiler;
+    call p.logEvent(st) @p1;
+    g = c.logger;
+    call g.append(st) @l1;
+  }
+  method preparedQuery() {
+    c = this.conn;
+    q = new Query @query_obj;
+    ps = call c.prepareStatement(q) @prep1;
+    r = call ps.psExecute(ps) @q3;
+    p = c.profiler;
+    call p.logEvent(ps) @p2;
+    g = c.logger;
+    call g.append(ps) @l2;
+    m = c.monitor;
+    call m.ping() @m1;
+  }
+  method batchQuery() {
+    c = this.conn;
+    q = new Query @batch_query;
+    ps = call c.prepareStatement(q) @prep2;
+    r = call ps.psExecuteBatch(ps) @q4;
+    p = c.profiler;
+    call p.logEvent(ps) @p3;
+    g = c.logger;
+    call g.append(ps) @l3;
+    m = c.monitor;
+    call m.ping() @m2;
+    call m.ping() @m3;
+  }
+}
+
+class Statement {
+  field conn;
+  method executeQuery(x) {
+    rs = new ResultSet @result_set;
+    c = this.conn;
+    l = c.openResults;
+    call l.add(rs) @reg_rs;
+    return rs;
+  }
+}
+
+class ServerPreparedStatement {
+  field conn;
+  field query;
+  method psExecute(x) {
+    rs = new ResultSet @ps_result_set;
+    c = this.conn;
+    l = c.openResults;
+    call l.add(rs) @reg_rs2;
+    return rs;
+  }
+  method psExecuteBatch(x) {
+    r = call this.psExecute(x) @batch_exec;
+    return r;
+  }
+}
+
+class ResultSet {
+  field owner;
+}
+
+class Query { }
+
+class Profiler {
+  field last;
+  method logEvent(x) {
+    e = new ProfilerEvent @prof_event;
+    this.last = e;
+  }
+}
+
+class ProfilerEvent {
+  field subject;
+}
+
+class Logger {
+  field buf;
+  method append(x) {
+    b = new LogBuffer @log_buf;
+    this.buf = b;
+  }
+}
+
+class LogBuffer {
+  field subject;
+}
+
+class Monitor {
+  field lastPing;
+  method ping() {
+    m = new PingMarker @ping_marker;
+    this.lastPing = m;
+  }
+}
+
+class PingMarker { }
+"""
+
+
+def build():
+    source = (
+        library_source("hashmap", "arraylist")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("My", classes=14, methods_per_class=10, stmts_per_method=10)
+    )
+    truth = Truth(
+        leak_sites={"result_set", "ps_result_set", "server_ps"},
+        fp_sites={"prof_event", "log_buf", "ping_marker"},
+    )
+    return AppModel(
+        name="mysql-connector-j",
+        source=source,
+        region=LoopSpec("Client.workload", "L1"),
+        truth=truth,
+        paper={"ls": 15, "fp": 9, "sites": 6},
+        description=(
+            "Query loop without close(); ResultSet and prepared statements "
+            "accumulate in the connection"
+        ),
+    )

@@ -1,0 +1,232 @@
+"""SPECjbb2000 model (the paper's first case study).
+
+The transaction manager's main loop retrieves a command and runs the
+matching transaction.  The leak: ``longBTreeNode`` objects wrapping
+``Order`` objects are inserted into B-trees hanging off long-lived
+``District``/``Warehouse`` objects and never retrieved.
+
+Structure matched to the case study:
+
+* the ``longBTreeNode`` site (``@lbn``) is created under 15 calling
+  contexts — 7 through ``new_order``, 6 through ``multiple_orders`` and 2
+  through ``payment``;
+* the two payment contexts are false positives (``History`` objects are
+  bounded: each insertion evicts the oldest — a constraint invisible to
+  the static analysis);
+* 4 further sites (6 contexts total) escape to fields of the transaction
+  manager that are overwritten every iteration — false positives from the
+  lack of strong updates;
+* ``Order``/``History`` sites flow into ``longBTreeNode`` and are omitted
+  by pivot mode, so the report points at the node site, as in the paper.
+
+Paper numbers: 5 reported sites = 21 context-sensitive sites, 8 of them
+false (6 overwritten-field contexts + 2 payment contexts), FPR 38.1%.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import ContextRule, Truth
+from repro.core.regions import LoopSpec
+from repro.javalib import library_source
+
+_APP = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    tm = new TransactionManager @tm;
+    call tm.boot() @boot;
+    fres = call SjbFiller0.warmup(tm) @sjb_entry;
+    call tm.go() @go;
+  }
+}
+
+class TransactionManager {
+  field company;
+  field input;
+  field screen;
+  field report;
+  field log;
+  field lastTime;
+  method boot() {
+    co = new Company @company;
+    call co.coInit() @co_init;
+    this.company = co;
+    inmap = new HashMap @inputmap;
+    call inmap.hmInit() @im_init;
+    this.input = inmap;
+  }
+  method go() {
+    loop L1 (*) {
+      im = this.input;
+      cmd = call im.get(im) @get_cmd;
+      if (*) {
+        call this.newOrder() @top_no;
+      }
+      if (*) {
+        call this.multiOrders() @top_mo;
+      }
+      if (*) {
+        call this.payment() @top_pay;
+      }
+      call this.updateScreen() @top_scr;
+      call this.writeReport() @top_rep;
+    }
+  }
+  method newOrder() {
+    o = new Order @order;
+    co = this.company;
+    d = call co.district(o) @nd;
+    call d.addOrder(o) @no1;
+    call d.addOrder(o) @no2;
+    call d.addOrder(o) @no3;
+    call d.addOrder(o) @no4;
+    call d.addOrder(o) @no5;
+    call d.addOrder(o) @no6;
+    call d.addOrder(o) @no7;
+    call this.logEntry() @no_log;
+  }
+  method multiOrders() {
+    o = new Order @morder;
+    co = this.company;
+    d = call co.district(o) @md;
+    call d.addOrder(o) @mo1;
+    call d.addOrder(o) @mo2;
+    call d.addOrder(o) @mo3;
+    call d.addOrder(o) @mo4;
+    call d.addOrder(o) @mo5;
+    call d.addOrder(o) @mo6;
+  }
+  method payment() {
+    h = new History @history;
+    co = this.company;
+    w = call co.warehouse(h) @pw;
+    call w.addHistory(h) @p1;
+    call w.addHistory(h) @p2;
+    call this.logEntry() @pay_log;
+  }
+  method updateScreen() {
+    s = new Screen @screen_obj;
+    this.screen = s;
+  }
+  method writeReport() {
+    r = new Report @report_obj;
+    this.report = r;
+  }
+  method logEntry() {
+    e = new LogEntry @logentry;
+    this.log = e;
+    t = new TimeStamp @tstamp;
+    this.lastTime = t;
+  }
+}
+
+class Company {
+  field districts;
+  field warehouses;
+  method coInit() {
+    d = new District @district;
+    call d.dInit() @d_init;
+    this.districts = d;
+    w = new Warehouse @warehouse;
+    call w.wInit() @w_init;
+    this.warehouses = w;
+  }
+  method district(x) {
+    d = this.districts;
+    return d;
+  }
+  method warehouse(x) {
+    w = this.warehouses;
+    return w;
+  }
+}
+
+class District {
+  field tree;
+  method dInit() {
+    t = new LongBTree @dtree;
+    call t.btInit() @dt_init;
+    this.tree = t;
+  }
+  method addOrder(x) {
+    t = this.tree;
+    call t.addNode(x) @da;
+  }
+}
+
+class Warehouse {
+  field htree;
+  method wInit() {
+    t = new LongBTree @wtree;
+    call t.btInit() @wt_init;
+    this.htree = t;
+  }
+  method addHistory(x) {
+    t = this.htree;
+    call t.addNode(x) @wa;
+  }
+}
+
+class LongBTree {
+  field root;
+  method btInit() {
+    r = new LongBTreeNode[] @btroot;
+    this.root = r;
+  }
+  method addNode(x) {
+    n = new LongBTreeNode @lbn;
+    n.val = x;
+    r = this.root;
+    r.elem = n;
+  }
+}
+
+class LongBTreeNode {
+  field val;
+  field left;
+  field right;
+}
+
+class Order { }
+class History { }
+class Screen { }
+class Report { }
+class LogEntry { }
+class TimeStamp { }
+"""
+
+
+def build():
+    source = (
+        library_source("hashmap")
+        + "\n"
+        + _APP
+        + "\n"
+        + filler_source("Sjb", classes=6, methods_per_class=8, stmts_per_method=8)
+    )
+    truth = Truth(
+        # order/morder leak alongside the nodes that contain them; pivot
+        # mode normally suppresses them, but pivot-off ablation runs still
+        # classify them correctly.
+        leak_sites={"lbn", "order", "morder"},
+        # history is bounded (oldest evicted per insertion) — a FP if it
+        # ever surfaces in a pivot-off run.
+        fp_sites={"screen_obj", "report_obj", "logentry", "tstamp", "history"},
+        context_rules=[
+            # payment contexts of the node site are bounded (History
+            # eviction) and therefore false positives
+            ContextRule("lbn", "top_pay", is_leak=False),
+        ],
+    )
+    return AppModel(
+        name="specjbb2000",
+        source=source,
+        region=LoopSpec("TransactionManager.go", "L1"),
+        truth=truth,
+        paper={"ls": 21, "fp": 8, "sites": 5},
+        description=(
+            "Transaction loop; longBTreeNode objects kept alive by "
+            "District/Warehouse B-trees"
+        ),
+    )

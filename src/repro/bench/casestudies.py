@@ -1,0 +1,141 @@
+"""Case-study narratives: per-subject reports in the style of Section 5.2.
+
+For each benchmark application this module runs the detector and renders
+a structured narrative — what loop was checked, what was reported, which
+findings the ground truth confirms, which are false positives and *why*
+(the FP pattern each model embeds) — the textual counterpart of the
+paper's case-study subsections.  Exposed on the CLI as
+``leakchecker casestudy <app>``.
+"""
+
+from repro.bench.apps import app_names, build_app
+from repro.bench.metrics import classify_findings, run_app
+
+#: Why each model's false positives are false: the pattern catalog the
+#: paper's Section 5.3 summarizes ("most of the false positives were due
+#: to internal constraints used by developers").
+FP_PATTERNS = {
+    "specjbb2000": {
+        "screen_obj": "outside field overwritten every iteration",
+        "report_obj": "outside field overwritten every iteration",
+        "logentry": "outside field overwritten every iteration",
+        "tstamp": "outside field overwritten every iteration",
+        "lbn": "payment contexts: bounded History (oldest evicted)",
+        "history": "bounded History (oldest evicted per insertion)",
+    },
+    "eclipse-diff": {
+        "progress_dialog": "temporary GUI object, display slot overwritten",
+        "message_box": "temporary GUI object, display slot overwritten",
+        "compare_dialog": "temporary GUI object, display slot overwritten",
+    },
+    "eclipse-cp": {
+        "parse_buffer": "platform field overwritten per invocation",
+        "marker_obj": "platform field overwritten per invocation",
+        "change_listener": "installed once behind a singleton guard",
+        "stats_record": "bounded cache, platform evicts old records",
+    },
+    "mysql-connector-j": {
+        "prof_event": "diagnostics slot overwritten per operation",
+        "log_buf": "diagnostics slot overwritten per operation",
+        "ping_marker": "diagnostics slot overwritten per operation",
+    },
+    "log4j": {},
+    "findbugs": {
+        "class_desc": "factory map cleared per JAR (destructive update)",
+        "method_desc": "factory map cleared per JAR (destructive update)",
+        "field_desc": "factory map cleared per JAR (destructive update)",
+        "source_info": "factory map cleared per JAR (destructive update)",
+        "xclass_obj": "factory map cleared per JAR (destructive update)",
+    },
+    "mikou": {
+        "local_bootstrap": "process-wide singleton (one instance ever)",
+        "boot_marker": "process-wide singleton flag",
+        "session_data": "escapes to a thread that terminates",
+        "log_record": "escapes to a thread that terminates",
+        "timer_task": "escapes to a thread that terminates",
+        "cache_line": "escapes to a thread that terminates",
+    },
+    "derby": {
+        "head_section": "singleton-guarded: one instance per process",
+        "tail_section": "singleton-guarded: one instance per process",
+        "cursor_section": "singleton-guarded: one instance per process",
+        "hold_section": "singleton-guarded: one instance per process",
+    },
+}
+
+
+class CaseStudy:
+    """One rendered case study."""
+
+    def __init__(self, app, row, report, true_ctx, false_ctx):
+        self.app = app
+        self.row = row
+        self.report = report
+        self.true_ctx = true_ctx
+        self.false_ctx = false_ctx
+
+    def format(self):
+        app = self.app
+        lines = []
+        title = "Case study: %s" % app.name
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append(app.description)
+        lines.append("")
+        lines.append("checked region : %s" % app.region.describe())
+        lines.append(
+            "program size   : %d reachable methods, %d statements"
+            % (self.row.methods, self.row.statements)
+        )
+        lines.append(
+            "reported       : %d allocation sites = %d context-sensitive "
+            "sites" % (self.row.sites, self.row.ls)
+        )
+        lines.append(
+            "false positives: %d of %d (FPR %.1f%%)"
+            % (self.row.fp, self.row.ls, self.row.fpr * 100)
+        )
+        lines.append("")
+        patterns = FP_PATTERNS.get(app.name, {})
+        true_sites = sorted({site for site, _ in self.true_ctx})
+        false_sites = sorted({site for site, _ in self.false_ctx})
+        if true_sites:
+            lines.append("confirmed leaks:")
+            for site in true_sites:
+                finding = self._finding(site)
+                for base, field in finding.redundant_edges:
+                    lines.append(
+                        "  %-18s kept alive through %s.%s" % (site, base, field)
+                    )
+        if false_sites:
+            lines.append("false positives (and why the analysis cannot tell):")
+            for site in false_sites:
+                reason = patterns.get(site, "internal developer constraint")
+                lines.append("  %-18s %s" % (site, reason))
+        lines.append("")
+        lines.append("full report follows")
+        lines.append("-" * len(title))
+        lines.append(self.report.format())
+        return "\n".join(lines)
+
+    def _finding(self, site):
+        for finding in self.report.findings:
+            if finding.site.label == site:
+                return finding
+        raise KeyError(site)
+
+    def __repr__(self):
+        return "CaseStudy(%s)" % self.app.name
+
+
+def case_study(name):
+    """Build and render the case study for one subject by name."""
+    app = build_app(name)
+    row, report = run_app(app)
+    true_ctx, false_ctx = classify_findings(app, report)
+    return CaseStudy(app, row, report, true_ctx, false_ctx)
+
+
+def all_case_studies():
+    """Render every subject's case study, in Table 1 order."""
+    return [case_study(name) for name in app_names()]

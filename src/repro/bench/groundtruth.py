@@ -1,0 +1,58 @@
+"""Ground-truth annotations for the benchmark application models.
+
+Each application model embeds known true leaks and known false-positive
+patterns (overwritten fields, singletons, destructive updates, terminating
+threads).  A :class:`Truth` classifies every reported context-sensitive
+allocation site as a real leak or a false positive, which is what lets the
+Table 1 harness compute FP/FPR automatically where the paper's authors
+verified warnings by hand.
+"""
+
+
+class ContextRule:
+    """Context-level classification override.
+
+    If a finding for ``site`` was created under a context whose call chain
+    contains ``marker_callsite``, the context is classified ``is_leak``.
+    This models, e.g., SPECjbb2000's payment contexts: the same
+    ``longBTreeNode`` site is a real leak under new-order contexts but a
+    false positive under payment contexts.
+    """
+
+    __slots__ = ("site", "marker_callsite", "is_leak")
+
+    def __init__(self, site, marker_callsite, is_leak):
+        self.site = site
+        self.marker_callsite = marker_callsite
+        self.is_leak = is_leak
+
+    def matches(self, site, context):
+        return site == self.site and self.marker_callsite in context.sites
+
+
+class Truth:
+    """Site- and context-level leak classification for one application."""
+
+    def __init__(self, leak_sites=(), fp_sites=(), context_rules=()):
+        self.leak_sites = frozenset(leak_sites)
+        self.fp_sites = frozenset(fp_sites)
+        self.context_rules = list(context_rules)
+
+    def classify(self, site, context):
+        """True when (site, context) is a real leak; False when a false
+        positive.  Raises ``KeyError`` for sites the model never
+        anticipated — a modeling bug the test suite should surface."""
+        for rule in self.context_rules:
+            if rule.matches(site, context):
+                return rule.is_leak
+        if site in self.leak_sites:
+            return True
+        if site in self.fp_sites:
+            return False
+        raise KeyError(
+            "site %r reported but not classified by the app's ground truth" % site
+        )
+
+    def expected_report(self):
+        """All sites the model expects to see reported."""
+        return self.leak_sites | self.fp_sites

@@ -1,0 +1,128 @@
+"""Parameter sweeps: precision/time trade-off grids over the detector's
+configuration space.
+
+The paper evaluates one configuration; its future-work section invites
+exploring the knobs.  This harness runs a subject (or all of them) over a
+grid of configurations and tabulates LS/FP/FPR/time per cell — the data
+behind trade-off curves such as "context depth vs. precision".
+"""
+
+from repro.bench.apps import all_apps
+from repro.bench.metrics import run_app
+from repro.core.detector import DetectorConfig
+
+
+class SweepCell:
+    """One (app, configuration) measurement."""
+
+    __slots__ = ("app_name", "params", "row")
+
+    def __init__(self, app_name, params, row):
+        self.app_name = app_name
+        self.params = dict(params)
+        self.row = row
+
+    def __repr__(self):
+        return "SweepCell(%s, %s: LS=%d FP=%d)" % (
+            self.app_name,
+            self.params,
+            self.row.ls,
+            self.row.fp,
+        )
+
+
+class SweepResult:
+    """All cells of a sweep, with simple pivoting helpers."""
+
+    def __init__(self, cells, dimensions):
+        self.cells = cells
+        self.dimensions = dict(dimensions)
+
+    def cells_for(self, **params):
+        """Cells matching the given parameter values (and any app)."""
+        return [
+            cell
+            for cell in self.cells
+            if all(cell.params.get(k) == v for k, v in params.items())
+        ]
+
+    def series(self, dimension, metric="ls", app_name=None):
+        """``[(value, aggregate)]`` for one dimension, averaging the
+        metric across the other dimensions (and apps unless fixed)."""
+        buckets = {}
+        for cell in self.cells:
+            if app_name is not None and cell.app_name != app_name:
+                continue
+            value = cell.params[dimension]
+            buckets.setdefault(value, []).append(getattr(cell.row, metric))
+        return [
+            (value, sum(vals) / len(vals))
+            for value, vals in sorted(buckets.items(), key=lambda kv: str(kv[0]))
+        ]
+
+    def format(self):
+        header = "%-18s %-28s %5s %4s %7s %9s" % (
+            "program",
+            "configuration",
+            "LS",
+            "FP",
+            "FPR",
+            "time(s)",
+        )
+        lines = [header, "-" * len(header)]
+        for cell in self.cells:
+            config = " ".join("%s=%s" % kv for kv in sorted(cell.params.items()))
+            lines.append(
+                "%-18s %-28s %5d %4d %6.1f%% %9.4f"
+                % (
+                    cell.app_name,
+                    config,
+                    cell.row.ls,
+                    cell.row.fp,
+                    cell.row.fpr * 100,
+                    cell.row.time_seconds,
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "SweepResult(%d cells)" % len(self.cells)
+
+
+def _grid(dimensions):
+    names = sorted(dimensions)
+    combos = [{}]
+    for name in names:
+        combos = [
+            dict(combo, **{name: value})
+            for combo in combos
+            for value in dimensions[name]
+        ]
+    return combos
+
+
+def run_sweep(dimensions, apps=None):
+    """Run the detector over every (app, configuration) combination.
+
+    ``dimensions`` maps :class:`DetectorConfig` keyword names to lists of
+    values, e.g. ``{"context_depth": [1, 2, 4, 8]}``.  Per-app base
+    configuration (e.g. Mikou's thread modeling) is preserved for
+    parameters not swept.
+    """
+    cells = []
+    for app in apps or all_apps():
+        base = {
+            "callgraph": app.config.callgraph,
+            "demand_driven": app.config.demand_driven,
+            "context_depth": app.config.context_depth,
+            "library_condition": app.config.library_condition,
+            "model_threads": app.config.model_threads,
+            "pivot": app.config.pivot,
+            "strong_updates": app.config.strong_updates,
+        }
+        for params in _grid(dimensions):
+            merged = dict(base)
+            merged.update(params)
+            row, _report = run_app(app, DetectorConfig(**merged))
+            cells.append(SweepCell(app.name, params, row))
+    return SweepResult(cells, dimensions)

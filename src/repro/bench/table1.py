@@ -1,0 +1,103 @@
+"""The Table 1 harness: run LeakChecker on all eight subjects.
+
+Produces the same row structure as the paper's Table 1 — reachable
+methods (Mtds), statements (Stmts), analysis time, loop allocation sites
+(LO), reported context-sensitive leaking sites (LS), false positives (FP)
+and the false-positive rate — with FP decided by each model's embedded
+ground truth instead of the paper's manual verification.
+
+The absolute sizes are scaled-down models, so Mtds/Stmts/Time are not
+comparable to the paper's testbed; LS/FP/FPR are engineered to match the
+case studies, and the harness asserts the qualitative shape: every
+subject has at least one true leak found, log4j is FP-free, Mikou is the
+worst, and the average FPR lands in the paper's band.
+"""
+
+from repro.bench.apps import all_apps
+from repro.bench.metrics import run_app
+
+
+class Table1:
+    """Computed rows plus shape checks against the paper."""
+
+    #: the paper's reported average false-positive rate
+    PAPER_AVG_FPR = 0.498
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    @property
+    def average_fpr(self):
+        reported = [row.fpr for row in self.rows]
+        return sum(reported) / len(reported) if reported else 0.0
+
+    def row(self, name):
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def shape_violations(self):
+        """Qualitative checks from the paper's evaluation narrative."""
+        issues = []
+        for row in self.rows:
+            if row.ls == 0:
+                issues.append("%s: no leaks reported at all" % row.name)
+            if row.ls < row.fp:
+                issues.append("%s: FP exceeds LS" % row.name)
+            if row.paper.get("ls") is not None and row.ls != row.paper["ls"]:
+                issues.append(
+                    "%s: LS=%d, model targets %d" % (row.name, row.ls, row.paper["ls"])
+                )
+            if row.paper.get("fp") is not None and row.fp != row.paper["fp"]:
+                issues.append(
+                    "%s: FP=%d, model targets %d" % (row.name, row.fp, row.paper["fp"])
+                )
+        log4j = self.row("log4j")
+        if log4j.fp != 0:
+            issues.append("log4j should be false-positive-free")
+        mikou = self.row("mikou")
+        if mikou.fpr != max(row.fpr for row in self.rows):
+            issues.append("mikou should have the highest FPR")
+        if abs(self.average_fpr - self.PAPER_AVG_FPR) > 0.05:
+            issues.append(
+                "average FPR %.1f%% outside the paper's band (%.1f%%)"
+                % (self.average_fpr * 100, self.PAPER_AVG_FPR * 100)
+            )
+        return issues
+
+    def format(self):
+        header = (
+            "%-18s %6s %7s %8s %5s %5s %4s %7s"
+            % ("program", "Mtds", "Stmts", "Time(s)", "LO", "LS", "FP", "FPR")
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                "%-18s %6d %7d %8.3f %5d %5d %4d %6.1f%%"
+                % (
+                    row.name,
+                    row.methods,
+                    row.statements,
+                    row.time_seconds,
+                    row.lo,
+                    row.ls,
+                    row.fp,
+                    row.fpr * 100,
+                )
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            "average FPR: %.1f%% (paper: %.1f%%)"
+            % (self.average_fpr * 100, self.PAPER_AVG_FPR * 100)
+        )
+        return "\n".join(lines)
+
+
+def run_table1(apps=None):
+    """Run the full evaluation; returns a :class:`Table1`."""
+    rows = []
+    for app in apps or all_apps():
+        row, _report = run_app(app)
+        rows.append(row)
+    return Table1(rows)

@@ -1,0 +1,34 @@
+"""Structured stack bytecode: the managed-language binary format.
+
+The original LeakChecker analyzed Java bytecode through Soot; this
+package provides the analogous layer for the while language: a compact
+stack-based container format with an assembler (:func:`assemble_program`
+/ :func:`dump`), a verifying loader (:func:`load_program` / :func:`load`)
+and a standalone verifier (:func:`verify_container`).
+
+Round-trip guarantee (tested): ``load_program(assemble_program(p))``
+reconstructs a program that prints identically to ``p``.
+"""
+
+from repro.bytecode.assemble import (
+    CONTAINER_VERSION,
+    assemble_method,
+    assemble_program,
+    dump,
+)
+from repro.bytecode.loader import disassemble_method, load, load_program
+from repro.bytecode.opcodes import Instr
+from repro.bytecode.verify import check_container, verify_container
+
+__all__ = [
+    "CONTAINER_VERSION",
+    "Instr",
+    "assemble_method",
+    "assemble_program",
+    "check_container",
+    "disassemble_method",
+    "dump",
+    "load",
+    "load_program",
+    "verify_container",
+]

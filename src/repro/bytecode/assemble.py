@@ -1,0 +1,156 @@
+"""Assembler: structured IR -> bytecode container.
+
+Each three-address statement compiles to a short stack sequence that ends
+with an empty operand stack; structured control flow compiles to
+bracketed ``if``/``else``/``loop``/``end`` blocks, so disassembly back to
+the structured IR is exact (see :mod:`repro.bytecode.loader`).
+
+The container format is plain JSON-compatible data: classes, fields,
+methods and per-method instruction lists, plus the program entry point.
+``CONTAINER_VERSION`` guards compatibility.
+"""
+
+from repro.bytecode import opcodes as op
+from repro.errors import IRError
+from repro.ir.stmts import (
+    Block,
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+)
+from repro.ir.types import OBJECT_CLASS
+
+CONTAINER_VERSION = 1
+
+
+def assemble_method(method):
+    """Compile one method body into an instruction list."""
+    code = []
+    _emit_block(method.body, code)
+    return code
+
+
+def _emit_block(block, code):
+    for stmt in block.stmts:
+        _emit_stmt(stmt, code)
+
+
+def _emit_stmt(stmt, code):
+    emit = code.append
+    if isinstance(stmt, Block):
+        _emit_block(stmt, code)
+    elif isinstance(stmt, NewStmt):
+        emit(op.Instr(op.NEW, stmt.type.class_name, stmt.type.dims, stmt.site))
+        emit(op.Instr(op.STORE, stmt.target))
+    elif isinstance(stmt, CopyStmt):
+        emit(op.Instr(op.LOAD, stmt.source))
+        emit(op.Instr(op.STORE, stmt.target))
+    elif isinstance(stmt, NullStmt):
+        emit(op.Instr(op.ACONST_NULL))
+        emit(op.Instr(op.STORE, stmt.target))
+    elif isinstance(stmt, LoadStmt):
+        emit(op.Instr(op.LOAD, stmt.base))
+        emit(op.Instr(op.GETFIELD, stmt.field))
+        emit(op.Instr(op.STORE, stmt.target))
+    elif isinstance(stmt, StoreStmt):
+        emit(op.Instr(op.LOAD, stmt.base))
+        emit(op.Instr(op.LOAD, stmt.source))
+        emit(op.Instr(op.PUTFIELD, stmt.field))
+    elif isinstance(stmt, StoreNullStmt):
+        emit(op.Instr(op.LOAD, stmt.base))
+        emit(op.Instr(op.ACONST_NULL))
+        emit(op.Instr(op.PUTFIELD, stmt.field))
+    elif isinstance(stmt, InvokeStmt):
+        if stmt.is_static:
+            for arg in stmt.args:
+                emit(op.Instr(op.LOAD, arg))
+            emit(
+                op.Instr(
+                    op.INVOKESTATIC,
+                    stmt.static_class,
+                    stmt.method_name,
+                    len(stmt.args),
+                    stmt.callsite,
+                )
+            )
+        else:
+            emit(op.Instr(op.LOAD, stmt.base))
+            for arg in stmt.args:
+                emit(op.Instr(op.LOAD, arg))
+            emit(
+                op.Instr(
+                    op.INVOKE, stmt.method_name, len(stmt.args), stmt.callsite
+                )
+            )
+        if stmt.target:
+            emit(op.Instr(op.STORE, stmt.target))
+        else:
+            emit(op.Instr(op.DROP))
+    elif isinstance(stmt, ReturnStmt):
+        if stmt.value:
+            emit(op.Instr(op.LOAD, stmt.value))
+            emit(op.Instr(op.RETURN_VAL))
+        else:
+            emit(op.Instr(op.RETURN))
+    elif isinstance(stmt, IfStmt):
+        emit(op.Instr(op.IF, stmt.cond.kind, stmt.cond.var or ""))
+        _emit_block(stmt.then_block, code)
+        if stmt.else_block.stmts:
+            emit(op.Instr(op.ELSE))
+            _emit_block(stmt.else_block, code)
+        emit(op.Instr(op.END))
+    elif isinstance(stmt, LoopStmt):
+        emit(op.Instr(op.LOOP, stmt.label, stmt.cond.kind, stmt.cond.var or ""))
+        _emit_block(stmt.body, code)
+        emit(op.Instr(op.END))
+    else:  # pragma: no cover - defensive
+        raise IRError("cannot assemble %r" % stmt)
+
+
+def assemble_program(program):
+    """Serialize a whole program into the JSON-compatible container."""
+    classes = []
+    for decl in program.classes.values():
+        if decl.name == OBJECT_CLASS and not decl.methods and not decl.fields:
+            continue  # implicit root class
+        classes.append(
+            {
+                "name": decl.name,
+                "super": decl.superclass or "",
+                "library": decl.is_library,
+                "fields": list(decl.fields),
+                "methods": [
+                    {
+                        "name": m.name,
+                        "params": list(m.params),
+                        "static": m.is_static,
+                        "code": [i.as_list() for i in assemble_method(m)],
+                    }
+                    for m in decl.methods.values()
+                ],
+            }
+        )
+    return {
+        "version": CONTAINER_VERSION,
+        "entry": program.entry or "",
+        "classes": classes,
+    }
+
+
+def dump(program, path):
+    """Write a program to a ``.jbc`` container file (JSON)."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(assemble_program(program), handle, indent=1)
+
+
+_COND_NAMES = {Cond.NONDET, Cond.NONNULL, Cond.NULL}

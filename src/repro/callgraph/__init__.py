@@ -1,0 +1,21 @@
+"""Call-graph construction (CHA, RTA) and reachable-method metrics."""
+
+from repro.callgraph.cha import CallEdge, CallGraph, build_cha
+from repro.callgraph.hierarchy import ClassHierarchy
+from repro.callgraph.reachable import (
+    program_metrics,
+    reachable_method_count,
+    reachable_statement_count,
+)
+from repro.callgraph.rta import build_rta
+
+__all__ = [
+    "CallEdge",
+    "CallGraph",
+    "ClassHierarchy",
+    "build_cha",
+    "build_rta",
+    "program_metrics",
+    "reachable_method_count",
+    "reachable_statement_count",
+]

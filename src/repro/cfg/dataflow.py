@@ -1,0 +1,201 @@
+"""Generic iterative dataflow framework over CFGs, with two classic
+instance analyses (reaching definitions and live variables).
+
+LeakChecker's own type-and-effect system is a bespoke abstract
+interpreter over the structured IR, but the substrate it sits on — CFGs
+with dominators and loops — supports conventional dataflow analyses too.
+This module provides the standard worklist engine so downstream users
+can build additional intraprocedural analyses (the liveness instance is
+also what a "compute object liveness directly" baseline would start
+from, which is exactly the approach the paper argues does not scale).
+
+An analysis instance supplies:
+
+* ``direction`` — ``FORWARD`` or ``BACKWARD``;
+* ``boundary()`` — the value at entry (forward) / exit (backward);
+* ``init()`` — the initial value of every other block;
+* ``merge(a, b)`` — the confluence operator (set union for may
+  analyses, intersection for must);
+* ``transfer(block, value)`` — the per-block transfer function.
+
+Values must be immutable (frozensets work well); the engine iterates to
+a fixed point and returns per-block in/out values.
+"""
+
+from repro.ir.stmts import (
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+)
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowResult:
+    """Per-block fixed-point values: ``value_in`` and ``value_out``."""
+
+    def __init__(self, cfg, value_in, value_out):
+        self.cfg = cfg
+        self._in = value_in
+        self._out = value_out
+
+    def value_in(self, block):
+        return self._in[block.index]
+
+    def value_out(self, block):
+        return self._out[block.index]
+
+    def __repr__(self):
+        return "DataflowResult(%d blocks)" % len(self._in)
+
+
+def run_dataflow(cfg, analysis):
+    """Iterate ``analysis`` over ``cfg`` to a fixed point."""
+    blocks = cfg.reachable_blocks()
+    forward = analysis.direction == FORWARD
+    value_in = {}
+    value_out = {}
+    for block in blocks:
+        value_in[block.index] = analysis.init()
+        value_out[block.index] = analysis.init()
+    start = cfg.entry if forward else cfg.exit
+    if forward:
+        value_in[start.index] = analysis.boundary()
+    else:
+        value_out[start.index] = analysis.boundary()
+
+    changed = True
+    while changed:
+        changed = False
+        for block in blocks if forward else list(reversed(blocks)):
+            if forward:
+                preds = block.preds
+                if block is not start and preds:
+                    merged = None
+                    for pred in preds:
+                        if pred.index not in value_out:
+                            continue
+                        v = value_out[pred.index]
+                        merged = v if merged is None else analysis.merge(merged, v)
+                    if merged is not None:
+                        value_in[block.index] = merged
+                new_out = analysis.transfer(block, value_in[block.index])
+                if new_out != value_out[block.index]:
+                    value_out[block.index] = new_out
+                    changed = True
+            else:
+                succs = block.succs
+                if block is not start and succs:
+                    merged = None
+                    for succ in succs:
+                        if succ.index not in value_in:
+                            continue
+                        v = value_in[succ.index]
+                        merged = v if merged is None else analysis.merge(merged, v)
+                    if merged is not None:
+                        value_out[block.index] = merged
+                new_in = analysis.transfer(block, value_out[block.index])
+                if new_in != value_in[block.index]:
+                    value_in[block.index] = new_in
+                    changed = True
+    return DataflowResult(cfg, value_in, value_out)
+
+
+def _defined_var(stmt):
+    if isinstance(stmt, (NewStmt, CopyStmt, NullStmt, LoadStmt)):
+        return stmt.target
+    if isinstance(stmt, InvokeStmt):
+        return stmt.target
+    return None
+
+
+def _used_vars(stmt):
+    if isinstance(stmt, CopyStmt):
+        return [stmt.source]
+    if isinstance(stmt, LoadStmt):
+        return [stmt.base]
+    if isinstance(stmt, StoreStmt):
+        return [stmt.base, stmt.source]
+    if isinstance(stmt, StoreNullStmt):
+        return [stmt.base]
+    if isinstance(stmt, InvokeStmt):
+        used = list(stmt.args)
+        if stmt.base:
+            used.append(stmt.base)
+        return used
+    if isinstance(stmt, ReturnStmt):
+        return [stmt.value] if stmt.value else []
+    if isinstance(stmt, (IfStmt, LoopStmt)):
+        cond = stmt.cond
+        return [cond.var] if cond.kind != Cond.NONDET else []
+    return []
+
+
+class ReachingDefinitions:
+    """May-forward analysis: which (var, stmt uid) definitions reach a
+    point.  Definitions are keyed by statement uid."""
+
+    direction = FORWARD
+
+    def boundary(self):
+        return frozenset()
+
+    def init(self):
+        return frozenset()
+
+    def merge(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        live = set(value)
+        for stmt in block.stmts:
+            var = _defined_var(stmt)
+            if var:
+                live = {(v, uid) for (v, uid) in live if v != var}
+                live.add((var, stmt.uid))
+        return frozenset(live)
+
+
+class LiveVariables:
+    """May-backward analysis: variables whose current value may still be
+    read later — the stack-variable cousin of the object liveness the
+    paper's Challenges section deems impractical to compute for heaps."""
+
+    direction = BACKWARD
+
+    def boundary(self):
+        return frozenset()
+
+    def init(self):
+        return frozenset()
+
+    def merge(self, a, b):
+        return a | b
+
+    def transfer(self, block, value):
+        live = set(value)
+        for stmt in reversed(block.stmts):
+            var = _defined_var(stmt)
+            if var:
+                live.discard(var)
+            live.update(u for u in _used_vars(stmt) if u)
+        return frozenset(live)
+
+
+def reaching_definitions(cfg):
+    """Convenience: run :class:`ReachingDefinitions` on ``cfg``."""
+    return run_dataflow(cfg, ReachingDefinitions())
+
+
+def live_variables(cfg):
+    """Convenience: run :class:`LiveVariables` on ``cfg``."""
+    return run_dataflow(cfg, LiveVariables())

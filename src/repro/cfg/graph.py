@@ -1,0 +1,122 @@
+"""Control-flow graphs built from the structured IR.
+
+Although the analyses in :mod:`repro.core` work directly on the structured
+form (as the paper's type system does), a conventional basic-block CFG is
+the substrate for dominance and natural-loop detection, mirroring how the
+Soot-based implementation views method bodies.
+"""
+
+from repro.errors import AnalysisError
+from repro.ir.stmts import Block, IfStmt, LoopStmt, ReturnStmt
+
+
+class BasicBlock:
+    """A maximal straight-line sequence of simple statements."""
+
+    __slots__ = ("index", "stmts", "succs", "preds", "loop_header_of")
+
+    def __init__(self, index):
+        self.index = index
+        self.stmts = []
+        self.succs = []
+        self.preds = []
+        #: label of the LoopStmt this block is the header of, if any
+        self.loop_header_of = None
+
+    def __repr__(self):
+        return "BB%d(%d stmts)" % (self.index, len(self.stmts))
+
+
+class CFG:
+    """A per-method control-flow graph with unique entry and exit blocks."""
+
+    def __init__(self, method):
+        self.method = method
+        self.blocks = []
+        self.entry = self._new_block()
+        self.exit = self._new_block()
+        tail = self._build_block(method.body, self.entry)
+        self._link(tail, self.exit)
+
+    # -- construction ------------------------------------------------------
+
+    def _new_block(self):
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def _link(src, dst):
+        if dst not in src.succs:
+            src.succs.append(dst)
+            dst.preds.append(src)
+
+    def _build_block(self, stmt, current):
+        """Append ``stmt`` to the CFG starting at ``current``; return the
+        block where control continues afterwards."""
+        if isinstance(stmt, Block):
+            for child in stmt.stmts:
+                current = self._build_block(child, current)
+            return current
+        if isinstance(stmt, IfStmt):
+            then_entry = self._new_block()
+            else_entry = self._new_block()
+            join = self._new_block()
+            self._link(current, then_entry)
+            self._link(current, else_entry)
+            then_exit = self._build_block(stmt.then_block, then_entry)
+            else_exit = self._build_block(stmt.else_block, else_entry)
+            self._link(then_exit, join)
+            self._link(else_exit, join)
+            return join
+        if isinstance(stmt, LoopStmt):
+            header = self._new_block()
+            header.loop_header_of = stmt.label
+            body_entry = self._new_block()
+            after = self._new_block()
+            self._link(current, header)
+            self._link(header, body_entry)
+            self._link(header, after)
+            body_exit = self._build_block(stmt.body, body_entry)
+            self._link(body_exit, header)  # the back edge
+            return after
+        if isinstance(stmt, ReturnStmt):
+            current.stmts.append(stmt)
+            self._link(current, self.exit)
+            # Statements after a return are unreachable; give them a
+            # disconnected block so construction stays total.
+            return self._new_block()
+        current.stmts.append(stmt)
+        return current
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_blocks(self):
+        """Blocks reachable from the entry, in reverse post-order."""
+        seen = set()
+        order = []
+
+        def dfs(block):
+            seen.add(block.index)
+            for succ in block.succs:
+                if succ.index not in seen:
+                    dfs(succ)
+            order.append(block)
+
+        dfs(self.entry)
+        order.reverse()
+        return order
+
+    def block_of(self, stmt):
+        for block in self.blocks:
+            if stmt in block.stmts:
+                return block
+        raise AnalysisError("statement %r not in CFG of %s" % (stmt, self.method.sig))
+
+    def __repr__(self):
+        return "CFG(%s, %d blocks)" % (self.method.sig, len(self.blocks))
+
+
+def build_cfg(method):
+    """Construct the CFG of ``method``."""
+    return CFG(method)

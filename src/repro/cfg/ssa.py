@@ -1,0 +1,137 @@
+"""SSA construction: dominance frontiers and pruned phi placement.
+
+A classic substrate component built on the dominator infrastructure: the
+Cytron et al. algorithm computing, for each CFG, where phi functions for
+each variable belong, and an SSA renaming that assigns every definition a
+unique version.  The result is *descriptive* — per-block phi maps and
+per-statement version numbers — rather than a rewritten IR, which is all
+downstream consumers (e.g. a future flow-sensitive points-to) need.
+
+Usage::
+
+    cfg = build_cfg(method)
+    ssa = build_ssa(cfg)
+    ssa.phis_at(block)        # {var: [(pred_block_index, version), ...]}
+    ssa.version_after(stmt)   # version of the variable stmt defines
+"""
+
+from repro.cfg.dominance import dominator_tree, immediate_dominators
+from repro.ir.stmts import CopyStmt, InvokeStmt, LoadStmt, NewStmt, NullStmt
+
+
+def _defined_var(stmt):
+    if isinstance(stmt, (NewStmt, CopyStmt, NullStmt, LoadStmt)):
+        return stmt.target
+    if isinstance(stmt, InvokeStmt):
+        return stmt.target
+    return None
+
+
+def dominance_frontiers(cfg):
+    """Per-block dominance frontier (Cytron's algorithm)."""
+    idom = immediate_dominators(cfg)
+    frontiers = {block.index: set() for block in cfg.reachable_blocks()}
+    for block in cfg.reachable_blocks():
+        if len(block.preds) < 2:
+            continue
+        for pred in block.preds:
+            if pred.index not in frontiers:
+                continue
+            runner = pred
+            while runner.index != idom[block.index].index:
+                frontiers[runner.index].add(block.index)
+                nxt = idom.get(runner.index)
+                if nxt is None or nxt.index == runner.index:
+                    break
+                runner = nxt
+    return frontiers
+
+
+class SSAForm:
+    """Computed SSA facts for one CFG."""
+
+    def __init__(self, cfg, phi_blocks, versions, counters):
+        self.cfg = cfg
+        #: block index -> set of variables needing a phi at block entry
+        self._phi_blocks = phi_blocks
+        #: statement uid -> version number of the variable it defines
+        self._versions = versions
+        #: variable -> total number of SSA versions (defs + phis)
+        self._counters = counters
+
+    def phi_variables_at(self, block):
+        """Variables that need a phi function at ``block`` entry."""
+        return sorted(self._phi_blocks.get(block.index, ()))
+
+    def version_after(self, stmt):
+        """The SSA version assigned by ``stmt`` (raises KeyError for
+        statements that define nothing)."""
+        return self._versions[stmt.uid]
+
+    def version_count(self, var):
+        """Total SSA versions of ``var`` (0 when never defined)."""
+        return self._counters.get(var, 0)
+
+    def __repr__(self):
+        phis = sum(len(v) for v in self._phi_blocks.values())
+        return "SSAForm(%d phi placements, %d defs)" % (phis, len(self._versions))
+
+
+def build_ssa(cfg):
+    """Compute pruned-ish SSA facts for ``cfg``.
+
+    Phi placement is the standard iterated-dominance-frontier computation
+    over each variable's definition blocks; renaming walks the dominator
+    tree assigning fresh versions to definitions and counting phi
+    versions.
+    """
+    frontiers = dominance_frontiers(cfg)
+    reachable = {b.index: b for b in cfg.reachable_blocks()}
+
+    # Definition sites per variable.
+    def_blocks = {}
+    for block in reachable.values():
+        for stmt in block.stmts:
+            var = _defined_var(stmt)
+            if var:
+                def_blocks.setdefault(var, set()).add(block.index)
+
+    # Iterated dominance frontier per variable -> phi placement.
+    phi_blocks = {}
+    for var, blocks in def_blocks.items():
+        work = list(blocks)
+        placed = set()
+        while work:
+            index = work.pop()
+            for frontier_index in frontiers.get(index, ()):
+                if frontier_index in placed:
+                    continue
+                placed.add(frontier_index)
+                phi_blocks.setdefault(frontier_index, set()).add(var)
+                if frontier_index not in blocks:
+                    work.append(frontier_index)
+
+    # Renaming: dominator-tree walk assigning fresh version numbers.
+    idom = immediate_dominators(cfg)
+    children = dominator_tree(idom)
+    versions = {}
+    counters = {}
+
+    def fresh(var):
+        counters[var] = counters.get(var, 0) + 1
+        return counters[var]
+
+    def walk(index):
+        block = reachable[index]
+        for var in phi_blocks.get(index, ()):
+            fresh(var)  # the phi defines a new version
+        for stmt in block.stmts:
+            var = _defined_var(stmt)
+            if var:
+                versions[stmt.uid] = fresh(var)
+        for child in sorted(children.get(index, ())):
+            if child in reachable:
+                walk(child)
+
+    walk(cfg.entry.index)
+    return SSAForm(cfg, phi_blocks, versions, counters)

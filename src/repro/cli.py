@@ -1,0 +1,286 @@
+"""Command-line interface: ``leakchecker`` / ``python -m repro``.
+
+Subcommands:
+
+* ``check FILE --region Class.method[:LOOP]`` — run the detector on a
+  while-language program and print the leak report;
+* ``loops FILE`` — list the labelled loops a user could check;
+* ``table1`` — run the full eight-application evaluation;
+* ``run FILE`` — execute a program concretely and print Definition-1
+  ground truth for a loop (``--loop LABEL`` plus ``--trips N``).
+"""
+
+import argparse
+import sys
+
+from repro.bench.table1 import run_table1
+from repro.core.detector import DetectorConfig, LeakChecker
+from repro.core.regions import candidate_loops, resolve_region
+from repro.errors import ReproError
+from repro.javalib import JAVALIB_SOURCE
+from repro.lang import parse_program
+from repro.semantics.interp import FixedSchedule, Interpreter
+from repro.semantics.leaks import analyze_trace
+
+
+def _load_program(path, with_lib):
+    if path.endswith(".jbc"):
+        from repro.bytecode import load
+
+        return load(path)
+    with open(path) as handle:
+        source = handle.read()
+    if with_lib:
+        source = JAVALIB_SOURCE + "\n" + source
+    return parse_program(source)
+
+
+def _cmd_compile(args):
+    from repro.bytecode import check_container, assemble_program, dump
+
+    program = _load_program(args.file, args.javalib)
+    if args.optimize:
+        from repro.ir.optimize import optimize_program
+
+        stats = optimize_program(program)
+        print(
+            "optimizer: removed %d dead copies" % stats["dead_copies_removed"]
+        )
+    check_container(assemble_program(program))
+    dump(program, args.output)
+    print("wrote %s" % args.output)
+    return 0
+
+
+def _config_from(args):
+    return DetectorConfig(
+        callgraph=args.callgraph,
+        demand_driven=args.demand_driven,
+        context_depth=args.context_depth,
+        library_condition=not args.no_library_condition,
+        model_threads=args.model_threads,
+        pivot=not args.no_pivot,
+        strong_updates=args.strong_updates,
+    )
+
+
+def _cmd_check(args):
+    program = _load_program(args.file, args.javalib)
+    region = resolve_region(program, args.region)
+    report = LeakChecker(program, _config_from(args)).check(region)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 1 if report.findings else 0
+
+
+def _cmd_scan(args):
+    from repro.core.scan import scan_all_loops
+
+    program = _load_program(args.file, args.javalib)
+    result = scan_all_loops(
+        program,
+        config=_config_from(args),
+        ranked=args.ranked,
+        limit=args.limit,
+    )
+    print(result.format())
+    return 1 if result.total_findings() else 0
+
+
+def _cmd_rank(args):
+    from repro.core.ranking import rank_loops
+
+    program = _load_program(args.file, args.javalib)
+    for entry in rank_loops(program):
+        print(
+            "%8.2f  %s:%s"
+            % (entry.score, entry.spec.method_sig, entry.spec.loop_label)
+        )
+    return 0
+
+
+def _cmd_loops(args):
+    program = _load_program(args.file, args.javalib)
+    for spec in candidate_loops(program):
+        print("%s:%s" % (spec.method_sig, spec.loop_label))
+    return 0
+
+
+def _cmd_component(args):
+    from repro.core.harness import check_component
+
+    program = _load_program(args.file, args.javalib)
+    setup = ""
+    if args.setup:
+        with open(args.setup) as handle:
+            setup = handle.read()
+    report = check_component(
+        program, args.method, config=_config_from(args), setup_source=setup
+    )
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format())
+    return 1 if report.findings else 0
+
+
+def _cmd_casestudy(args):
+    from repro.bench.apps import app_names
+    from repro.bench.casestudies import all_case_studies, case_study
+
+    if args.app == "all":
+        for study in all_case_studies():
+            print(study.format())
+            print()
+        return 0
+    if args.app not in app_names():
+        print(
+            "error: unknown app %r (choose from %s or 'all')"
+            % (args.app, ", ".join(app_names())),
+            file=sys.stderr,
+        )
+        return 2
+    print(case_study(args.app).format())
+    return 0
+
+
+def _cmd_table1(args):
+    table = run_table1()
+    print(table.format())
+    violations = table.shape_violations()
+    for issue in violations:
+        print("shape violation: %s" % issue, file=sys.stderr)
+    return 1 if violations else 0
+
+
+def _cmd_run(args):
+    program = _load_program(args.file, args.javalib)
+    schedule = FixedSchedule(default_trips=args.trips)
+    trace = Interpreter(program, schedule=schedule).run()
+    print(
+        "executed: %d objects, %d stores, %d loads"
+        % (len(trace.objects), len(trace.stores), len(trace.loads))
+    )
+    if args.loop:
+        truth = analyze_trace(trace, args.loop)
+        print("loop %s leaking sites: %s" % (args.loop, truth.leaking_sites()))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="leakchecker",
+        description="Static memory leak detection for the while language "
+        "(LeakChecker, CGO 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_detector_flags(p):
+        p.add_argument("--callgraph", choices=["rta", "cha", "otf"], default="rta")
+        p.add_argument("--demand-driven", action="store_true")
+        p.add_argument("--context-depth", type=int, default=8)
+        p.add_argument("--no-library-condition", action="store_true")
+        p.add_argument("--model-threads", action="store_true")
+        p.add_argument("--no-pivot", action="store_true")
+        p.add_argument(
+            "--strong-updates",
+            action="store_true",
+            help="model destructive updates (x.f = null); see DetectorConfig",
+        )
+        p.add_argument(
+            "--javalib",
+            action="store_true",
+            help="prepend the standard-library models to the program",
+        )
+
+    check = sub.add_parser("check", help="run the leak detector")
+    check.add_argument("file", help="while-language source file")
+    check.add_argument(
+        "--region",
+        required=True,
+        help="Class.method:LOOP for a loop, Class.method for a region",
+    )
+    check.add_argument("--json", action="store_true", help="emit JSON")
+    add_detector_flags(check)
+    check.set_defaults(func=_cmd_check)
+
+    component = sub.add_parser(
+        "component",
+        help="synthesize a harness and check a component entry method",
+    )
+    component.add_argument("file")
+    component.add_argument(
+        "--method", required=True, help="component entry, e.g. Plugin.run"
+    )
+    component.add_argument(
+        "--setup",
+        help="file with harness setup statements (uses recv/arg0..argN)",
+    )
+    component.add_argument("--json", action="store_true")
+    add_detector_flags(component)
+    component.set_defaults(func=_cmd_component)
+
+    scan = sub.add_parser("scan", help="check every labelled loop")
+    scan.add_argument("file")
+    scan.add_argument("--ranked", action="store_true", help="most suspicious first")
+    scan.add_argument("--limit", type=int, default=None)
+    add_detector_flags(scan)
+    scan.set_defaults(func=_cmd_scan)
+
+    rank = sub.add_parser("rank", help="rank loops by structural suspicion")
+    rank.add_argument("file")
+    rank.add_argument("--javalib", action="store_true")
+    rank.set_defaults(func=_cmd_rank)
+
+    compile_ = sub.add_parser(
+        "compile", help="assemble a program to a .jbc bytecode container"
+    )
+    compile_.add_argument("file")
+    compile_.add_argument("--output", "-o", required=True)
+    compile_.add_argument(
+        "--optimize", "-O", action="store_true",
+        help="run copy propagation and dead-copy elimination first",
+    )
+    compile_.add_argument("--javalib", action="store_true")
+    compile_.set_defaults(func=_cmd_compile)
+
+    loops = sub.add_parser("loops", help="list checkable loops")
+    loops.add_argument("file")
+    loops.add_argument("--javalib", action="store_true")
+    loops.set_defaults(func=_cmd_loops)
+
+    table1 = sub.add_parser("table1", help="run the eight-app evaluation")
+    table1.set_defaults(func=_cmd_table1)
+
+    casestudy = sub.add_parser(
+        "casestudy", help="render a Section 5.2-style case study"
+    )
+    casestudy.add_argument("app", help="subject name, or 'all'")
+    casestudy.set_defaults(func=_cmd_casestudy)
+
+    run = sub.add_parser("run", help="execute concretely, report ground truth")
+    run.add_argument("file")
+    run.add_argument("--loop", help="loop label for Definition-1 analysis")
+    run.add_argument("--trips", type=int, default=3)
+    run.add_argument("--javalib", action="store_true")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

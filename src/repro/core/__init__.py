@@ -1,0 +1,80 @@
+"""LeakChecker core: ERA abstraction, type and effect system, flow
+relations, and the interprocedural leak detector."""
+
+from repro.core.detector import DetectorConfig, LeakChecker, check_program
+from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.era import BOT, CUR, FUT, TOP, ZERO, Type, bump_era, join_era
+from repro.core.flows import (
+    FlowPair,
+    LeakVerdict,
+    detect_leaks,
+    flows_in_pairs,
+    flows_out_pairs,
+    match_flows,
+)
+from repro.core.harness import check_component, synthesize_harness
+from repro.core.inline import inline_calls
+from repro.core.pivot import apply_pivot
+from repro.core.ranking import RankedLoop, rank_loops, structural_scores
+from repro.core.regions import (
+    LoopSpec,
+    Region,
+    RegionSpec,
+    candidate_loops,
+    resolve_region,
+)
+from repro.core.report import LeakFinding, LeakReport, ReportDiff, diff_reports
+from repro.core.scan import ScanResult, scan_all_loops
+from repro.core.threads import started_thread_sites
+from repro.core.typestate import (
+    AbstractState,
+    TypeEffectAnalysis,
+    TypeEffectResult,
+    analyze_loop,
+)
+
+__all__ = [
+    "AbstractState",
+    "BOT",
+    "CUR",
+    "DetectorConfig",
+    "EffectLog",
+    "FUT",
+    "FlowPair",
+    "LeakChecker",
+    "LeakFinding",
+    "LeakReport",
+    "LeakVerdict",
+    "LoadEffect",
+    "LoopSpec",
+    "RankedLoop",
+    "Region",
+    "RegionSpec",
+    "ReportDiff",
+    "ScanResult",
+    "StoreEffect",
+    "TOP",
+    "Type",
+    "TypeEffectAnalysis",
+    "TypeEffectResult",
+    "ZERO",
+    "analyze_loop",
+    "apply_pivot",
+    "bump_era",
+    "candidate_loops",
+    "check_component",
+    "check_program",
+    "detect_leaks",
+    "diff_reports",
+    "flows_in_pairs",
+    "flows_out_pairs",
+    "inline_calls",
+    "join_era",
+    "match_flows",
+    "rank_loops",
+    "resolve_region",
+    "scan_all_loops",
+    "started_thread_sites",
+    "structural_scores",
+    "synthesize_harness",
+]

@@ -1,0 +1,113 @@
+"""Abstract heap store/load effects (the paper's Psi-tilde and Omega-tilde).
+
+A store effect records that (an object of) ``src_site`` was saved into
+field ``field`` of (an object of) ``base_site``; a load effect records the
+symmetric retrieval.  Effects carry the ERA of both sides at the moment of
+the heap operation, which is what lets leak detection distinguish
+cross-iteration retrievals (loaded ERA ``f``/``T``) from same-iteration
+ones (loaded ERA ``c``).
+"""
+
+
+class StoreEffect:
+    """Abstract store effect: src >-[field]-> base."""
+
+    __slots__ = ("src_site", "src_era", "field", "base_site", "base_era", "stmt_uid")
+
+    def __init__(self, src_site, src_era, field, base_site, base_era, stmt_uid=None):
+        self.src_site = src_site
+        self.src_era = src_era
+        self.field = field
+        self.base_site = base_site
+        self.base_era = base_era
+        self.stmt_uid = stmt_uid
+
+    def key(self):
+        return (self.src_site, self.src_era, self.field, self.base_site, self.base_era)
+
+    def __eq__(self, other):
+        return isinstance(other, StoreEffect) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(("store",) + self.key())
+
+    def __repr__(self):
+        return "(%s:%s >[%s] %s:%s)" % (
+            self.src_site,
+            self.src_era,
+            self.field,
+            self.base_site,
+            self.base_era,
+        )
+
+
+class LoadEffect:
+    """Abstract load effect: value <-[field]- base."""
+
+    __slots__ = (
+        "value_site",
+        "value_era",
+        "field",
+        "base_site",
+        "base_era",
+        "stmt_uid",
+    )
+
+    def __init__(self, value_site, value_era, field, base_site, base_era, stmt_uid=None):
+        self.value_site = value_site
+        self.value_era = value_era
+        self.field = field
+        self.base_site = base_site
+        self.base_era = base_era
+        self.stmt_uid = stmt_uid
+
+    def key(self):
+        return (
+            self.value_site,
+            self.value_era,
+            self.field,
+            self.base_site,
+            self.base_era,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, LoadEffect) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(("load",) + self.key())
+
+    def __repr__(self):
+        return "(%s:%s <[%s] %s:%s)" % (
+            self.value_site,
+            self.value_era,
+            self.field,
+            self.base_site,
+            self.base_era,
+        )
+
+
+class EffectLog:
+    """Accumulated abstract effects of one analysis run."""
+
+    def __init__(self):
+        self.stores = set()
+        self.loads = set()
+
+    def record_store(self, effect):
+        if effect not in self.stores:
+            self.stores.add(effect)
+            return True
+        return False
+
+    def record_load(self, effect):
+        if effect not in self.loads:
+            self.loads.add(effect)
+            return True
+        return False
+
+    def snapshot(self):
+        """A hashable fingerprint used by fixed-point termination checks."""
+        return (len(self.stores), len(self.loads))
+
+    def __repr__(self):
+        return "EffectLog(%d stores, %d loads)" % (len(self.stores), len(self.loads))

@@ -1,0 +1,148 @@
+"""Extended recency abstraction (ERA) and the abstract type lattice.
+
+ERA values (Section 2):
+
+* ``ZERO`` (0)    — the object is created outside the analyzed loop;
+* ``CUR``  (c)    — iteration-local: every instance dies before its
+  creating iteration finishes;
+* ``FUT``  (f)    — the instance may escape its creating iteration, and if
+  it does, it may be used by a later iteration (flows back in);
+* ``TOP``  (T)    — the instance may escape and, if it does, it is never
+  used by a later iteration (the leak suspects).
+
+The inside-ERA order is ``BOT < CUR < FUT < TOP`` (Figure 6's join);
+``ZERO`` only ever joins with itself because an allocation site is either
+inside or outside a given loop — a mixed join conservatively yields ``TOP``.
+
+Types (Figure 4) pair an allocation site with an ERA.  Types naming
+different allocation sites are incomparable; their join is the any-type
+``TYPE_TOP``, which is how "there exists a control-flow path on which the
+object escapes but does not flow back" forces a report.
+"""
+
+from repro.errors import AnalysisError
+
+ZERO = "0"
+CUR = "c"
+FUT = "f"
+TOP = "T"
+BOT = "_"
+
+_ORDER = {BOT: 0, CUR: 1, FUT: 2, TOP: 3}
+
+
+def join_era(a, b):
+    """Join of two ERA values (Figure 6)."""
+    if a == b:
+        return a
+    if a == ZERO or b == ZERO:
+        # An allocation site cannot be both inside and outside one loop;
+        # if abstraction ever mixes them, give up soundly.
+        if a == BOT:
+            return b
+        if b == BOT:
+            return a
+        return TOP
+    return a if _ORDER[a] >= _ORDER[b] else b
+
+
+def bump_era(era):
+    """The iteration-advance operator ``(+)`` of rule TWHILE.
+
+    At the start of each abstract iteration, every existing loop object
+    (created in a previous iteration) becomes a suspect: ``c``/``f`` go to
+    ``T``.  Outside objects are unaffected.
+    """
+    if era in (CUR, FUT):
+        return TOP
+    return era
+
+
+def is_inside(era):
+    """True for ERAs of objects created inside the loop."""
+    return era in (CUR, FUT, TOP)
+
+
+class Type:
+    """An abstract type: ``BOT``, ``TOP_T`` (any), or (site, era)."""
+
+    __slots__ = ("site", "era", "_kind")
+
+    _BOT = "bot"
+    _TOP = "top"
+    _OBJ = "obj"
+
+    def __init__(self, kind, site=None, era=None):
+        self._kind = kind
+        self.site = site
+        self.era = era
+
+    @classmethod
+    def bot(cls):
+        return _TYPE_BOT
+
+    @classmethod
+    def top(cls):
+        return _TYPE_TOP
+
+    @classmethod
+    def obj(cls, site, era):
+        if era not in _ORDER and era != ZERO:
+            raise AnalysisError("invalid ERA %r" % era)
+        return cls(cls._OBJ, site, era)
+
+    @property
+    def is_bot(self):
+        return self._kind == Type._BOT
+
+    @property
+    def is_top(self):
+        return self._kind == Type._TOP
+
+    @property
+    def is_obj(self):
+        return self._kind == Type._OBJ
+
+    def with_era(self, era):
+        if not self.is_obj:
+            return self
+        return Type.obj(self.site, era)
+
+    def join(self, other):
+        """Type join (Figure 6): BOT is identity, TOP absorbs, same-site
+        object types join ERAs, different sites are incomparable -> TOP."""
+        if self.is_bot:
+            return other
+        if other.is_bot:
+            return self
+        if self.is_top or other.is_top:
+            return _TYPE_TOP
+        if self.site != other.site:
+            return _TYPE_TOP
+        return Type.obj(self.site, join_era(self.era, other.era))
+
+    def bump(self):
+        """Apply the iteration-advance operator to this type."""
+        if self.is_obj:
+            return self.with_era(bump_era(self.era))
+        return self
+
+    def key(self):
+        return (self._kind, self.site, self.era)
+
+    def __eq__(self, other):
+        return isinstance(other, Type) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        if self.is_bot:
+            return "Type(BOT)"
+        if self.is_top:
+            return "Type(TOP)"
+        return "Type(%s, %s)" % (self.site, self.era)
+
+
+_TYPE_BOT = Type(Type._BOT)
+_TYPE_TOP = Type(Type._TOP)

@@ -1,0 +1,176 @@
+"""Flows-out / flows-in relations and their matching (Definitions 2–3).
+
+Given abstract store/load effects (from the formal type system) this
+module computes:
+
+* the transitive flows-out relation: inside site ``o`` reaches field ``g``
+  of the *closest* outside site ``b`` through a chain of stores whose
+  intermediate bases are all inside objects;
+* the transitive flows-in relation: inside site ``o`` is retrieved into
+  the loop through a chain of loads rooted at a read of ``b.g`` where
+  ``b`` is outside — and the rooted read must be a *cross-iteration*
+  retrieval (loaded ERA ``f``/``T``, not ``c``), which is the extended-
+  recency check that the flows-out iteration precedes the flows-in one;
+* the match: a flows-out pair without a matching flows-in pair marks a
+  redundant reference, and together with the per-site ERA summary yields
+  the leak verdict of Definition 3.
+
+The same matcher is reused by the interprocedural detector, which derives
+its relations from points-to results instead of abstract effects.
+"""
+
+from repro.core.era import CUR, FUT, TOP, ZERO, is_inside
+
+
+class FlowPair:
+    """One relation instance: ``site`` flows out of / into ``base.field``."""
+
+    __slots__ = ("site", "field", "base")
+
+    def __init__(self, site, field, base):
+        self.site = site
+        self.field = field
+        self.base = base
+
+    def key(self):
+        return (self.site, self.field, self.base)
+
+    def __eq__(self, other):
+        return isinstance(other, FlowPair) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "(%s, %s.%s)" % (self.site, self.base, self.field)
+
+
+def flows_out_pairs(effects, inside_sites):
+    """Transitive flows-out: Definition 2's triangle-right relation.
+
+    Built from store effects: a direct escape is a store of an inside site
+    into an outside base; transitively, a store of inside ``o`` into
+    inside ``x`` extends every escape of ``x`` down to ``o`` (``b`` stays
+    the closest outside object on the chain).
+    """
+    direct = set()
+    inside_edges = []  # (src, base) both inside
+    for eff in effects.stores:
+        src_in = eff.src_site in inside_sites
+        base_in = eff.base_site in inside_sites
+        if src_in and not base_in:
+            direct.add(FlowPair(eff.src_site, eff.field, eff.base_site))
+        elif src_in and base_in:
+            inside_edges.append((eff.src_site, eff.base_site))
+    result = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for src, mid in inside_edges:
+            for pair in list(result):
+                if pair.site == mid:
+                    extended = FlowPair(src, pair.field, pair.base)
+                    if extended not in result:
+                        result.add(extended)
+                        changed = True
+    return result
+
+
+def flows_in_pairs(effects, inside_sites):
+    """Transitive flows-in: Definition 2's triangle-left relation.
+
+    Rooted at loads from outside bases whose retrieved ERA shows a
+    cross-iteration flow (``f`` or ``T`` at load time, not ``c``); loads
+    from inside bases extend the relation to the objects hanging off an
+    already-flowing-in structure.
+    """
+    result = set()
+    inside_loads = []  # (value, base) with base inside
+    for eff in effects.loads:
+        value_in = eff.value_site in inside_sites
+        base_in = eff.base_site in inside_sites
+        if not value_in:
+            continue
+        if not base_in:
+            if eff.value_era in (FUT, TOP):
+                result.add(FlowPair(eff.value_site, eff.field, eff.base_site))
+        else:
+            inside_loads.append((eff.value_site, eff.base_site))
+    changed = True
+    while changed:
+        changed = False
+        for value, mid in inside_loads:
+            for pair in list(result):
+                if pair.site == mid:
+                    extended = FlowPair(value, pair.field, pair.base)
+                    if extended not in result:
+                        result.add(extended)
+                        changed = True
+    return result
+
+
+class LeakVerdict:
+    """Per-site leak decision with its evidence."""
+
+    __slots__ = ("site", "era", "unmatched", "matched")
+
+    def __init__(self, site, era, unmatched, matched):
+        self.site = site
+        self.era = era
+        #: flows-out pairs with no matching flows-in — the redundant edges
+        self.unmatched = unmatched
+        self.matched = matched
+
+    @property
+    def is_leak(self):
+        return bool(self.unmatched)
+
+    def __repr__(self):
+        return "LeakVerdict(%s, era=%s, leak=%s)" % (
+            self.site,
+            self.era,
+            self.is_leak,
+        )
+
+
+def match_flows(era_summary, out_pairs, in_pairs, inside_sites):
+    """Definition 3: decide leaking sites from ERAs and flow relations.
+
+    A site with ERA ``T`` and any flows-out is a leak (it never flows back
+    at all).  A site with ERA ``f`` leaks through each flows-out pair
+    ``(o, g, b)`` that has no flows-in pair with the same ``(g, b)`` —
+    the reference ``b.g`` is never used to retrieve it.
+    """
+    in_index = {}
+    for pair in in_pairs:
+        in_index.setdefault(pair.site, set()).add((pair.field, pair.base))
+    verdicts = {}
+    for site in inside_sites:
+        era = era_summary.get(site, CUR)
+        if era == ZERO or not is_inside(era):
+            continue
+        if era == CUR:
+            # Iteration-local despite recorded store effects: only
+            # possible when strong updates proved every escaping
+            # reference removed within its creating iteration.
+            continue
+        site_outs = [p for p in out_pairs if p.site == site]
+        if not site_outs:
+            continue  # stack-only: cannot leak
+        if era == TOP:
+            verdicts[site] = LeakVerdict(site, era, list(site_outs), [])
+            continue
+        matched_keys = in_index.get(site, set())
+        unmatched = [p for p in site_outs if (p.field, p.base) not in matched_keys]
+        matched = [p for p in site_outs if (p.field, p.base) in matched_keys]
+        verdicts[site] = LeakVerdict(site, era, unmatched, matched)
+    return verdicts
+
+
+def detect_leaks(result):
+    """End-to-end Definition 3 over a :class:`TypeEffectResult`."""
+    era_summary = result.era_summary()
+    outs = flows_out_pairs(result.effects, result.inside_sites)
+    ins = flows_in_pairs(result.effects, result.inside_sites)
+    verdicts = match_flows(era_summary, outs, ins, result.inside_sites)
+    return {site: v for site, v in verdicts.items() if v.is_leak}

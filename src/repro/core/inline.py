@@ -1,0 +1,212 @@
+"""Call inlining: an IR-to-IR transform feeding the formal checker.
+
+The type and effect system of :mod:`repro.core.typestate` is
+intraprocedural, like the paper's formalism.  For programs with calls that
+resolve to a unique target (checked via CHA), this module inlines callee
+bodies — with locals renamed apart — up to a depth bound, producing an
+equivalent call-free method that the formal checker accepts.  Recursive or
+polymorphic calls cannot be inlined and raise ``AnalysisError``.
+
+This is a faithful bridging device: the paper handles calls with
+CFL-reachability in the implementation, while its formal system elides
+them; inlining lets us run the *formal* system on the paper's Figure 1
+example end-to-end.
+"""
+
+from repro.errors import AnalysisError
+from repro.callgraph.hierarchy import ClassHierarchy
+from repro.ir.program import Method
+from repro.ir.stmts import (
+    Block,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+    THIS_VAR,
+)
+
+
+class _Inliner:
+    def __init__(self, program, max_depth):
+        self.program = program
+        self.hierarchy = ClassHierarchy(program)
+        self.max_depth = max_depth
+        self._fresh_counter = 0
+
+    def _fresh_prefix(self):
+        self._fresh_counter += 1
+        return "$i%d$" % self._fresh_counter
+
+    def _unique_target(self, invoke):
+        if invoke.is_static:
+            return self.program.method(
+                "%s.%s" % (invoke.static_class, invoke.method_name)
+            )
+        targets = self.hierarchy.all_targets(invoke.method_name)
+        if len(targets) != 1:
+            raise AnalysisError(
+                "cannot inline polymorphic call to %s (%d targets)"
+                % (invoke.method_name, len(targets))
+            )
+        return targets[0]
+
+    def inline_block(self, block, depth, active):
+        stmts = []
+        for stmt in block.stmts:
+            stmts.extend(self._inline_stmt(stmt, depth, active))
+        return Block(stmts)
+
+    def _inline_stmt(self, stmt, depth, active):
+        if isinstance(stmt, Block):
+            return [self.inline_block(stmt, depth, active)]
+        if isinstance(stmt, IfStmt):
+            return [
+                IfStmt(
+                    stmt.cond,
+                    self.inline_block(stmt.then_block, depth, active),
+                    self.inline_block(stmt.else_block, depth, active),
+                )
+            ]
+        if isinstance(stmt, LoopStmt):
+            return [
+                LoopStmt(
+                    stmt.label, self.inline_block(stmt.body, depth, active), stmt.cond
+                )
+            ]
+        if isinstance(stmt, InvokeStmt):
+            return self._inline_call(stmt, depth, active)
+        return [self._clone_simple(stmt, lambda v: v, lambda s: s)]
+
+    def _inline_call(self, invoke, depth, active):
+        if depth >= self.max_depth:
+            raise AnalysisError(
+                "inlining depth %d exceeded at call %r" % (self.max_depth, invoke)
+            )
+        callee = self._unique_target(invoke)
+        if callee.sig in active:
+            raise AnalysisError("cannot inline recursive call to %s" % callee.sig)
+        prefix = self._fresh_prefix()
+
+        def rename(var):
+            return prefix + var
+
+        def resite(site):
+            # Allocation sites keep their identity across inlining: the
+            # site label is the object abstraction, not the inlined copy.
+            return site
+
+        stmts = []
+        if invoke.base is not None:
+            stmts.append(CopyStmt(rename(THIS_VAR), invoke.base))
+        for param, arg in zip(callee.params, invoke.args):
+            stmts.append(CopyStmt(rename(param), arg))
+        body, returned = self._clone_body(
+            callee.body, rename, resite, invoke.target, depth + 1, active | {callee.sig}
+        )
+        stmts.extend(body.stmts)
+        if invoke.target and not returned:
+            stmts.append(NullStmt(invoke.target))
+        return stmts
+
+    def _clone_body(self, block, rename, resite, return_target, depth, active):
+        """Clone a callee block, renaming variables and rewriting returns
+        into assignments to ``return_target``.  Returns (block, saw_return).
+        """
+        saw_return = False
+        stmts = []
+        for stmt in block.stmts:
+            if isinstance(stmt, ReturnStmt):
+                saw_return = True
+                if return_target and stmt.value:
+                    stmts.append(CopyStmt(return_target, rename(stmt.value)))
+                # A mid-body return truncates the remaining statements on
+                # this path; structured bodies in this IR use returns only
+                # in tail position, which validation of inlinable methods
+                # enforces here:
+                continue
+            if isinstance(stmt, Block):
+                inner, ret = self._clone_body(
+                    stmt, rename, resite, return_target, depth, active
+                )
+                saw_return |= ret
+                stmts.append(inner)
+            elif isinstance(stmt, IfStmt):
+                then_block, r1 = self._clone_body(
+                    stmt.then_block, rename, resite, return_target, depth, active
+                )
+                else_block, r2 = self._clone_body(
+                    stmt.else_block, rename, resite, return_target, depth, active
+                )
+                saw_return |= r1 or r2
+                cond = stmt.cond
+                if cond.var:
+                    from repro.ir.stmts import Cond
+
+                    cond = Cond(cond.kind, rename(cond.var))
+                stmts.append(IfStmt(cond, then_block, else_block))
+            elif isinstance(stmt, LoopStmt):
+                inner, ret = self._clone_body(
+                    stmt.body, rename, resite, return_target, depth, active
+                )
+                saw_return |= ret
+                stmts.append(LoopStmt(stmt.label, inner, stmt.cond))
+            elif isinstance(stmt, InvokeStmt):
+                renamed = InvokeStmt(
+                    rename(stmt.target) if stmt.target else None,
+                    rename(stmt.base) if stmt.base else None,
+                    stmt.static_class,
+                    stmt.method_name,
+                    [rename(a) for a in stmt.args],
+                    stmt.callsite,
+                )
+                stmts.extend(self._inline_call(renamed, depth, active))
+            else:
+                stmts.append(self._clone_simple(stmt, rename, resite))
+        return Block(stmts), saw_return
+
+    @staticmethod
+    def _clone_simple(stmt, rename, resite):
+        if isinstance(stmt, NewStmt):
+            return NewStmt(rename(stmt.target), stmt.type, resite(stmt.site))
+        if isinstance(stmt, CopyStmt):
+            return CopyStmt(rename(stmt.target), rename(stmt.source))
+        if isinstance(stmt, NullStmt):
+            return NullStmt(rename(stmt.target))
+        if isinstance(stmt, LoadStmt):
+            return LoadStmt(rename(stmt.target), rename(stmt.base), stmt.field)
+        if isinstance(stmt, StoreStmt):
+            return StoreStmt(rename(stmt.base), stmt.field, rename(stmt.source))
+        if isinstance(stmt, StoreNullStmt):
+            return StoreNullStmt(rename(stmt.base), stmt.field)
+        raise AnalysisError("cannot clone %r during inlining" % stmt)
+
+
+def inline_calls(program, method_sig, max_depth=12):
+    """Return a call-free clone of ``method_sig`` with callees inlined.
+
+    The returned method is *detached*: it belongs to no class and keeps the
+    original allocation-site labels, so analyses over it report sites that
+    exist in ``program``.
+    """
+    method = program.method(method_sig)
+    inliner = _Inliner(program, max_depth)
+    body = inliner.inline_block(method.body, 0, {method.sig})
+    clone = Method(
+        method.name + "$inlined",
+        method.params,
+        body,
+        method.declaring_class,
+        is_static=method.is_static,
+    )
+    uid = 10_000_000  # uids in a detached namespace, never clashing visibly
+    for stmt in clone.statements():
+        stmt.uid = uid
+        uid += 1
+        stmt.method = clone
+    return clone

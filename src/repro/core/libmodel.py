@@ -1,0 +1,70 @@
+"""The stronger flows-in condition for standard-library code (Section 4).
+
+Collection internals read their backing arrays for bookkeeping — e.g.
+``HashMap.put`` reads entries to test whether a key already exists — and
+treating those reads as genuine retrievals would hide leaks.  LeakChecker
+therefore distinguishes application from library code: a load executed in
+a *library* method produces a flows-in relationship only when the loaded
+object is returned to application code.
+
+``library_visible_values`` computes, for a program and PAG, the set of
+variable nodes in library methods whose values escape to application code
+through return chains — the detector then keeps a library load only when
+its target is in that set.
+"""
+
+from repro.pta.pag import RETURN_VAR, VarNode
+
+
+def _method_of(program, sig):
+    return program.method(sig)
+
+
+def is_library_sig(program, method_sig):
+    class_name = method_sig.rpartition(".")[0]
+    return program.cls(class_name).is_library
+
+
+def library_visible_values(program, pag):
+    """Variable nodes in library methods whose values may reach application
+    code via copies and returns.
+
+    Computed backwards: seed with every variable of every application
+    method, then propagate against assign edges.  A library-load target in
+    the result set can flow into an application variable, satisfying the
+    stronger condition ("the object is returned to the application code").
+    """
+    visible = set()
+    work = []
+    for edge in pag.assign_edges:
+        for node in (edge.src, edge.dst):
+            if not is_library_sig(program, node.method_sig):
+                if node not in visible:
+                    visible.add(node)
+                    work.append(node)
+    # Also seed loads/stores/new targets in application code.
+    for node in pag.all_var_nodes():
+        if not is_library_sig(program, node.method_sig) and node not in visible:
+            visible.add(node)
+            work.append(node)
+    while work:
+        node = work.pop()
+        for edge in pag.assigns_into.get(node, ()):
+            src = edge.src
+            if src not in visible:
+                visible.add(src)
+                work.append(src)
+    return visible
+
+
+def load_counts_as_flow_in(program, pag, load_edge, visible=None):
+    """Apply the Section 4 condition to one load edge.
+
+    Loads in application code always count; loads in library code count
+    only when their target can reach application code (is ``visible``).
+    """
+    if not is_library_sig(program, load_edge.target.method_sig):
+        return True
+    if visible is None:
+        visible = library_visible_values(program, pag)
+    return load_edge.target in visible

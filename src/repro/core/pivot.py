@@ -1,0 +1,49 @@
+"""Pivot mode: suppress leaking objects dominated by another leak.
+
+When leaking object ``o1`` transitively flows into leaking object ``o2``
+(``o1`` is stored somewhere inside the data structure rooted at ``o2``),
+fixing ``o2``'s unnecessary reference also frees ``o1``; reporting both is
+noise.  Pivot mode keeps only the roots — the experiments in the paper's
+Section 5 run in this mode, and so do ours.
+"""
+
+
+def _reaches(edges, src, dst):
+    seen = {src}
+    work = [src]
+    while work:
+        node = work.pop()
+        for nxt in edges.get(node, ()):
+            if nxt == dst:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                work.append(nxt)
+    return False
+
+
+def containment_edges(pairs):
+    """Adjacency map from (src_site, base_site) containment pairs."""
+    edges = {}
+    for src, base in pairs:
+        edges.setdefault(src, set()).add(base)
+    return edges
+
+
+def apply_pivot(leaking_sites, pairs):
+    """Filter ``leaking_sites``, dropping any site that transitively flows
+    into another leaking site (the kept one is the pivot/root).
+
+    ``pairs`` is an iterable of (src_site, base_site) containment pairs
+    among inside objects.
+    """
+    edges = containment_edges(pairs)
+    leaking = set(leaking_sites)
+    kept = []
+    for site in leaking_sites:
+        dominated = any(
+            other != site and _reaches(edges, site, other) for other in leaking
+        )
+        if not dominated:
+            kept.append(site)
+    return kept

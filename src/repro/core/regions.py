@@ -1,0 +1,115 @@
+"""Checkable regions: the user-specified loops and code regions.
+
+LeakChecker is client-driven: the user names the loop (or repeatedly
+executed code region) to check, and everything after that is automatic.
+Two kinds of specification are supported, exactly as in the paper:
+
+* :class:`LoopSpec` — a labelled loop in a method ("the main event loop");
+* :class:`RegionSpec` — a whole method body treated as the body of an
+  artificial loop, for component-based software where the real event loop
+  is invisible (e.g. an Eclipse plugin's ``runCompare`` entry method).
+
+Both expose the same interface to the detector: the statements that
+constitute one "iteration".
+"""
+
+from repro.errors import ResolutionError
+from repro.ir.stmts import InvokeStmt, NewStmt, walk
+
+
+class Region:
+    """Common interface of checkable regions."""
+
+    def describe(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def method(self, program):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def body_statements(self, program):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def inside_new_stmts(self, program):
+        """Allocation statements lexically inside one iteration."""
+        return [
+            s for s in self.body_statements(program) if isinstance(s, NewStmt)
+        ]
+
+    def inside_call_stmts(self, program):
+        """Call statements lexically inside one iteration."""
+        return [
+            s for s in self.body_statements(program) if isinstance(s, InvokeStmt)
+        ]
+
+
+class LoopSpec(Region):
+    """A labelled loop to check: ``LoopSpec("Main.main", "L1")``."""
+
+    def __init__(self, method_sig, loop_label):
+        self.method_sig = method_sig
+        self.loop_label = loop_label
+
+    def describe(self):
+        return "loop %s in %s" % (self.loop_label, self.method_sig)
+
+    def method(self, program):
+        return program.method(self.method_sig)
+
+    def loop(self, program):
+        return self.method(program).find_loop(self.loop_label)
+
+    def body_statements(self, program):
+        return list(walk(self.loop(program).body))
+
+    def __repr__(self):
+        return "LoopSpec(%s, %s)" % (self.method_sig, self.loop_label)
+
+
+class RegionSpec(Region):
+    """A repeatedly executed method treated as an artificial loop body.
+
+    ``RegionSpec("CompareUI.runCompare")`` checks the compare plugin as if
+    its entry method were called from an (invisible) event loop.
+    """
+
+    def __init__(self, method_sig):
+        self.method_sig = method_sig
+
+    def describe(self):
+        return "region %s (artificial loop)" % self.method_sig
+
+    def method(self, program):
+        return program.method(self.method_sig)
+
+    def body_statements(self, program):
+        return list(walk(self.method(program).body))
+
+    def __repr__(self):
+        return "RegionSpec(%s)" % self.method_sig
+
+
+def resolve_region(program, spec_text):
+    """Parse a region spec string: ``Class.method:LABEL`` (loop) or
+    ``Class.method`` (region).  Used by the CLI."""
+    if ":" in spec_text:
+        sig, _, label = spec_text.partition(":")
+        region = LoopSpec(sig, label)
+    else:
+        region = RegionSpec(spec_text)
+    region.method(program)  # raises ResolutionError when missing
+    if isinstance(region, LoopSpec):
+        region.loop(program)
+    return region
+
+
+def candidate_loops(program):
+    """All labelled loops in the program — a catalog helping users pick a
+    region, in the spirit of the paper's future-work note on identifying
+    suspicious loops."""
+    specs = []
+    for method in program.all_methods():
+        for loop in method.loops():
+            specs.append(LoopSpec(method.sig, loop.label))
+    if not specs:
+        raise ResolutionError("program has no loops to check")
+    return specs

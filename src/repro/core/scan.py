@@ -1,0 +1,74 @@
+"""Whole-program loop scanning: check every candidate loop in one pass.
+
+When no single suspicious loop is known, LeakChecker can sweep all
+labelled loops (optionally in ranked order) and aggregate the per-region
+reports.  Each loop is still checked independently — the per-loop
+semantics of the analysis is unchanged; scanning is a convenience layer.
+"""
+
+from repro.core.detector import LeakChecker
+from repro.core.ranking import rank_loops
+from repro.core.regions import candidate_loops
+
+
+class ScanResult:
+    """Aggregated reports from scanning multiple loops."""
+
+    def __init__(self, entries):
+        #: list of (LoopSpec, LeakReport), in scan order
+        self.entries = entries
+
+    def loops_with_leaks(self):
+        return [spec for spec, report in self.entries if report.findings]
+
+    def total_findings(self):
+        return sum(len(report.findings) for _spec, report in self.entries)
+
+    def leaking_sites(self):
+        """Union of leaking site labels across all scanned loops."""
+        sites = set()
+        for _spec, report in self.entries:
+            sites.update(report.leaking_site_labels)
+        return sorted(sites)
+
+    def format(self):
+        lines = ["scanned %d loops, %d findings total" % (
+            len(self.entries),
+            self.total_findings(),
+        )]
+        for spec, report in self.entries:
+            marker = "LEAKS" if report.findings else "clean"
+            lines.append(
+                "  [%s] %s:%s -> %s"
+                % (
+                    marker,
+                    spec.method_sig,
+                    spec.loop_label,
+                    ", ".join(report.leaking_site_labels) or "-",
+                )
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "ScanResult(%d loops, %d findings)" % (
+            len(self.entries),
+            self.total_findings(),
+        )
+
+
+def scan_all_loops(program, config=None, ranked=False, limit=None):
+    """Run the detector on every labelled loop of ``program``.
+
+    With ``ranked=True`` loops are visited in structural-suspicion order
+    (see :mod:`repro.core.ranking`) and ``limit`` caps how many are
+    checked — the triage workflow for large programs.
+    """
+    checker = LeakChecker(program, config)
+    if ranked:
+        specs = [entry.spec for entry in rank_loops(program, checker.callgraph)]
+    else:
+        specs = candidate_loops(program)
+    if limit is not None:
+        specs = specs[:limit]
+    entries = [(spec, checker.check(spec)) for spec in specs]
+    return ScanResult(entries)

@@ -1,0 +1,43 @@
+"""Thread modeling: started threads as outside objects (Mikou case study).
+
+Objects kept alive by running threads defeat the basic loop-escape
+formulation because threads are not explicitly modeled.  The paper's
+workaround, reproduced here: tag an object as *outside* the loop when
+
+1. it is an instance of ``Thread`` (or a subclass), and
+2. ``start`` has been invoked on it somewhere in reachable code —
+
+regardless of whether the thread may terminate (thread termination is
+undecidable, and this over-approximation is the documented source of the
+high false-positive rate on Mikou).
+"""
+
+from repro.ir.stmts import InvokeStmt
+from repro.ir.types import THREAD_CLASS
+from repro.pta.pag import VarNode
+
+
+def started_thread_sites(program, callgraph, points_to):
+    """Allocation sites of thread objects on which ``start`` is called.
+
+    ``points_to`` resolves the receiver of every reachable ``start`` call;
+    receiver sites whose class is a ``Thread`` subclass are returned.
+    """
+    sites = set()
+    thread_classes = set(program.subclasses(THREAD_CLASS))
+    if not thread_classes:
+        return sites
+    for method in callgraph.reachable_methods():
+        for stmt in method.statements():
+            if not isinstance(stmt, InvokeStmt):
+                continue
+            if stmt.is_static or stmt.method_name != "start":
+                continue
+            for site_label in points_to.pts(method.sig, stmt.base):
+                site = program.site(site_label)
+                if (
+                    not site.type.is_array
+                    and site.type.class_name in thread_classes
+                ):
+                    sites.add(site_label)
+    return sites

@@ -1,0 +1,398 @@
+"""The type and effect system of Section 3, as an abstract interpreter.
+
+This module is the executable reconstruction of Figures 4–6: a flow-
+sensitive abstract interpretation of a single method body with respect to
+one analyzed loop.  It computes:
+
+* a type environment ``Gamma`` (variable -> :class:`repro.core.era.Type`),
+* a type heap ``H`` ((site, field) -> Type),
+* abstract store/load effect sets (Psi-tilde / Omega-tilde),
+* a per-site ERA summary.
+
+Rule highlights (matching the paper's narrative):
+
+* **TNEW** — allocating inside the loop types the target ``(site, c)``;
+  outside the loop, ``(site, 0)``.
+* **TWHILE** — each abstract iteration starts by applying the iteration-
+  advance operator to every type in ``Gamma`` *and* ``H``: existing loop
+  objects become ``T`` suspects.  The body is re-analyzed until ``Gamma``,
+  ``H`` and the effect sets stop changing (the fixed point of rule
+  TWHILE).
+* **TLOAD** — loading an inside object whose ERA is ``T`` is evidence that
+  it *does* flow back in, so the loaded occurrence (and the heap slot it
+  came from) is refined to ``f``; the recorded load effect keeps the ERA
+  seen *before* refinement so leak detection can distinguish cross-
+  iteration retrievals from same-iteration ones.
+* **TSTORE** — heap slots are joined (no strong updates), and a store
+  effect is recorded.  ``x.f = null`` is ignored — exactly the
+  destructive-update imprecision the paper discusses.
+* Joins at if-merges use the type lattice; a path on which an object does
+  not flow back keeps its ``T``, which survives the join (the worked
+  example's ``o4``).
+
+The formal system is intraprocedural (the paper elides calls from the
+formalism); method calls encountered here raise ``AnalysisError``.  Use
+:func:`repro.core.inline.inline_calls` first, or the interprocedural
+:mod:`repro.core.detector` which models calls via CFL-reachability.
+"""
+
+from repro.errors import AnalysisError
+from repro.ir.stmts import (
+    Block,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+    walk,
+)
+from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.era import CUR, FUT, TOP, ZERO, Type, join_era  # noqa: F401
+
+
+class AbstractState:
+    """Gamma + H, with lattice join and the iteration-advance operator."""
+
+    def __init__(self, gamma=None, heap=None):
+        self.gamma = dict(gamma or {})
+        self.heap = dict(heap or {})
+
+    def copy(self):
+        return AbstractState(self.gamma, self.heap)
+
+    def get_var(self, var):
+        return self.gamma.get(var, Type.bot())
+
+    def set_var(self, var, typ):
+        if typ.is_bot:
+            self.gamma.pop(var, None)
+        else:
+            self.gamma[var] = typ
+
+    def get_heap(self, site, field):
+        return self.heap.get((site, field), Type.bot())
+
+    def join_heap(self, site, field, typ):
+        cur = self.get_heap(site, field)
+        joined = cur.join(typ)
+        if not joined.is_bot:
+            self.heap[(site, field)] = joined
+
+    def set_heap(self, site, field, typ):
+        self.heap[(site, field)] = typ
+
+    def join(self, other):
+        """Pointwise lattice join of two states (control-flow merge)."""
+        result = AbstractState()
+        for var in set(self.gamma) | set(other.gamma):
+            result.set_var(var, self.get_var(var).join(other.get_var(var)))
+        for key in set(self.heap) | set(other.heap):
+            joined = self.heap.get(key, Type.bot()).join(
+                other.heap.get(key, Type.bot())
+            )
+            if not joined.is_bot:
+                result.heap[key] = joined
+        return result
+
+    def bump(self):
+        """Apply the iteration-advance operator (+) to Gamma and H."""
+        result = AbstractState()
+        result.gamma = {v: t.bump() for v, t in self.gamma.items()}
+        result.heap = {k: t.bump() for k, t in self.heap.items()}
+        return result
+
+    def snapshot(self):
+        return (
+            tuple(sorted((v, t.key()) for v, t in self.gamma.items())),
+            tuple(sorted((k, t.key()) for k, t in self.heap.items())),
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, AbstractState) and self.snapshot() == other.snapshot()
+
+    def __repr__(self):
+        return "AbstractState(%d vars, %d heap slots)" % (
+            len(self.gamma),
+            len(self.heap),
+        )
+
+
+class TypeEffectResult:
+    """Fixed-point output of the type and effect system for one loop."""
+
+    def __init__(self, loop_label, body_state, exit_state, effects, inside_sites):
+        self.loop_label = loop_label
+        #: state at the end of the loop body at the fixed point — where the
+        #: worked example's Gamma values live
+        self.body_state = body_state
+        #: state after the loop (join of zero-or-more iterations)
+        self.exit_state = exit_state
+        self.effects = effects
+        self.inside_sites = inside_sites
+
+    def era_of(self, site):
+        """Per-site ERA summary over the fixed-point body state.
+
+        ERA ``f`` means "if an instance escapes, it *may* be used in a
+        later iteration" — so one surviving ``f`` occurrence (a witnessed
+        flow-back that no join erased) gives the site ERA ``f``, even if
+        other heap slots holding it are never read (those slots are caught
+        by the per-pair flows-out/flows-in matching, as with Figure 1's
+        ``Order``).  A site whose escaped occurrences are all ``T`` never
+        flows back at all: ERA ``T``.  Otherwise ``c``/``0``.
+        """
+        eras = set()
+        for typ in list(self.body_state.gamma.values()) + list(
+            self.body_state.heap.values()
+        ):
+            if typ.is_obj and typ.site == site:
+                eras.add(typ.era)
+        if ZERO in eras:
+            return ZERO if eras == {ZERO} else join_era(CUR, ZERO)
+        if FUT in eras:
+            return FUT
+        if TOP in eras:
+            return TOP
+        # "Joining any type with TOP results in TOP, [so] LeakChecker
+        # reports a potential leak as long as there exists a control flow
+        # path ...": a TYPE_TOP slot may be hiding this site's escaped
+        # occurrence, so any site that stored into the heap during the
+        # loop is conservatively a suspect when the state is TOP-tainted.
+        if site in self.inside_sites and self._state_has_type_top():
+            if any(e.src_site == site for e in self.effects.stores):
+                return TOP
+        if not eras:
+            # Never observed at body end: outside sites default to 0;
+            # inside sites that left no occurrence are iteration-local.
+            return ZERO if site not in self.inside_sites else CUR
+        return CUR
+
+    def _state_has_type_top(self):
+        return any(
+            t.is_top
+            for t in list(self.body_state.gamma.values())
+            + list(self.body_state.heap.values())
+        )
+
+    def era_summary(self):
+        sites = set(self.inside_sites)
+        for typ in list(self.body_state.gamma.values()) + list(
+            self.body_state.heap.values()
+        ):
+            if typ.is_obj:
+                sites.add(typ.site)
+        return {site: self.era_of(site) for site in sorted(sites)}
+
+    def format(self):
+        """Render the fixed point like the paper's worked example: the
+        final Gamma, H, effect sets and per-site ERA summary."""
+        lines = ["type and effect fixed point for loop %s" % self.loop_label]
+        lines.append("Gamma:")
+        for var, typ in sorted(self.body_state.gamma.items()):
+            lines.append("  %s -> %r" % (var, typ))
+        lines.append("H:")
+        for (site, field), typ in sorted(self.body_state.heap.items()):
+            lines.append("  %s.%s -> %r" % (site, field, typ))
+        lines.append("store effects:")
+        for eff in sorted(self.effects.stores, key=lambda e: e.key()):
+            lines.append("  %r" % eff)
+        lines.append("load effects:")
+        for eff in sorted(self.effects.loads, key=lambda e: e.key()):
+            lines.append("  %r" % eff)
+        lines.append("ERA summary:")
+        for site, era in sorted(self.era_summary().items()):
+            lines.append("  ERA(%s) = %s" % (site, era))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "TypeEffectResult(loop=%s, %r)" % (self.loop_label, self.effects)
+
+
+class TypeEffectAnalysis:
+    """Abstract interpreter for one method with one analyzed loop."""
+
+    def __init__(self, method, loop_label, max_iterations=100, strong_updates=False):
+        self.method = method
+        self.loop_label = loop_label
+        self.max_iterations = max_iterations
+        #: model destructive updates (``x.f = null`` clears the abstract
+        #: heap slot) — the future-work precision refinement; unsound in
+        #: general under allocation-site abstraction, hence off by default
+        self.strong_updates = strong_updates
+        self._loop = method.find_loop(loop_label)
+        self.inside_sites = frozenset(
+            s.site for s in walk(self._loop.body) if isinstance(s, NewStmt)
+        )
+        self.effects = EffectLog()
+        self._in_analyzed_loop = False
+        self._result_body_state = None
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, initial_state=None):
+        """Analyze the method body; returns :class:`TypeEffectResult`."""
+        state = initial_state.copy() if initial_state else AbstractState()
+        exit_state = self._exec_block(self.method.body, state)
+        if self._result_body_state is None:
+            raise AnalysisError(
+                "loop %r was not reached during abstract interpretation"
+                % self.loop_label
+            )
+        return TypeEffectResult(
+            self.loop_label,
+            self._result_body_state,
+            exit_state,
+            self.effects,
+            self.inside_sites,
+        )
+
+    # -- abstract execution -------------------------------------------------
+
+    def _exec_block(self, block, state):
+        for stmt in block.stmts:
+            state = self._exec_stmt(stmt, state)
+        return state
+
+    def _exec_stmt(self, stmt, state):
+        if isinstance(stmt, Block):
+            return self._exec_block(stmt, state)
+        if isinstance(stmt, NewStmt):
+            era = CUR if (self._in_analyzed_loop and stmt.site in self.inside_sites) else ZERO
+            state.set_var(stmt.target, Type.obj(stmt.site, era))
+            return state
+        if isinstance(stmt, CopyStmt):
+            state.set_var(stmt.target, state.get_var(stmt.source))
+            return state
+        if isinstance(stmt, NullStmt):
+            state.set_var(stmt.target, Type.bot())
+            return state
+        if isinstance(stmt, StoreStmt):
+            return self._exec_store(stmt, state)
+        if isinstance(stmt, StoreNullStmt):
+            if self.strong_updates:
+                base = state.get_var(stmt.base)
+                if base.is_obj:
+                    state.set_heap(base.site, stmt.field, Type.bot())
+                return state
+            # No strong updates: the heap keeps its joined contents.
+            return state
+        if isinstance(stmt, LoadStmt):
+            return self._exec_load(stmt, state)
+        if isinstance(stmt, ReturnStmt):
+            return state
+        if isinstance(stmt, IfStmt):
+            then_state = self._exec_block(stmt.then_block, state.copy())
+            else_state = self._exec_block(stmt.else_block, state.copy())
+            return then_state.join(else_state)
+        if isinstance(stmt, LoopStmt):
+            return self._exec_loop(stmt, state)
+        if isinstance(stmt, InvokeStmt):
+            raise AnalysisError(
+                "the formal type and effect system is intraprocedural; "
+                "inline calls first (repro.core.inline) or use the "
+                "interprocedural detector (call at %r)" % stmt
+            )
+        raise AnalysisError("cannot abstract-interpret %r" % stmt)
+
+    def _exec_store(self, stmt, state):
+        base = state.get_var(stmt.base)
+        value = state.get_var(stmt.source)
+        if base.is_bot or value.is_bot:
+            return state
+        if base.is_top or value.is_top:
+            raise AnalysisError(
+                "type TOP reached a heap access at %r; the formal checker "
+                "requires single-site types (the interprocedural detector "
+                "handles the general case)" % stmt
+            )
+        state.join_heap(base.site, stmt.field, value)
+        if self._in_analyzed_loop:
+            self.effects.record_store(
+                StoreEffect(
+                    value.site, value.era, stmt.field, base.site, base.era, stmt.uid
+                )
+            )
+        return state
+
+    def _exec_load(self, stmt, state):
+        base = state.get_var(stmt.base)
+        if base.is_bot:
+            state.set_var(stmt.target, Type.bot())
+            return state
+        if base.is_top:
+            raise AnalysisError(
+                "type TOP reached a heap access at %r; the formal checker "
+                "requires single-site types" % stmt
+            )
+        loaded = state.get_heap(base.site, stmt.field)
+        if loaded.is_obj and self._in_analyzed_loop:
+            self.effects.record_load(
+                LoadEffect(
+                    loaded.site, loaded.era, stmt.field, base.site, base.era, stmt.uid
+                )
+            )
+            if loaded.era == TOP:
+                # The load witnesses a flow back into the loop: refine the
+                # occurrence (and its heap slot) from T to f.
+                loaded = loaded.with_era(FUT)
+                state.set_heap(base.site, stmt.field, loaded)
+        state.set_var(stmt.target, loaded)
+        return state
+
+    def _exec_loop(self, stmt, state):
+        if stmt.label != self.loop_label:
+            # A non-analyzed loop: plain fixed point with joins, no ERA
+            # iteration semantics (the paper does not model nested loops).
+            merged = state.copy()
+            for _ in range(self.max_iterations):
+                after = self._exec_block(stmt.body, merged.copy())
+                joined = merged.join(after)
+                if joined == merged:
+                    return merged
+                merged = joined
+            raise AnalysisError("inner loop %r did not converge" % stmt.label)
+
+        # Rule TWHILE for the analyzed loop.
+        if self._in_analyzed_loop:
+            raise AnalysisError("analyzed loop %r is nested in itself" % stmt.label)
+        self._in_analyzed_loop = True
+        try:
+            exit_state = state.copy()  # zero iterations
+            iter_entry = state.copy()
+            body_state = None
+            for _ in range(self.max_iterations):
+                before = (iter_entry.snapshot(), self.effects.snapshot())
+                advanced = iter_entry.bump()
+                body_state = self._exec_block(stmt.body, advanced.copy())
+                exit_state = exit_state.join(body_state)
+                iter_entry = iter_entry.join(body_state)
+                after = (iter_entry.snapshot(), self.effects.snapshot())
+                if before == after:
+                    break
+            else:
+                raise AnalysisError(
+                    "analyzed loop %r did not converge within %d iterations"
+                    % (stmt.label, self.max_iterations)
+                )
+            self._result_body_state = body_state
+            return exit_state
+        finally:
+            self._in_analyzed_loop = False
+
+
+def analyze_loop(
+    method, loop_label, initial_state=None, max_iterations=100, strong_updates=False
+):
+    """Run the type and effect system on ``method`` w.r.t. ``loop_label``."""
+    analysis = TypeEffectAnalysis(
+        method,
+        loop_label,
+        max_iterations=max_iterations,
+        strong_updates=strong_updates,
+    )
+    return analysis.run(initial_state=initial_state)

@@ -1,0 +1,46 @@
+"""Exception hierarchy shared by all repro subsystems."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR construct is malformed or inconsistent."""
+
+
+class ParseError(ReproError):
+    """Raised by the while-language frontend on invalid source text.
+
+    Carries the 1-based source position of the offending token.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "line %d, column %d: %s" % (line, column or 0, message)
+        super().__init__(message)
+
+
+class ResolutionError(ReproError):
+    """Raised when a name (class, method, field) cannot be resolved."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a static analysis is invoked on unsupported input."""
+
+
+class InterpError(ReproError):
+    """Raised by the concrete interpreter on a run-time fault.
+
+    The interpreter is used to validate the abstract semantics, so faults
+    (null dereference, unresolved dispatch) are surfaced rather than hidden.
+    """
+
+
+class BudgetExhausted(AnalysisError):
+    """Raised internally by the demand-driven CFL solver when its work
+    budget runs out; callers catch it and fall back to a sound
+    over-approximation, mirroring the refinement-with-fallback design of
+    demand-driven points-to analyses."""

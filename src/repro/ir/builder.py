@@ -1,0 +1,201 @@
+"""Fluent builders for constructing IR programs programmatically.
+
+The while-language parser (``repro.lang``) is the usual frontend; these
+builders serve tests, generated benchmark applications and users embedding
+programs directly:
+
+    pb = ProgramBuilder()
+    main = pb.cls("Main").static_method("main")
+    with main.loop("L1") as body:
+        body.new("order", "Order")
+        body.invoke(None, "t", "process", ["order"])
+    prog = pb.build(entry="Main.main")
+"""
+
+from repro.errors import IRError
+from repro.ir.program import ClassDecl, Method, Program
+from repro.ir.stmts import (
+    Block,
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreStmt,
+)
+from repro.ir.types import ELEM_FIELD, OBJECT_CLASS, RefType
+
+
+class BlockBuilder:
+    """Appends statements to one block; nested blocks get their own builder."""
+
+    def __init__(self, method_builder, block):
+        self._mb = method_builder
+        self._block = block
+
+    # context-manager support so nested blocks read like source code
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def _append(self, stmt):
+        self._block.stmts.append(stmt)
+        return stmt
+
+    def new(self, target, class_name, site=None, dims=0):
+        """``target = new class_name`` with an optional explicit site label."""
+        if site is None:
+            site = self._mb.fresh_site(class_name)
+        return self._append(NewStmt(target, RefType(class_name, dims), site))
+
+    def new_array(self, target, class_name, site=None, dims=1):
+        return self.new(target, class_name, site=site, dims=dims)
+
+    def copy(self, target, source):
+        return self._append(CopyStmt(target, source))
+
+    def null(self, target):
+        return self._append(NullStmt(target))
+
+    def load(self, target, base, field):
+        return self._append(LoadStmt(target, base, field))
+
+    def store(self, base, field, source):
+        return self._append(StoreStmt(base, field, source))
+
+    def aload(self, target, base):
+        """Array element read, modeled as a load of the ``elem`` field."""
+        return self.load(target, base, ELEM_FIELD)
+
+    def astore(self, base, source):
+        """Array element write, modeled as a store to the ``elem`` field."""
+        return self.store(base, ELEM_FIELD, source)
+
+    def invoke(self, target, base, method_name, args=(), site=None):
+        """Virtual call ``target = base.method_name(args)``."""
+        if site is None:
+            site = self._mb.fresh_callsite(method_name)
+        return self._append(InvokeStmt(target, base, None, method_name, args, site))
+
+    def sinvoke(self, target, class_name, method_name, args=(), site=None):
+        """Static call ``target = class_name.method_name(args)``."""
+        if site is None:
+            site = self._mb.fresh_callsite(method_name)
+        return self._append(
+            InvokeStmt(target, None, class_name, method_name, args, site)
+        )
+
+    def ret(self, value=None):
+        return self._append(ReturnStmt(value))
+
+    def if_(self, cond=None):
+        """Append an if; returns (then_builder, else_builder)."""
+        stmt = IfStmt(cond or Cond(), Block(), Block())
+        self._append(stmt)
+        return (
+            BlockBuilder(self._mb, stmt.then_block),
+            BlockBuilder(self._mb, stmt.else_block),
+        )
+
+    def if_nonnull(self, var):
+        return self.if_(Cond(Cond.NONNULL, var))
+
+    def if_null(self, var):
+        return self.if_(Cond(Cond.NULL, var))
+
+    def loop(self, label=None):
+        """Append a labelled nondeterministic loop; returns its body builder."""
+        if label is None:
+            label = self._mb.fresh_loop_label()
+        stmt = LoopStmt(label, Block())
+        self._append(stmt)
+        return BlockBuilder(self._mb, stmt.body)
+
+
+class MethodBuilder(BlockBuilder):
+    """Builder for one method body; also hands out fresh labels."""
+
+    def __init__(self, class_builder, method):
+        super().__init__(self, method.body)
+        self._cb = class_builder
+        self.method = method
+        self._counters = {}
+
+    def _fresh(self, kind, hint):
+        key = (kind, hint)
+        n = self._counters.get(key, 0)
+        self._counters[key] = n + 1
+        suffix = "" if n == 0 else "_%d" % n
+        # ':' instead of '.' so generated labels survive a print/parse trip
+        return "%s/%s%s" % (self.method.sig.replace(".", ":"), hint, suffix)
+
+    def fresh_site(self, class_name):
+        return self._fresh("site", class_name)
+
+    def fresh_callsite(self, method_name):
+        return self._fresh("call", "call:" + method_name)
+
+    def fresh_loop_label(self):
+        return self._fresh("loop", "loop")
+
+
+class ClassBuilder:
+    """Builder for one class declaration."""
+
+    def __init__(self, program_builder, decl):
+        self._pb = program_builder
+        self.decl = decl
+
+    def field(self, name):
+        self.decl.add_field(name)
+        return self
+
+    def fields(self, *names):
+        for name in names:
+            self.field(name)
+        return self
+
+    def method(self, name, params=(), static=False):
+        method = Method(name, params, Block(), self.decl.name, is_static=static)
+        self.decl.add_method(method)
+        mb = MethodBuilder(self, method)
+        self._pb._method_builders.append(mb)
+        return mb
+
+    def static_method(self, name, params=()):
+        return self.method(name, params, static=True)
+
+
+class ProgramBuilder:
+    """Top-level builder producing a sealed :class:`Program`."""
+
+    def __init__(self):
+        self._program = Program()
+        self._method_builders = []
+        self._built = False
+
+    def cls(self, name, extends=OBJECT_CLASS, library=False):
+        decl = ClassDecl(name, superclass=extends, is_library=library)
+        self._program.add_class(decl)
+        return ClassBuilder(self, decl)
+
+    def library_cls(self, name, extends=OBJECT_CLASS):
+        return self.cls(name, extends=extends, library=True)
+
+    def build(self, entry=None):
+        """Seal every method (assign uids, index allocation sites)."""
+        if self._built:
+            raise IRError("build() called twice on the same ProgramBuilder")
+        self._built = True
+        for mb in self._method_builders:
+            self._program.seal_method(mb.method)
+        if entry is not None:
+            self._program.entry = entry
+            self._program.entry_method()  # validate it resolves
+        return self._program

@@ -1,0 +1,113 @@
+"""Pretty-printer rendering IR back to while-language source text.
+
+The output round-trips through the ``repro.lang`` parser, which the test
+suite relies on (print -> parse -> print is a fixpoint).
+"""
+
+from repro.ir.stmts import (
+    Block,
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+)
+from repro.ir.types import OBJECT_CLASS
+
+_INDENT = "  "
+
+
+def _cond_text(cond):
+    if cond.kind == Cond.NONDET:
+        return "*"
+    return "%s %s" % (cond.kind, cond.var)
+
+
+def _stmt_lines(stmt, depth):
+    pad = _INDENT * depth
+    if isinstance(stmt, Block):
+        for child in stmt.stmts:
+            yield from _stmt_lines(child, depth)
+    elif isinstance(stmt, NewStmt):
+        yield "%s%s = new %s @%s;" % (pad, stmt.target, stmt.type, stmt.site)
+    elif isinstance(stmt, CopyStmt):
+        yield "%s%s = %s;" % (pad, stmt.target, stmt.source)
+    elif isinstance(stmt, NullStmt):
+        yield "%s%s = null;" % (pad, stmt.target)
+    elif isinstance(stmt, LoadStmt):
+        yield "%s%s = %s.%s;" % (pad, stmt.target, stmt.base, stmt.field)
+    elif isinstance(stmt, StoreStmt):
+        yield "%s%s.%s = %s;" % (pad, stmt.base, stmt.field, stmt.source)
+    elif isinstance(stmt, StoreNullStmt):
+        yield "%s%s.%s = null;" % (pad, stmt.base, stmt.field)
+    elif isinstance(stmt, InvokeStmt):
+        recv = stmt.base if stmt.base is not None else stmt.static_class
+        lhs = "%s = " % stmt.target if stmt.target else ""
+        yield "%s%scall %s.%s(%s) @%s;" % (
+            pad,
+            lhs,
+            recv,
+            stmt.method_name,
+            ", ".join(stmt.args),
+            stmt.callsite,
+        )
+    elif isinstance(stmt, ReturnStmt):
+        yield "%sreturn%s;" % (pad, " " + stmt.value if stmt.value else "")
+    elif isinstance(stmt, IfStmt):
+        yield "%sif (%s) {" % (pad, _cond_text(stmt.cond))
+        yield from _stmt_lines(stmt.then_block, depth + 1)
+        if stmt.else_block.stmts:
+            yield "%s} else {" % pad
+            yield from _stmt_lines(stmt.else_block, depth + 1)
+        yield "%s}" % pad
+    elif isinstance(stmt, LoopStmt):
+        yield "%sloop %s (%s) {" % (pad, stmt.label, _cond_text(stmt.cond))
+        yield from _stmt_lines(stmt.body, depth + 1)
+        yield "%s}" % pad
+    else:  # pragma: no cover - defensive
+        raise TypeError("unknown statement %r" % stmt)
+
+
+def method_to_text(method, depth=1):
+    """Render one method declaration."""
+    pad = _INDENT * depth
+    kw = "static method" if method.is_static else "method"
+    lines = ["%s%s %s(%s) {" % (pad, kw, method.name, ", ".join(method.params))]
+    lines.extend(_stmt_lines(method.body, depth + 1))
+    lines.append("%s}" % pad)
+    return "\n".join(lines)
+
+
+def class_to_text(decl):
+    """Render one class declaration."""
+    head = ""
+    if decl.is_library:
+        head += "library "
+    head += "class %s" % decl.name
+    if decl.superclass and decl.superclass != OBJECT_CLASS:
+        head += " extends %s" % decl.superclass
+    lines = [head + " {"]
+    for field in decl.fields.values():
+        lines.append("%sfield %s;" % (_INDENT, field.name))
+    for method in decl.methods.values():
+        lines.append(method_to_text(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_text(program):
+    """Render a whole program as parseable while-language source."""
+    parts = []
+    if program.entry:
+        parts.append("entry %s;" % program.entry)
+    for decl in program.classes.values():
+        if decl.name == OBJECT_CLASS and not decl.methods and not decl.fields:
+            continue  # the implicit root class
+        parts.append(class_to_text(decl))
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,129 @@
+"""Whole-program IR transformations: linking and tree shaking.
+
+Two transformations that production analysis frameworks provide and the
+benchmark tooling here uses:
+
+* :func:`link_programs` — merge separately-built programs (an
+  application and a library, or several components) into one, with clash
+  detection on class names and allocation-site labels;
+* :func:`prune_unreachable` — tree shaking: drop methods not reachable
+  from the entry under a call graph, and classes left with no methods,
+  no fields and no instantiations.  Statement uids and site labels are
+  preserved, so analysis results remain comparable before/after.
+"""
+
+from repro.errors import IRError
+from repro.ir.program import ClassDecl, Program
+from repro.ir.stmts import NewStmt
+from repro.ir.types import OBJECT_CLASS
+
+
+def link_programs(*programs, entry=None):
+    """Merge programs into a new one; later programs must not redeclare
+    classes or allocation sites of earlier ones."""
+    if not programs:
+        raise IRError("nothing to link")
+    linked = Program()
+    seen_sites = {}
+    for program in programs:
+        for decl in program.classes.values():
+            if decl.name == OBJECT_CLASS:
+                if decl.methods or decl.fields:
+                    raise IRError("cannot link a program extending Object")
+                continue
+            if decl.name in linked.classes:
+                raise IRError("class %s declared by two inputs" % decl.name)
+            clone = ClassDecl(
+                decl.name, superclass=decl.superclass, is_library=decl.is_library
+            )
+            for field in decl.fields:
+                clone.add_field(field)
+            linked.add_class(clone)
+            for method in decl.methods.values():
+                clone.add_method(method)
+                for stmt in method.statements():
+                    if isinstance(stmt, NewStmt):
+                        if stmt.site in seen_sites:
+                            raise IRError(
+                                "allocation site %r declared by two inputs"
+                                % stmt.site
+                            )
+                        seen_sites[stmt.site] = stmt
+                # re-register sites/uids under the linked program
+                linked.seal_method(method)
+    linked.entry = entry or next(
+        (p.entry for p in programs if p.entry), None
+    )
+    if linked.entry:
+        linked.entry_method()
+    return linked
+
+
+def prune_unreachable(program, callgraph=None):
+    """Return a new program containing only entry-reachable methods.
+
+    Classes that end up with no methods are kept only if they still have
+    fields or are instantiated by surviving code (their names may appear
+    in ``extends`` chains and allocation types).
+    """
+    if not program.entry:
+        raise IRError("pruning requires an entry point")
+    if callgraph is None:
+        # imported lazily: repro.callgraph itself depends on repro.ir
+        from repro.callgraph.rta import build_rta
+
+        callgraph = build_rta(program)
+    keep_methods = {m.sig for m in callgraph.reachable_methods()}
+
+    pruned = Program()
+    surviving_allocs = set()
+    for sig in keep_methods:
+        method = program.method(sig)
+        for stmt in method.statements():
+            if isinstance(stmt, NewStmt):
+                surviving_allocs.add(stmt.type.class_name)
+
+    def class_needed(decl):
+        if any(m.sig in keep_methods for m in decl.methods.values()):
+            return True
+        if decl.name in surviving_allocs:
+            return True
+        # superclasses of needed classes are required for dispatch chains
+        return any(
+            program.is_subclass(other, decl.name)
+            for other in surviving_allocs
+        )
+
+    for decl in program.classes.values():
+        if decl.name == OBJECT_CLASS:
+            continue
+        if not class_needed(decl):
+            continue
+        clone = ClassDecl(
+            decl.name, superclass=decl.superclass, is_library=decl.is_library
+        )
+        for field in decl.fields:
+            clone.add_field(field)
+        pruned.add_class(clone)
+        for method in decl.methods.values():
+            if method.sig in keep_methods:
+                clone.add_method(method)
+                pruned.seal_method(method)
+    # ensure superclass chains resolve: pull in bare ancestors
+    changed = True
+    while changed:
+        changed = False
+        for decl in list(pruned.classes.values()):
+            sup = decl.superclass
+            if sup and sup not in pruned.classes:
+                original = program.cls(sup)
+                bare = ClassDecl(
+                    sup, superclass=original.superclass, is_library=original.is_library
+                )
+                for field in original.fields:
+                    bare.add_field(field)
+                pruned.add_class(bare)
+                changed = True
+    pruned.entry = program.entry
+    pruned.entry_method()
+    return pruned

@@ -1,0 +1,174 @@
+"""Structural validation of IR programs.
+
+``validate_program`` returns a list of human-readable issues; ``check``
+raises :class:`repro.errors.IRError` on the first issue.  Benchmarks and the
+frontend run validation so that analysis failures are caught as malformed
+input rather than deep inside a solver.
+"""
+
+from repro.errors import IRError, ResolutionError
+from repro.ir.stmts import (
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+    THIS_VAR,
+    walk,
+)
+
+
+def _method_issues(program, method):
+    issues = []
+    defined = set(method.params)
+    if not method.is_static:
+        defined.add(THIS_VAR)
+
+    def use(var, stmt, role):
+        # Flow-insensitive def/use check: a variable must be assigned
+        # somewhere in the method (or be a parameter) to be used.
+        if var not in all_defs:
+            issues.append(
+                "%s: %s %r used but never defined (stmt %r)"
+                % (method.sig, role, var, stmt)
+            )
+
+    all_defs = set(defined)
+    for stmt in method.statements():
+        if isinstance(stmt, (NewStmt, CopyStmt, NullStmt, LoadStmt)):
+            all_defs.add(stmt.target)
+        elif isinstance(stmt, InvokeStmt) and stmt.target:
+            all_defs.add(stmt.target)
+
+    for stmt in method.statements():
+        if isinstance(stmt, CopyStmt):
+            use(stmt.source, stmt, "source")
+        elif isinstance(stmt, LoadStmt):
+            use(stmt.base, stmt, "base")
+        elif isinstance(stmt, StoreStmt):
+            use(stmt.base, stmt, "base")
+            use(stmt.source, stmt, "source")
+        elif isinstance(stmt, StoreNullStmt):
+            use(stmt.base, stmt, "base")
+        elif isinstance(stmt, NewStmt):
+            if stmt.type.class_name not in program.classes:
+                issues.append(
+                    "%s: allocation of unknown class %s"
+                    % (method.sig, stmt.type.class_name)
+                )
+        elif isinstance(stmt, InvokeStmt):
+            for arg in stmt.args:
+                use(arg, stmt, "argument")
+            if stmt.is_static:
+                try:
+                    callee = program.method(
+                        "%s.%s" % (stmt.static_class, stmt.method_name)
+                    )
+                    if not callee.is_static:
+                        issues.append(
+                            "%s: static call to instance method %s"
+                            % (method.sig, callee.sig)
+                        )
+                except ResolutionError:
+                    issues.append(
+                        "%s: static call to unknown method %s.%s"
+                        % (method.sig, stmt.static_class, stmt.method_name)
+                    )
+            else:
+                use(stmt.base, stmt, "receiver")
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value:
+                use(stmt.value, stmt, "return value")
+        elif isinstance(stmt, (IfStmt, LoopStmt)):
+            cond = stmt.cond
+            if cond.kind != Cond.NONDET:
+                use(cond.var, stmt, "condition variable")
+    return issues
+
+
+def _arity_issues(program):
+    """Check call arity against every possible dispatch target (CHA-style)."""
+    issues = []
+    for method in program.all_methods():
+        for stmt in method.statements():
+            if not isinstance(stmt, InvokeStmt):
+                continue
+            if stmt.is_static:
+                try:
+                    callee = program.method(
+                        "%s.%s" % (stmt.static_class, stmt.method_name)
+                    )
+                except ResolutionError:
+                    continue  # reported by _method_issues
+                targets = [callee]
+            else:
+                targets = [
+                    decl.methods[stmt.method_name]
+                    for decl in program.classes.values()
+                    if stmt.method_name in decl.methods
+                ]
+                if not targets:
+                    issues.append(
+                        "%s: virtual call to %s with no target anywhere"
+                        % (method.sig, stmt.method_name)
+                    )
+            for callee in targets:
+                if len(callee.params) != len(stmt.args):
+                    issues.append(
+                        "%s: call to %s passes %d args, expected %d"
+                        % (method.sig, callee.sig, len(stmt.args), len(callee.params))
+                    )
+    return issues
+
+
+def _loop_label_issues(program):
+    issues = []
+    seen = {}
+    for method in program.all_methods():
+        for stmt in method.statements():
+            if isinstance(stmt, LoopStmt):
+                key = (method.sig, stmt.label)
+                if key in seen:
+                    issues.append(
+                        "%s: duplicate loop label %r" % (method.sig, stmt.label)
+                    )
+                seen[key] = stmt
+    return issues
+
+
+def validate_program(program):
+    """Return a list of issues found in ``program`` (empty when valid)."""
+    issues = []
+    for decl in program.classes.values():
+        if decl.superclass is not None and decl.superclass not in program.classes:
+            issues.append(
+                "class %s extends unknown class %s" % (decl.name, decl.superclass)
+            )
+    for method in program.all_methods():
+        issues.extend(_method_issues(program, method))
+        for stmt in walk(method.body):
+            if stmt.uid is None:
+                issues.append("%s: unsealed statement %r" % (method.sig, stmt))
+                break
+    issues.extend(_arity_issues(program))
+    issues.extend(_loop_label_issues(program))
+    if program.entry:
+        try:
+            program.entry_method()
+        except ResolutionError:
+            issues.append("entry method %s does not resolve" % program.entry)
+    return issues
+
+
+def check(program):
+    """Raise :class:`IRError` when ``program`` is malformed."""
+    issues = validate_program(program)
+    if issues:
+        raise IRError("invalid program:\n  " + "\n  ".join(issues))
+    return program

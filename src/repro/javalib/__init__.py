@@ -1,0 +1,355 @@
+"""Models of Java standard-library classes as while-language source.
+
+These are faithful *leak-relevant* models: they reproduce the heap shape
+(backing arrays behind an ``elem`` pseudo-field, entry wrappers) and the
+internal-read behaviour that motivates the paper's stronger library
+flows-in condition — e.g. ``HashMap.put`` reads its entry array to probe
+for an existing key but does not return what it read, while
+``HashMap.get`` returns the retrieved value.
+
+All classes are declared ``library``, so the detector (a) applies the
+Section 4 flows-in condition to loads inside them and (b) reports leaks at
+application allocation sites rather than at internal entry/node sites.
+
+Modeling conventions:
+
+* each collection kind has its own entry class and backing field name
+  (``table``/``idtable``/``httable``...), so Andersen's field sensitivity
+  keeps different collections apart even when name-based dispatch merges
+  receivers;
+* constructor-like methods carry unique names (``hmInit``, ``alInit``...)
+  because virtual dispatch in the while language is by method name.
+"""
+
+_HASHMAP = """
+library class MapEntry {
+  field key;
+  field value;
+  field next;
+}
+
+library class HashMap {
+  field table;
+  method hmInit() {
+    t = new MapEntry[] @HashMap:table;
+    this.table = t;
+  }
+  method put(k, v) {
+    t = this.table;
+    probe = t.elem;          // internal read: key-collision probing;
+    if (nonnull probe) {     // never returned, so NOT a flows-in
+      pk = probe.key;
+    }
+    e = new MapEntry @HashMap:entry;
+    e.key = k;
+    e.value = v;
+    t.elem = e;
+  }
+  method get(k) {
+    t = this.table;
+    e = t.elem;
+    if (nonnull e) {
+      v = e.value;
+      return v;              // returned to the application: flows-in
+    }
+    return k;
+  }
+  method clear() {
+    t = this.table;
+    t.elem = null;           // destructive update (no strong update
+  }                          // statically: the documented FP source)
+}
+"""
+
+_IDENTITY_HASHMAP = """
+library class IdEntry {
+  field key;
+  field value;
+}
+
+library class IdentityHashMap {
+  field idtable;
+  method ihmInit() {
+    t = new IdEntry[] @IdentityHashMap:table;
+    this.idtable = t;
+  }
+  method put(k, v) {
+    t = this.idtable;
+    probe = t.elem;          // identity probing: compare existing keys;
+    if (nonnull probe) {     // read internally, never returned
+      pk = probe.key;
+    }
+    e = new IdEntry @IdentityHashMap:entry;
+    e.key = k;
+    e.value = v;
+    t.elem = e;
+  }
+  method get(k) {
+    t = this.idtable;
+    e = t.elem;
+    if (nonnull e) {
+      v = e.value;
+      return v;
+    }
+    return k;
+  }
+}
+"""
+
+_HASHTABLE = """
+library class HtEntry {
+  field key;
+  field value;
+}
+
+library class Hashtable {
+  field httable;
+  method htInit() {
+    t = new HtEntry[] @Hashtable:table;
+    this.httable = t;
+  }
+  method put(k, v) {
+    t = this.httable;
+    probe = t.elem;
+    e = new HtEntry @Hashtable:entry;
+    e.key = k;
+    e.value = v;
+    t.elem = e;
+  }
+  method get(k) {
+    t = this.httable;
+    e = t.elem;
+    if (nonnull e) {
+      v = e.value;
+      return v;
+    }
+    return k;
+  }
+}
+"""
+
+_ARRAYLIST = """
+library class ArrayList {
+  field alarray;
+  method alInit() {
+    a = new Object[] @ArrayList:array;
+    this.alarray = a;
+  }
+  method add(x) {
+    a = this.alarray;
+    a.elem = x;
+  }
+  method get_(i) {
+    a = this.alarray;
+    x = a.elem;
+    return x;
+  }
+  method contains(x) {
+    a = this.alarray;
+    probe = a.elem;          // internal scan, not returned
+    return x;
+  }
+  method clear() {
+    a = this.alarray;
+    a.elem = null;
+  }
+}
+"""
+
+_STACK = """
+library class Stack {
+  field starray;
+  method stInit() {
+    a = new Object[] @Stack:array;
+    this.starray = a;
+  }
+  method push(x) {
+    a = this.starray;
+    a.elem = x;
+  }
+  method pop() {
+    a = this.starray;
+    x = a.elem;
+    a.elem = null;
+    return x;
+  }
+  method peek() {
+    a = this.starray;
+    x = a.elem;
+    return x;
+  }
+}
+"""
+
+_VECTOR = """
+library class Vector {
+  field vecarray;
+  method vecInit() {
+    a = new Object[] @Vector:array;
+    this.vecarray = a;
+  }
+  method addElement(x) {
+    a = this.vecarray;
+    a.elem = x;
+  }
+  method elementAt(i) {
+    a = this.vecarray;
+    x = a.elem;
+    return x;
+  }
+  method removeAllElements() {
+    a = this.vecarray;
+    a.elem = null;
+  }
+}
+"""
+
+_LINKEDLIST = """
+library class ListNode {
+  field item;
+  field next;
+}
+
+library class LinkedList {
+  field head;
+  method addLast(x) {
+    n = new ListNode @LinkedList:node;
+    n.item = x;
+    h = this.head;
+    if (nonnull h) {
+      n.next = h;
+    }
+    this.head = n;
+  }
+  method getFirst() {
+    h = this.head;
+    if (nonnull h) {
+      x = h.item;
+      return x;
+    }
+    return h;
+  }
+  method clear() {
+    this.head = null;
+  }
+}
+"""
+
+_HASHSET = """
+library class SetEntry {
+  field item;
+}
+
+library class HashSet {
+  field settable;
+  method hsInit() {
+    t = new SetEntry[] @HashSet:table;
+    this.settable = t;
+  }
+  method add(x) {
+    t = this.settable;
+    probe = t.elem;          // membership probe; internal only
+    if (nonnull probe) {
+      pi = probe.item;
+    }
+    e = new SetEntry @HashSet:entry;
+    e.item = x;
+    t.elem = e;
+  }
+  method contains(x) {
+    t = this.settable;
+    probe = t.elem;
+    return x;
+  }
+  method iterate() {
+    t = this.settable;
+    e = t.elem;
+    if (nonnull e) {
+      x = e.item;
+      return x;              // iteration hands elements back: flows-in
+    }
+    return e;
+  }
+}
+"""
+
+_STRINGBUILDER = """
+library class StringBuilder {
+  field chunks;
+  method sbInit() {
+    a = new Object[] @StringBuilder:chunks;
+    this.chunks = a;
+  }
+  method append(x) {
+    a = this.chunks;
+    a.elem = x;
+    return this;
+  }
+  method toString() {
+    a = this.chunks;
+    x = a.elem;
+    return x;
+  }
+}
+"""
+
+_THREAD = """
+library class Thread {
+  field target;
+  method start() {
+    call this.run() @Thread:start-run;
+  }
+  method run() {
+    return;
+  }
+}
+"""
+
+_COMPONENTS = {
+    "hashmap": _HASHMAP,
+    "identityhashmap": _IDENTITY_HASHMAP,
+    "hashtable": _HASHTABLE,
+    "arraylist": _ARRAYLIST,
+    "stack": _STACK,
+    "vector": _VECTOR,
+    "linkedlist": _LINKEDLIST,
+    "hashset": _HASHSET,
+    "stringbuilder": _STRINGBUILDER,
+    "thread": _THREAD,
+}
+
+#: Every model, ready to concatenate with application source.
+JAVALIB_SOURCE = "\n".join(
+    _COMPONENTS[name]
+    for name in (
+        "hashmap",
+        "identityhashmap",
+        "hashtable",
+        "arraylist",
+        "stack",
+        "vector",
+        "linkedlist",
+        "hashset",
+        "stringbuilder",
+        "thread",
+    )
+)
+
+
+def library_source(*names):
+    """Source text for a subset of the models, e.g.
+    ``library_source("hashmap", "thread")``."""
+    missing = [n for n in names if n.lower() not in _COMPONENTS]
+    if missing:
+        raise KeyError("unknown javalib components: %s" % ", ".join(missing))
+    return "\n".join(_COMPONENTS[n.lower()] for n in names)
+
+
+def with_javalib(app_source, *names):
+    """Concatenate application source with library models (all by
+    default)."""
+    lib = JAVALIB_SOURCE if not names else library_source(*names)
+    return lib + "\n" + app_source
+
+
+__all__ = ["JAVALIB_SOURCE", "library_source", "with_javalib"]

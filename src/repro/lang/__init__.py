@@ -1,0 +1,24 @@
+"""Frontend for the Java-like while language of the paper's Section 3.
+
+``parse_program`` is the one-call entry point: source text in, sealed and
+validated IR :class:`repro.ir.Program` out.
+"""
+
+from repro.lang.lowering import lower
+from repro.lang.parser import parse
+from repro.ir.validate import check
+
+
+def parse_program(source, validate=True):
+    """Parse and lower while-language source text to an IR program.
+
+    When ``validate`` is true (the default), structural validation runs and
+    malformed programs raise :class:`repro.errors.IRError`.
+    """
+    program = lower(parse(source))
+    if validate:
+        check(program)
+    return program
+
+
+__all__ = ["lower", "parse", "parse_program"]

@@ -1,0 +1,168 @@
+"""AST node classes produced by the while-language parser.
+
+The AST is deliberately close to the IR; lowering is a thin, position-aware
+translation.  Every node carries its source line for error reporting.
+"""
+
+
+class Node:
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+class ProgramNode(Node):
+    __slots__ = ("classes", "entry")
+
+    def __init__(self, classes, entry, line=1):
+        super().__init__(line)
+        self.classes = classes
+        self.entry = entry
+
+
+class ClassNode(Node):
+    __slots__ = ("name", "superclass", "is_library", "fields", "methods")
+
+    def __init__(self, name, superclass, is_library, fields, methods, line):
+        super().__init__(line)
+        self.name = name
+        self.superclass = superclass
+        self.is_library = is_library
+        self.fields = fields
+        self.methods = methods
+
+
+class MethodNode(Node):
+    __slots__ = ("name", "params", "is_static", "body")
+
+    def __init__(self, name, params, is_static, body, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.is_static = is_static
+        self.body = body
+
+
+class BlockNode(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class NewNode(Node):
+    """``target = new Class[dims] [@site];``"""
+
+    __slots__ = ("target", "class_name", "dims", "site")
+
+    def __init__(self, target, class_name, dims, site, line):
+        super().__init__(line)
+        self.target = target
+        self.class_name = class_name
+        self.dims = dims
+        self.site = site
+
+
+class CopyNode(Node):
+    __slots__ = ("target", "source")
+
+    def __init__(self, target, source, line):
+        super().__init__(line)
+        self.target = target
+        self.source = source
+
+
+class NullAssignNode(Node):
+    __slots__ = ("target",)
+
+    def __init__(self, target, line):
+        super().__init__(line)
+        self.target = target
+
+
+class LoadNode(Node):
+    __slots__ = ("target", "base", "field")
+
+    def __init__(self, target, base, field, line):
+        super().__init__(line)
+        self.target = target
+        self.base = base
+        self.field = field
+
+
+class StoreNode(Node):
+    __slots__ = ("base", "field", "source")
+
+    def __init__(self, base, field, source, line):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.source = source
+
+
+class StoreNullNode(Node):
+    """``base.field = null;`` — destructive update."""
+
+    __slots__ = ("base", "field")
+
+    def __init__(self, base, field, line):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+
+
+class CallNode(Node):
+    """``[target =] call recv.name(args) [@site];``
+
+    ``recv`` is a variable for virtual calls or a class name for static
+    calls; which one is decided during lowering against declared classes.
+    """
+
+    __slots__ = ("target", "receiver", "method_name", "args", "site")
+
+    def __init__(self, target, receiver, method_name, args, site, line):
+        super().__init__(line)
+        self.target = target
+        self.receiver = receiver
+        self.method_name = method_name
+        self.args = args
+        self.site = site
+
+
+class ReturnNode(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class CondNode(Node):
+    __slots__ = ("kind", "var")
+
+    def __init__(self, kind, var, line):
+        super().__init__(line)
+        self.kind = kind
+        self.var = var
+
+
+class IfNode(Node):
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(self, cond, then_block, else_block, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+
+class LoopNode(Node):
+    __slots__ = ("label", "cond", "body")
+
+    def __init__(self, label, cond, body, line):
+        super().__init__(line)
+        self.label = label
+        self.cond = cond
+        self.body = body

@@ -1,0 +1,118 @@
+"""Lowering from the while-language AST to the Jimple-like IR."""
+
+from repro.errors import ParseError
+from repro.ir.program import ClassDecl, Method, Program
+from repro.ir.stmts import (
+    Block,
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+)
+from repro.ir.types import OBJECT_CLASS, RefType
+from repro.lang import ast_nodes as A
+
+
+class _Lowering:
+    def __init__(self, ast):
+        self._ast = ast
+        self._class_names = {c.name for c in ast.classes} | {OBJECT_CLASS}
+        self._site_counter = {}
+        self._loop_counter = {}
+        self._method_sig = None
+
+    def _fresh(self, counters, hint):
+        key = (self._method_sig, hint)
+        n = counters.get(key, 0)
+        counters[key] = n + 1
+        suffix = "" if n == 0 else "_%d" % n
+        # ':' instead of '.' so generated labels lex as single identifiers
+        return "%s/%s%s" % (self._method_sig.replace(".", ":"), hint, suffix)
+
+    def lower(self):
+        program = Program()
+        for cls_node in self._ast.classes:
+            decl = ClassDecl(
+                cls_node.name,
+                superclass=cls_node.superclass or OBJECT_CLASS,
+                is_library=cls_node.is_library,
+            )
+            for field_name in cls_node.fields:
+                decl.add_field(field_name)
+            program.add_class(decl)
+        for cls_node in self._ast.classes:
+            decl = program.cls(cls_node.name)
+            for meth_node in cls_node.methods:
+                self._method_sig = "%s.%s" % (cls_node.name, meth_node.name)
+                method = Method(
+                    meth_node.name,
+                    meth_node.params,
+                    self._lower_block(meth_node.body),
+                    cls_node.name,
+                    is_static=meth_node.is_static,
+                )
+                decl.add_method(method)
+                program.seal_method(method)
+        program.entry = self._ast.entry
+        return program
+
+    def _lower_block(self, block_node):
+        return Block([self._lower_stmt(s) for s in block_node.stmts])
+
+    def _lower_cond(self, cond_node):
+        kind = {
+            "*": Cond.NONDET,
+            "nonnull": Cond.NONNULL,
+            "null": Cond.NULL,
+        }[cond_node.kind]
+        return Cond(kind, cond_node.var)
+
+    def _lower_stmt(self, node):
+        if isinstance(node, A.NewNode):
+            site = node.site or self._fresh(self._site_counter, node.class_name)
+            return NewStmt(node.target, RefType(node.class_name, node.dims), site)
+        if isinstance(node, A.CopyNode):
+            return CopyStmt(node.target, node.source)
+        if isinstance(node, A.NullAssignNode):
+            return NullStmt(node.target)
+        if isinstance(node, A.LoadNode):
+            return LoadStmt(node.target, node.base, node.field)
+        if isinstance(node, A.StoreNode):
+            return StoreStmt(node.base, node.field, node.source)
+        if isinstance(node, A.StoreNullNode):
+            return StoreNullStmt(node.base, node.field)
+        if isinstance(node, A.CallNode):
+            site = node.site or self._fresh(
+                self._site_counter, "call:" + node.method_name
+            )
+            if node.receiver in self._class_names:
+                return InvokeStmt(
+                    node.target, None, node.receiver, node.method_name, node.args, site
+                )
+            return InvokeStmt(
+                node.target, node.receiver, None, node.method_name, node.args, site
+            )
+        if isinstance(node, A.ReturnNode):
+            return ReturnStmt(node.value)
+        if isinstance(node, A.IfNode):
+            return IfStmt(
+                self._lower_cond(node.cond),
+                self._lower_block(node.then_block),
+                self._lower_block(node.else_block),
+            )
+        if isinstance(node, A.LoopNode):
+            label = node.label or self._fresh(self._loop_counter, "loop")
+            return LoopStmt(label, self._lower_block(node.body), self._lower_cond(node.cond))
+        raise ParseError("cannot lower AST node %r" % node, getattr(node, "line", None), 0)
+
+
+def lower(ast):
+    """Lower a parsed AST into a sealed :class:`repro.ir.Program`."""
+    return _Lowering(ast).lower()

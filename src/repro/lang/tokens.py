@@ -1,0 +1,63 @@
+"""Token kinds for the while-language frontend."""
+
+# Token kinds
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "class",
+        "extends",
+        "library",
+        "field",
+        "method",
+        "static",
+        "entry",
+        "new",
+        "null",
+        "call",
+        "return",
+        "if",
+        "else",
+        "loop",
+        "while",
+        "nonnull",
+    }
+)
+
+PUNCTUATION = (
+    "[]",  # array marker; must precede single-char tokens
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    ",",
+    "=",
+    ".",
+    "@",
+    "*",
+)
+
+
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    __slots__ = ("kind", "value", "line", "column")
+
+    def __init__(self, kind, value, line, column):
+        self.kind = kind
+        self.value = value
+        self.line = line
+        self.column = column
+
+    def is_kw(self, word):
+        return self.kind == KEYWORD and self.value == word
+
+    def is_punct(self, text):
+        return self.kind == PUNCT and self.value == text
+
+    def __repr__(self):
+        return "Token(%s, %r, %d:%d)" % (self.kind, self.value, self.line, self.column)

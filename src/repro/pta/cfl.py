@@ -1,0 +1,166 @@
+"""Demand-driven CFL-reachability points-to analysis.
+
+Following the paper's Section 4 (and the demand-driven formulation it
+cites), points-to queries are answered by traversing the PAG backwards
+from a variable node, rather than by solving the whole program:
+
+* a ``new`` edge reached backwards yields an allocation site;
+* ``assign`` edges are followed in reverse;
+* a ``load`` ``y = z.f`` reached backwards requires an *alias* subquery:
+  find allocation sites of ``z``, then continue backwards from the source
+  of every store ``w.f = v`` whose base ``w`` may point to one of those
+  sites (the matched-parentheses ``putfield``/``getfield`` of the CFL);
+* interprocedural assign edges carry call-site labels; a traversal must
+  keep these *balanced*: entering a method through a return edge at call
+  site ``c`` and leaving through a parameter edge must use the same ``c``
+  (the matched call parentheses).  Unbalanced-but-feasible prefixes are
+  allowed, as in all demand-driven formulations.
+
+Each query runs under a node budget.  When the budget is exhausted the
+solver raises :class:`repro.errors.BudgetExhausted`; the public entry point
+catches it and falls back to the whole-program Andersen result, which is
+sound — the refinement-with-fallback structure of practical demand-driven
+points-to analyses.
+"""
+
+from repro.errors import BudgetExhausted
+from repro.pta.andersen import solve as andersen_solve
+from repro.pta.pag import ENTER, EXIT, VarNode
+
+
+class CFLPointsTo:
+    """Demand-driven points-to solver over a PAG.
+
+    Parameters
+    ----------
+    pag:
+        The pointer-assignment graph.
+    budget:
+        Maximum traversal steps per top-level query.
+    max_alias_depth:
+        Recursion bound on alias subqueries triggered by loads; deeper
+        loads conservatively give up (raising ``BudgetExhausted``).
+    fallback:
+        Optional precomputed Andersen result used when a query cannot be
+        answered within budget; computed lazily when omitted.
+    """
+
+    def __init__(self, pag, budget=100_000, max_alias_depth=12, fallback=None):
+        self.pag = pag
+        self.budget = budget
+        self.max_alias_depth = max_alias_depth
+        self._fallback = fallback
+        self._memo = {}
+
+    # -- public API --------------------------------------------------------
+
+    def points_to(self, node):
+        """Allocation-site labels that ``node`` may point to.
+
+        Falls back to the Andersen result when the demand-driven traversal
+        exceeds its budget, so the answer is always sound.
+        """
+        try:
+            return self.points_to_refined(node)
+        except BudgetExhausted:
+            return self.fallback().pts(node)
+
+    def points_to_refined(self, node):
+        """Demand-driven answer only; raises ``BudgetExhausted`` on budget
+        overrun instead of falling back."""
+        if node in self._memo:
+            return self._memo[node]
+        state = _QueryState(self.budget)
+        result = frozenset(self._flows_to_backwards(node, state, depth=0))
+        self._memo[node] = result
+        return result
+
+    def pts_of(self, method_sig, var):
+        return self.points_to(VarNode(method_sig, var))
+
+    def may_alias(self, node_a, node_b):
+        return bool(self.points_to(node_a) & self.points_to(node_b))
+
+    def fallback(self):
+        if self._fallback is None:
+            self._fallback = andersen_solve(self.pag)
+        return self._fallback
+
+    # -- traversal ---------------------------------------------------------
+
+    def _flows_to_backwards(self, root, state, depth):
+        """All allocation sites with a backwards flows-to path to ``root``.
+
+        The traversal state is (node, call-stack).  The call stack holds
+        call sites whose *exit* (return) edge was crossed backwards and
+        whose matching *enter* edge has not yet been seen.
+        """
+        if depth > self.max_alias_depth:
+            raise BudgetExhausted("alias recursion depth exceeded")
+        results = set()
+        start = (root, ())
+        seen = {start}
+        work = [start]
+        while work:
+            node, stack = work.pop()
+            state.tick()
+            for site in self.pag.new_edges.get(node, ()):
+                results.add(site)
+            for edge in self.pag.assigns_into.get(node, ()):
+                for nxt in self._cross_backwards(edge, stack):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        work.append(nxt)
+            # Loads into this node: alias subquery through the heap.
+            for edge in self._loads_into(node):
+                base_sites = self._flows_to_backwards(edge.base, state, depth + 1)
+                for store in self.pag.stores_by_field.get(edge.field, ()):
+                    store_base_sites = self._flows_to_backwards(
+                        store.base, state, depth + 1
+                    )
+                    if base_sites & store_base_sites:
+                        # Heap path discards local call balance: objects can
+                        # flow through the heap between unrelated contexts.
+                        nxt = (store.source, ())
+                        if nxt not in seen:
+                            seen.add(nxt)
+                            work.append(nxt)
+        return results
+
+    def _cross_backwards(self, edge, stack):
+        """Cross an assign edge ``src -> dst`` backwards (dst to src),
+        yielding successor (node, stack) states that keep call parentheses
+        balanced."""
+        if edge.callsite is None:
+            yield (edge.src, stack)
+        elif edge.direction == EXIT:
+            # Backwards across target = return@c: we *enter* the callee;
+            # remember c so the eventual parameter exit must match.
+            yield (edge.src, stack + (edge.callsite,))
+        elif edge.direction == ENTER:
+            # Backwards across param = arg@c: we *leave* the callee into
+            # the caller at c.
+            if stack:
+                if stack[-1] == edge.callsite:
+                    yield (edge.src, stack[:-1])
+                # mismatched parenthesis: infeasible path, drop it
+            else:
+                # Unbalanced-but-feasible: query started inside the callee.
+                yield (edge.src, ())
+
+    def _loads_into(self, node):
+        return self.pag.loads_into.get(node, ())
+
+
+class _QueryState:
+    """Per-query step counter enforcing the work budget."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, budget):
+        self.remaining = budget
+
+    def tick(self):
+        self.remaining -= 1
+        if self.remaining < 0:
+            raise BudgetExhausted("points-to query budget exhausted")

@@ -1,0 +1,235 @@
+"""Pointer-assignment graph (PAG).
+
+The PAG is the flow-graph encoding of program semantics used by both the
+whole-program Andersen solver and the demand-driven CFL-reachability solver
+(Section 4: "program semantics is encoded as a flow graph in which nodes
+represent variables and edges represent propagation of object references").
+
+Node kinds:
+
+* variable nodes — one per (method signature, variable name);
+* allocation nodes — one per allocation site;
+* return nodes — one synthetic variable per method collecting returns.
+
+Edge kinds:
+
+* ``new``      o -> x            (x = new C)
+* ``assign``   y -> x            (x = y), optionally labelled with a call
+  site and a direction (``enter`` for arg->param / this-binding, ``exit``
+  for return propagation) — these labels are the parentheses of the
+  CFL-reachability formulation;
+* ``store``    y -> (x, f)       (x.f = y)
+* ``load``     (x, f) -> y       (y = x.f)
+
+Interprocedural edges are created from a call graph, so PAG precision
+follows call-graph precision.
+"""
+
+from repro.ir.stmts import (
+    CopyStmt,
+    InvokeStmt,
+    LoadStmt,
+    NewStmt,
+    ReturnStmt,
+    StoreStmt,
+    THIS_VAR,
+)
+
+#: Synthetic variable name holding a method's return value.
+RETURN_VAR = "@return"
+
+ENTER = "enter"
+EXIT = "exit"
+
+
+class VarNode:
+    """A local variable (or parameter, or synthetic return) of a method."""
+
+    __slots__ = ("method_sig", "name")
+
+    def __init__(self, method_sig, name):
+        self.method_sig = method_sig
+        self.name = name
+
+    def key(self):
+        return (self.method_sig, self.name)
+
+    def __eq__(self, other):
+        return isinstance(other, VarNode) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "%s::%s" % (self.method_sig, self.name)
+
+
+class AssignEdge:
+    """``src -> dst`` copy edge, possibly labelled as a call parenthesis."""
+
+    __slots__ = ("src", "dst", "callsite", "direction")
+
+    def __init__(self, src, dst, callsite=None, direction=None):
+        self.src = src
+        self.dst = dst
+        self.callsite = callsite
+        self.direction = direction
+
+    def __repr__(self):
+        label = ""
+        if self.callsite:
+            label = " [%s %s]" % (self.direction, self.callsite)
+        return "%r -> %r%s" % (self.src, self.dst, label)
+
+
+class StoreEdge:
+    """``source -> base.field`` for statement ``base.field = source``."""
+
+    __slots__ = ("source", "base", "field", "stmt")
+
+    def __init__(self, source, base, field, stmt):
+        self.source = source
+        self.base = base
+        self.field = field
+        self.stmt = stmt
+
+    def __repr__(self):
+        return "%r -> %r.%s" % (self.source, self.base, self.field)
+
+
+class LoadEdge:
+    """``base.field -> target`` for statement ``target = base.field``."""
+
+    __slots__ = ("target", "base", "field", "stmt")
+
+    def __init__(self, target, base, field, stmt):
+        self.target = target
+        self.base = base
+        self.field = field
+        self.stmt = stmt
+
+    def __repr__(self):
+        return "%r.%s -> %r" % (self.base, self.field, self.target)
+
+
+class PAG:
+    """The pointer-assignment graph of a program."""
+
+    def __init__(self, program, callgraph):
+        self.program = program
+        self.callgraph = callgraph
+        #: var node -> list of allocation-site labels assigned by ``new``
+        self.new_edges = {}
+        #: list of AssignEdge, plus per-node indexes
+        self.assign_edges = []
+        self.assigns_into = {}  # dst -> [AssignEdge]
+        self.assigns_from = {}  # src -> [AssignEdge]
+        self.store_edges = []
+        self.load_edges = []
+        self.stores_by_field = {}
+        self.loads_by_field = {}
+        self.loads_into = {}  # target var -> [LoadEdge]
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def var(self, method, name):
+        return VarNode(method.sig, name)
+
+    def _add_assign(self, src, dst, callsite=None, direction=None):
+        edge = AssignEdge(src, dst, callsite, direction)
+        self.assign_edges.append(edge)
+        self.assigns_into.setdefault(dst, []).append(edge)
+        self.assigns_from.setdefault(src, []).append(edge)
+
+    def _build(self):
+        for method in self.program.all_methods():
+            self._build_method(method)
+        self._build_calls()
+
+    def _build_method(self, method):
+        for stmt in method.statements():
+            if isinstance(stmt, NewStmt):
+                node = self.var(method, stmt.target)
+                self.new_edges.setdefault(node, []).append(stmt.site)
+            elif isinstance(stmt, CopyStmt):
+                self._add_assign(
+                    self.var(method, stmt.source), self.var(method, stmt.target)
+                )
+            elif isinstance(stmt, StoreStmt):
+                edge = StoreEdge(
+                    self.var(method, stmt.source),
+                    self.var(method, stmt.base),
+                    stmt.field,
+                    stmt,
+                )
+                self.store_edges.append(edge)
+                self.stores_by_field.setdefault(stmt.field, []).append(edge)
+            elif isinstance(stmt, LoadStmt):
+                edge = LoadEdge(
+                    self.var(method, stmt.target),
+                    self.var(method, stmt.base),
+                    stmt.field,
+                    stmt,
+                )
+                self.load_edges.append(edge)
+                self.loads_by_field.setdefault(stmt.field, []).append(edge)
+                self.loads_into.setdefault(edge.target, []).append(edge)
+            elif isinstance(stmt, ReturnStmt) and stmt.value:
+                self._add_assign(
+                    self.var(method, stmt.value), VarNode(method.sig, RETURN_VAR)
+                )
+
+    def _build_calls(self):
+        for method in self.program.all_methods():
+            for stmt in method.statements():
+                if not isinstance(stmt, InvokeStmt):
+                    continue
+                for callee in self.callgraph.targets_of_site(stmt):
+                    self._link_call(method, stmt, callee)
+
+    def _link_call(self, caller, invoke, callee):
+        site = invoke.callsite
+        if invoke.base is not None and not callee.is_static:
+            self._add_assign(
+                self.var(caller, invoke.base),
+                VarNode(callee.sig, THIS_VAR),
+                callsite=site,
+                direction=ENTER,
+            )
+        for arg, param in zip(invoke.args, callee.params):
+            self._add_assign(
+                self.var(caller, arg),
+                VarNode(callee.sig, param),
+                callsite=site,
+                direction=ENTER,
+            )
+        if invoke.target:
+            self._add_assign(
+                VarNode(callee.sig, RETURN_VAR),
+                self.var(caller, invoke.target),
+                callsite=site,
+                direction=EXIT,
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def all_var_nodes(self):
+        nodes = set(self.new_edges)
+        for edge in self.assign_edges:
+            nodes.add(edge.src)
+            nodes.add(edge.dst)
+        for edge in self.store_edges:
+            nodes.add(edge.source)
+            nodes.add(edge.base)
+        for edge in self.load_edges:
+            nodes.add(edge.target)
+            nodes.add(edge.base)
+        return nodes
+
+    def __repr__(self):
+        return "PAG(%d assigns, %d stores, %d loads)" % (
+            len(self.assign_edges),
+            len(self.store_edges),
+            len(self.load_edges),
+        )

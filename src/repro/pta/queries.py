@@ -1,0 +1,70 @@
+"""Uniform points-to query interface over either solver.
+
+The leak detector talks to this facade so it can run in whole-program mode
+(Andersen) or demand-driven mode (CFL with Andersen fallback); the ablation
+benchmark compares the two.
+"""
+
+from repro.pta.andersen import analyze as andersen_analyze
+from repro.pta.cfl import CFLPointsTo
+from repro.pta.pag import PAG, VarNode
+
+
+class PointsTo:
+    """Facade answering variable and heap points-to queries.
+
+    Parameters
+    ----------
+    program, callgraph:
+        The program and the call graph that defines interprocedural edges.
+    demand_driven:
+        When true, variable queries go through the CFL solver first.
+    budget:
+        Per-query budget for the demand-driven solver.
+    """
+
+    def __init__(self, program, callgraph, demand_driven=False, budget=100_000):
+        self.program = program
+        self.callgraph = callgraph
+        self.pag = PAG(program, callgraph)
+        self.demand_driven = demand_driven
+        self._andersen = None
+        self._cfl = CFLPointsTo(self.pag, budget=budget) if demand_driven else None
+
+    @property
+    def andersen(self):
+        if self._andersen is None:
+            from repro.pta.andersen import solve
+
+            self._andersen = solve(self.pag)
+            if self._cfl is not None and self._cfl._fallback is None:
+                self._cfl._fallback = self._andersen
+        return self._andersen
+
+    def pts(self, method_sig, var):
+        """Allocation sites that ``var`` in ``method_sig`` may point to."""
+        node = VarNode(method_sig, var)
+        if self._cfl is not None:
+            return self._cfl.points_to(node)
+        return self.andersen.pts(node)
+
+    def pts_node(self, node):
+        if self._cfl is not None:
+            return self._cfl.points_to(node)
+        return self.andersen.pts(node)
+
+    def field_pts(self, site_label, field):
+        """Heap query: contents of ``field`` of objects from ``site_label``.
+
+        Heap slots are only tracked by the whole-program solver; demand-
+        driven mode still consults Andersen for these (sound and standard).
+        """
+        return self.andersen.field_pts(site_label, field)
+
+    def may_alias(self, sig_a, var_a, sig_b, var_b):
+        return bool(self.pts(sig_a, var_a) & self.pts(sig_b, var_b))
+
+
+def build_points_to(program, callgraph, demand_driven=False, budget=100_000):
+    """Construct the points-to facade (convenience wrapper)."""
+    return PointsTo(program, callgraph, demand_driven=demand_driven, budget=budget)

@@ -1,0 +1,32 @@
+"""Concrete operational semantics (Figure 3) and run-time leak ground
+truth (Definition 1)."""
+
+from repro.semantics.gc import GrowthProfile, growth_profile
+from repro.semantics.heapdump import HeapSnapshot, snapshot
+from repro.semantics.interp import (
+    FixedSchedule,
+    Interpreter,
+    RandomSchedule,
+    Schedule,
+    execute,
+)
+from repro.semantics.leaks import GroundTruth, analyze_trace
+from repro.semantics.values import LoadEffect, RuntimeObject, StoreEffect, Trace
+
+__all__ = [
+    "FixedSchedule",
+    "GroundTruth",
+    "GrowthProfile",
+    "HeapSnapshot",
+    "Interpreter",
+    "LoadEffect",
+    "RandomSchedule",
+    "RuntimeObject",
+    "Schedule",
+    "StoreEffect",
+    "Trace",
+    "analyze_trace",
+    "execute",
+    "growth_profile",
+    "snapshot",
+]

@@ -1,0 +1,128 @@
+"""Ground-truth leak identification over concrete traces (Definition 1).
+
+Given an execution trace and a loop label, this module computes which
+run-time objects are *leaking* in the sense of the paper's Definition 1:
+
+* an inside object ``o`` (created in iteration ``k`` of the loop) stored in
+  iteration ``k`` into a field ``g`` of an *outside* object ``b`` is the
+  root of an escaping data structure;
+* an inside object ``r`` transitively stored inside that structure leaks if
+  (1) the root is never loaded back from ``b.g`` in any iteration after
+  ``k``, or (2) ``r`` itself is never loaded in an iteration after its own
+  creating iteration.
+
+Site-level ground truth (``leaking_sites``) lifts instance answers to
+allocation sites — the unit the static tool reports.
+"""
+
+
+class GroundTruth:
+    """Definition-1 results for one (trace, loop) pair."""
+
+    def __init__(self, loop_label, leaking_objects, escaping_objects):
+        self.loop_label = loop_label
+        self.leaking_objects = leaking_objects
+        self.escaping_objects = escaping_objects
+
+    def leaking_sites(self):
+        """Allocation sites with at least one leaking instance."""
+        return sorted({obj.site for obj in self.leaking_objects})
+
+    def escaping_sites(self):
+        return sorted({obj.site for obj in self.escaping_objects})
+
+    def __repr__(self):
+        return "GroundTruth(loop=%s, %d leaking)" % (
+            self.loop_label,
+            len(self.leaking_objects),
+        )
+
+
+def _store_reach(trace):
+    """Transitive containment: obj -> set of objects it was (ever) stored
+    into, via the store-effect chain (the paper's transitive closure of
+    the store relation)."""
+    direct = {}
+    for eff in trace.stores:
+        direct.setdefault(eff.source.oid, set()).add(eff.base.oid)
+    closure = {}
+
+    def reach(oid):
+        if oid in closure:
+            return closure[oid]
+        closure[oid] = set()  # cycle guard
+        result = set()
+        for parent in direct.get(oid, ()):
+            result.add(parent)
+            result |= reach(parent)
+        closure[oid] = result
+        return result
+
+    for oid in list(direct):
+        reach(oid)
+    return closure
+
+
+def analyze_trace(trace, loop_label):
+    """Apply Definition 1 to ``trace`` with respect to ``loop_label``."""
+    objects_by_id = {obj.oid: obj for obj in trace.objects}
+
+    # Escaping roots: store of inside o into outside b at iteration k >= 1.
+    # Keyed by root oid -> list of (b.oid, field, k).
+    roots = {}
+    for eff in trace.stores:
+        k = eff.iteration_in(loop_label)
+        if k == 0:
+            continue  # store performed outside the loop
+        if not eff.source.is_inside(loop_label):
+            continue
+        if eff.base.is_inside(loop_label):
+            continue  # not an escape to an outside object
+        roots.setdefault(eff.source.oid, []).append((eff.base.oid, eff.field, k))
+
+    # Condition (1) per root: was the root ever loaded back from the same
+    # outside heap slot in a later iteration?
+    loaded_back = set()  # (root_oid, base_oid, field, k) that DID flow back
+    for eff in trace.loads:
+        n = eff.iteration_in(loop_label)
+        if n == 0:
+            continue
+        key = (eff.value.oid, eff.base.oid, eff.field)
+        for root_oid, entries in roots.items():
+            if root_oid != eff.value.oid:
+                continue
+            for base_oid, field, k in entries:
+                if (base_oid, field) == (eff.base.oid, eff.field) and n > k:
+                    loaded_back.add((root_oid, base_oid, field, k))
+        del key
+
+    leaking_roots = set()
+    for root_oid, entries in roots.items():
+        for base_oid, field, k in entries:
+            if (root_oid, base_oid, field, k) not in loaded_back:
+                leaking_roots.add(root_oid)
+
+    # Condition (2): inside objects loaded in a later iteration than their
+    # creation never satisfy the "never flows back" clause.
+    flows_back = set()
+    for eff in trace.loads:
+        n = eff.iteration_in(loop_label)
+        creation = eff.value.iteration_in(loop_label)
+        if creation > 0 and n > creation:
+            flows_back.add(eff.value.oid)
+
+    containment = _store_reach(trace)
+    escaping = []
+    leaking = []
+    for obj in trace.objects:
+        if not obj.is_inside(loop_label):
+            continue
+        reachable_roots = ({obj.oid} | containment.get(obj.oid, set())) & set(roots)
+        if not reachable_roots:
+            continue
+        escaping.append(obj)
+        in_leaking_structure = bool(reachable_roots & leaking_roots)
+        never_flows_back = obj.oid not in flows_back
+        if in_leaking_structure or never_flows_back:
+            leaking.append(obj)
+    return GroundTruth(loop_label, leaking, escaping)

@@ -1,0 +1,110 @@
+"""Run-time values and effect records for the concrete semantics.
+
+Following Figure 2/3 of the paper, every run-time object carries the loop
+state under which it was created; heap store and load effects record which
+iteration performed them.  Objects created while several labelled loops are
+active snapshot *all* their iteration counters, so ground truth can later
+be asked "with respect to loop l" for any l.
+"""
+
+
+class RuntimeObject:
+    """One heap instance: identity, allocation site, creating loop state.
+
+    Array instances additionally carry ``elements``, an append-only list
+    modeling element writes: each ``arr.elem = x`` at run time lands in a
+    fresh index, so array-backed containers *grow*, matching real
+    collections.  (Static analyses still see the single ``elem``
+    pseudo-field; the conflation is exactly the paper's array-index
+    imprecision.)  Reads of ``elem`` return the most recent element.
+    """
+
+    __slots__ = (
+        "oid",
+        "site",
+        "class_name",
+        "is_array",
+        "loop_state",
+        "fields",
+        "elements",
+    )
+
+    def __init__(self, oid, site, class_name, is_array, loop_state):
+        self.oid = oid
+        self.site = site
+        self.class_name = class_name
+        self.is_array = is_array
+        #: mapping loop label -> iteration count at creation (only loops
+        #: active at creation appear; 0 is implied for everything else)
+        self.loop_state = dict(loop_state)
+        self.fields = {}
+        self.elements = [] if is_array else None
+
+    def iteration_in(self, loop_label):
+        """Iteration of ``loop_label`` in which this object was created;
+        0 when it was created outside that loop (the paper's j = 0)."""
+        return self.loop_state.get(loop_label, 0)
+
+    def is_inside(self, loop_label):
+        return self.iteration_in(loop_label) > 0
+
+    def __repr__(self):
+        return "obj#%d@%s" % (self.oid, self.site)
+
+
+class StoreEffect:
+    """Concrete heap store effect: ``source`` saved in ``base.field`` while
+    the analyzed loops were at the iterations in ``loop_state``."""
+
+    __slots__ = ("source", "field", "base", "loop_state", "stmt_uid")
+
+    def __init__(self, source, field, base, loop_state, stmt_uid):
+        self.source = source
+        self.field = field
+        self.base = base
+        self.loop_state = dict(loop_state)
+        self.stmt_uid = stmt_uid
+
+    def iteration_in(self, loop_label):
+        return self.loop_state.get(loop_label, 0)
+
+    def __repr__(self):
+        return "%r >[%s] %r" % (self.source, self.field, self.base)
+
+
+class LoadEffect:
+    """Concrete heap load effect: ``value`` retrieved from ``base.field``."""
+
+    __slots__ = ("value", "field", "base", "loop_state", "stmt_uid")
+
+    def __init__(self, value, field, base, loop_state, stmt_uid):
+        self.value = value
+        self.field = field
+        self.base = base
+        self.loop_state = dict(loop_state)
+        self.stmt_uid = stmt_uid
+
+    def iteration_in(self, loop_label):
+        return self.loop_state.get(loop_label, 0)
+
+    def __repr__(self):
+        return "%r <[%s] %r" % (self.value, self.field, self.base)
+
+
+class Trace:
+    """The complete effect log of one execution."""
+
+    def __init__(self):
+        self.objects = []
+        self.stores = []
+        self.loads = []
+
+    def objects_of_site(self, site):
+        return [o for o in self.objects if o.site == site]
+
+    def __repr__(self):
+        return "Trace(%d objects, %d stores, %d loads)" % (
+            len(self.objects),
+            len(self.stores),
+            len(self.loads),
+        )

@@ -1,0 +1,209 @@
+"""Per-application checks: each model reproduces its case-study shape.
+
+These are the repo's equivalent of the paper's Section 5.2 narratives: the
+exact reported sites, context counts and FP classifications are asserted
+per subject.
+"""
+
+import pytest
+
+from repro.bench.apps import all_apps, app_names, build_app
+from repro.bench.apps.mikou import build as build_mikou
+from repro.bench.metrics import classify_findings, run_app
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for app in all_apps():
+        row, report = run_app(app)
+        out[app.name] = (app, row, report)
+    return out
+
+
+class TestRegistry:
+    def test_eight_subjects(self):
+        assert len(app_names()) == 8
+
+    def test_build_by_name(self):
+        app = build_app("log4j")
+        assert app.name == "log4j"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_app("quake3")
+
+    def test_programs_validate(self):
+        for app in all_apps():
+            # AppModel construction runs full validation; reaching here
+            # means every model parses and type-checks structurally.
+            assert app.program.entry
+
+
+class TestSpecjbb(object):
+    def test_counts(self, results):
+        _, row, _ = results["specjbb2000"]
+        assert (row.ls, row.fp, row.sites) == (21, 8, 5)
+
+    def test_node_site_has_15_contexts(self, results):
+        _, _, report = results["specjbb2000"]
+        lbn = next(f for f in report.findings if f.site.label == "lbn")
+        assert lbn.context_count == 15
+
+    def test_three_top_call_sites(self, results):
+        """The case study's key diagnostic: only 3 distinct top call sites
+        among the node's contexts."""
+        _, _, report = results["specjbb2000"]
+        lbn = next(f for f in report.findings if f.site.label == "lbn")
+        tops = {ctx.top() for ctx in lbn.creation_contexts}
+        assert tops == {"top_no", "top_mo", "top_pay"}
+
+    def test_payment_contexts_are_fps(self, results):
+        app, _, report = results["specjbb2000"]
+        lbn = next(f for f in report.findings if f.site.label == "lbn")
+        payment_ctxs = [c for c in lbn.creation_contexts if c.top() == "top_pay"]
+        assert len(payment_ctxs) == 2
+        assert all(not app.truth.classify("lbn", c) for c in payment_ctxs)
+
+    def test_order_pivot_suppressed(self, results):
+        _, _, report = results["specjbb2000"]
+        assert "order" not in report.leaking_site_labels
+        assert "history" not in report.leaking_site_labels
+
+
+class TestEclipseDiff:
+    def test_counts(self, results):
+        _, row, _ = results["eclipse-diff"]
+        assert (row.ls, row.fp) == (7, 3)
+
+    def test_history_entry_under_four_contexts(self, results):
+        _, _, report = results["eclipse-diff"]
+        hentry = next(f for f in report.findings if f.site.label == "hentry")
+        assert hentry.context_count == 4
+
+    def test_gui_temporaries_are_the_fps(self, results):
+        app, _, report = results["eclipse-diff"]
+        fp_sites = {
+            f.site.label
+            for f in report.findings
+            if f.site.label in app.truth.fp_sites
+        }
+        assert fp_sites == {"progress_dialog", "message_box", "compare_dialog"}
+
+    def test_uses_artificial_loop(self, results):
+        app, _, _ = results["eclipse-diff"]
+        assert "artificial" in app.region.describe()
+
+
+class TestEclipseCp:
+    def test_counts(self, results):
+        _, row, _ = results["eclipse-cp"]
+        assert (row.ls, row.fp) == (7, 4)
+
+    def test_cache_entry_three_contexts(self, results):
+        _, _, report = results["eclipse-cp"]
+        node = next(f for f in report.findings if f.site.label == "zip_entry_node")
+        assert node.context_count == 3
+
+
+class TestMysql:
+    def test_counts(self, results):
+        _, row, _ = results["mysql-connector-j"]
+        assert (row.ls, row.fp) == (15, 9)
+
+    def test_true_leaks_are_result_sets_and_statements(self, results):
+        app, _, report = results["mysql-connector-j"]
+        tp = {
+            f.site.label
+            for f in report.findings
+            if f.site.label in app.truth.leak_sites
+        }
+        assert tp == {"result_set", "ps_result_set", "server_ps"}
+
+
+class TestLog4j:
+    def test_no_false_positives(self, results):
+        _, row, _ = results["log4j"]
+        assert row.fp == 0
+        assert row.ls == 4
+
+    def test_lo_seven(self, results):
+        _, row, _ = results["log4j"]
+        assert row.lo == 7
+
+    def test_logger_registered_never_read(self, results):
+        _, _, report = results["log4j"]
+        logger = next(f for f in report.findings if f.site.label == "logger_obj")
+        bases = {b for b, _f in logger.redundant_edges}
+        assert "Hashtable:table" in bases
+
+
+class TestFindbugs:
+    def test_counts(self, results):
+        _, row, _ = results["findbugs"]
+        assert (row.ls, row.fp) == (9, 5)
+
+    def test_destructive_update_fps(self, results):
+        """The cleared DescriptorFactory maps produce exactly the 5 FPs."""
+        app, _, report = results["findbugs"]
+        fp = {
+            f.site.label
+            for f in report.findings
+            if f.site.label in app.truth.fp_sites
+        }
+        assert fp == {
+            "class_desc",
+            "method_desc",
+            "field_desc",
+            "source_info",
+            "xclass_obj",
+        }
+
+    def test_method_info_leaks_through_identity_map(self, results):
+        _, _, report = results["findbugs"]
+        mi = next(f for f in report.findings if f.site.label == "method_info")
+        bases = {b for b, _f in mi.redundant_edges}
+        assert "IdentityHashMap:table" in bases
+
+
+class TestMikou:
+    def test_with_threads_counts(self, results):
+        _, row, _ = results["mikou"]
+        assert (row.ls, row.fp) == (18, 17)
+
+    def test_highest_fpr(self, results):
+        rows = [row for _, row, _ in results.values()]
+        mikou_row = next(r for r in rows if r.name == "mikou")
+        assert mikou_row.fpr == max(r.fpr for r in rows)
+
+    def test_database_system_is_the_true_leak(self, results):
+        app, _, report = results["mikou"]
+        true_ctx, _ = classify_findings(app, report)
+        assert {site for site, _ in true_ctx} == {"database_system"}
+
+    def test_without_threads_only_bootstrap(self):
+        row, report = run_app(build_mikou(model_threads=False))
+        assert report.leaking_site_labels == ["local_bootstrap"]
+        assert (row.ls, row.fp) == (1, 1)
+
+
+class TestDerby:
+    def test_counts(self, results):
+        _, row, _ = results["derby"]
+        assert (row.ls, row.fp) == (8, 4)
+
+    def test_singleton_sections_are_fps(self, results):
+        app, _, report = results["derby"]
+        _, false_ctx = classify_findings(app, report)
+        fp_sites = {site for site, _ in false_ctx}
+        assert fp_sites == {
+            "head_section",
+            "tail_section",
+            "cursor_section",
+            "hold_section",
+        }
+
+    def test_result_objects_leak_through_hashtable(self, results):
+        _, _, report = results["derby"]
+        rs = next(f for f in report.findings if f.site.label == "client_rs")
+        assert ("Hashtable:table", "elem") in rs.redundant_edges

@@ -1,0 +1,67 @@
+"""Tests for the Section 5.2-style case-study renderer."""
+
+import pytest
+
+from repro.bench.apps import app_names
+from repro.bench.casestudies import FP_PATTERNS, all_case_studies, case_study
+from repro.cli import main
+
+
+class TestCaseStudy:
+    def test_specjbb_narrative(self):
+        study = case_study("specjbb2000")
+        text = study.format()
+        assert "Case study: specjbb2000" in text
+        assert "lbn" in text
+        assert "21 context-sensitive" in text
+        assert "overwritten every iteration" in text
+
+    def test_findbugs_names_destructive_updates(self):
+        text = case_study("findbugs").format()
+        assert "destructive update" in text
+        assert "IdentityHashMap:table" in text
+
+    def test_derby_names_singletons(self):
+        text = case_study("derby").format()
+        assert "singleton-guarded" in text
+
+    def test_mikou_names_threads(self):
+        text = case_study("mikou").format()
+        assert "thread that terminates" in text
+        assert "database_system" in text
+
+    def test_log4j_has_no_fp_section(self):
+        text = case_study("log4j").format()
+        assert "false positives (and why" not in text
+        assert "FPR 0.0%" in text
+
+    def test_every_subject_renders(self):
+        studies = all_case_studies()
+        assert [s.app.name for s in studies] == app_names()
+        for study in studies:
+            assert study.format()
+
+    def test_fp_pattern_catalog_covers_all_reported_fps(self):
+        """Every false-positive site of every subject has an explanation
+        in the pattern catalog."""
+        for study in all_case_studies():
+            patterns = FP_PATTERNS[study.app.name]
+            for site, _ctx in study.false_ctx:
+                assert site in patterns, (study.app.name, site)
+
+
+class TestCli:
+    def test_single_subject(self, capsys):
+        assert main(["casestudy", "derby"]) == 0
+        out = capsys.readouterr().out
+        assert "Case study: derby" in out
+
+    def test_unknown_subject(self, capsys):
+        assert main(["casestudy", "netscape"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_all_subjects(self, capsys):
+        assert main(["casestudy", "all"]) == 0
+        out = capsys.readouterr().out
+        for name in app_names():
+            assert "Case study: %s" % name in out

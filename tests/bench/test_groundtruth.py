@@ -1,0 +1,44 @@
+"""Tests for ground-truth classification."""
+
+import pytest
+
+from repro.bench.groundtruth import ContextRule, Truth
+from repro.pta.context import EMPTY
+
+
+class TestTruth:
+    def _truth(self):
+        return Truth(
+            leak_sites={"tp"},
+            fp_sites={"fp"},
+            context_rules=[ContextRule("tp", "bad_path", is_leak=False)],
+        )
+
+    def test_site_level_true_leak(self):
+        assert self._truth().classify("tp", EMPTY.push("x"))
+
+    def test_site_level_fp(self):
+        assert not self._truth().classify("fp", EMPTY)
+
+    def test_context_rule_overrides_site(self):
+        ctx = EMPTY.push("bad_path").push("deeper")
+        assert not self._truth().classify("tp", ctx)
+
+    def test_context_rule_requires_marker(self):
+        ctx = EMPTY.push("good_path")
+        assert self._truth().classify("tp", ctx)
+
+    def test_unanticipated_site_raises(self):
+        with pytest.raises(KeyError):
+            self._truth().classify("ghost", EMPTY)
+
+    def test_expected_report(self):
+        assert self._truth().expected_report() == {"tp", "fp"}
+
+
+class TestContextRule:
+    def test_matches_site_and_marker(self):
+        rule = ContextRule("s", "m", True)
+        assert rule.matches("s", EMPTY.push("m"))
+        assert not rule.matches("s", EMPTY.push("other"))
+        assert not rule.matches("other", EMPTY.push("m"))

@@ -1,0 +1,122 @@
+"""Integration matrix: every benchmark app under every major detector
+configuration.
+
+These tests do not pin exact counts (the per-app tests do that for the
+paper configuration); they check the *invariants* that must hold across
+the whole configuration space — determinism, refinement orderings, and
+that no configuration crashes on any subject.
+"""
+
+import pytest
+
+from repro.bench.apps import all_apps
+from repro.core.detector import DetectorConfig, LeakChecker
+
+_CONFIGS = {
+    "paper": dict(),
+    "cha": dict(callgraph="cha"),
+    "otf": dict(callgraph="otf"),
+    "demand": dict(demand_driven=True),
+    "no-pivot": dict(pivot=False),
+    "no-library": dict(library_condition=False),
+    "strong-updates": dict(strong_updates=True),
+    "shallow-contexts": dict(context_depth=2),
+}
+
+
+@pytest.fixture(scope="module")
+def apps():
+    return all_apps()
+
+
+@pytest.fixture(scope="module")
+def matrix(apps):
+    results = {}
+    for app in apps:
+        for name, overrides in _CONFIGS.items():
+            base = app.config.describe()
+            merged = dict(
+                callgraph=base["callgraph"],
+                demand_driven=base["demand_driven"],
+                context_depth=base["context_depth"],
+                library_condition=base["library_condition"],
+                model_threads=base["model_threads"],
+                pivot=base["pivot"],
+            )
+            merged.update(overrides)
+            report = LeakChecker(app.program, DetectorConfig(**merged)).check(
+                app.region
+            )
+            results[(app.name, name)] = report
+    return results
+
+
+class TestMatrix:
+    def test_every_cell_completes(self, apps, matrix):
+        assert len(matrix) == len(apps) * len(_CONFIGS)
+
+    def test_paper_config_always_finds_leaks(self, apps, matrix):
+        for app in apps:
+            assert matrix[(app.name, "paper")].findings, app.name
+
+    def test_pivot_is_a_filter(self, apps, matrix):
+        for app in apps:
+            with_pivot = set(matrix[(app.name, "paper")].leaking_site_labels)
+            without = set(matrix[(app.name, "no-pivot")].leaking_site_labels)
+            assert with_pivot <= without, app.name
+
+    def test_otf_never_reports_more_sites_than_rta(self, apps, matrix):
+        """A more precise call graph can only remove spurious flows."""
+        for app in apps:
+            rta = set(matrix[(app.name, "paper")].leaking_site_labels)
+            otf = set(matrix[(app.name, "otf")].leaking_site_labels)
+            assert otf <= rta, app.name
+
+    def test_strong_updates_is_a_filter(self, apps, matrix):
+        for app in apps:
+            baseline = set(matrix[(app.name, "paper")].leaking_site_labels)
+            refined = set(matrix[(app.name, "strong-updates")].leaking_site_labels)
+            assert refined <= baseline, app.name
+
+    def test_demand_driven_agrees_with_whole_program(self, apps, matrix):
+        """With fallback in place, both points-to modes give the same
+        reports on every subject."""
+        for app in apps:
+            whole = matrix[(app.name, "paper")].leaking_site_labels
+            demand = matrix[(app.name, "demand")].leaking_site_labels
+            assert whole == demand, app.name
+
+    def test_shallow_contexts_never_increase_loop_objects(self, apps, matrix):
+        for app in apps:
+            deep = matrix[(app.name, "paper")].stats["loop_objects"]
+            shallow = matrix[(app.name, "shallow-contexts")].stats["loop_objects"]
+            assert shallow <= deep, app.name
+
+    def test_reports_deterministic_across_rebuilds(self, apps):
+        for app in apps:
+            a = LeakChecker(app.program, app.config).check(app.region)
+            b = LeakChecker(app.program, app.config).check(app.region)
+            assert a.leaking_site_labels == b.leaking_site_labels, app.name
+
+    def test_stats_complete_in_every_cell(self, matrix):
+        required = {
+            "methods",
+            "statements",
+            "time_seconds",
+            "loop_objects",
+            "loop_alloc_sites",
+            "reported_sites",
+            "reported_ctx_sites",
+        }
+        for key, report in matrix.items():
+            assert required <= set(report.stats), key
+
+    def test_cha_is_sound_superset_of_findings(self, apps, matrix):
+        """A coarser call graph may add spurious findings but must not
+        lose the true leaks found under RTA... for our models, where
+        every true leak flows through name-unique methods."""
+        for app in apps:
+            rta = set(matrix[(app.name, "paper")].leaking_site_labels)
+            cha = set(matrix[(app.name, "cha")].leaking_site_labels)
+            truth = app.truth.leak_sites
+            assert (rta & truth) <= cha, app.name

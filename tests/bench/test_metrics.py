@@ -1,0 +1,45 @@
+"""Tests for per-app metric computation."""
+
+import pytest
+
+from repro.bench.apps import build_app
+from repro.bench.metrics import Row, classify_findings, run_app
+from repro.core.detector import DetectorConfig
+
+
+class TestRow:
+    def _row(self, ls=10, fp=4):
+        return Row("x", 5, 50, 0.1, 12, ls, fp, 3, {"ls": 10, "fp": 4})
+
+    def test_fpr(self):
+        assert self._row().fpr == pytest.approx(0.4)
+
+    def test_fpr_zero_reports(self):
+        assert self._row(ls=0, fp=0).fpr == 0.0
+
+    def test_paper_fpr(self):
+        assert self._row().paper_fpr == pytest.approx(0.4)
+
+    def test_paper_fpr_absent(self):
+        row = Row("x", 1, 1, 0.0, 1, 1, 0, 1, {})
+        assert row.paper_fpr is None
+
+
+class TestRunApp:
+    def test_row_matches_report(self):
+        app = build_app("derby")
+        row, report = run_app(app)
+        assert row.sites == len(report.findings)
+        assert row.ls == report.context_sensitive_count
+
+    def test_config_override(self):
+        app = build_app("derby")
+        row, _ = run_app(app, DetectorConfig(pivot=False))
+        baseline, _ = run_app(app)
+        assert row.ls >= baseline.ls
+
+    def test_classification_covers_all_contexts(self):
+        app = build_app("findbugs")
+        _, report = run_app(app)
+        true_ctx, false_ctx = classify_findings(app, report)
+        assert len(true_ctx) + len(false_ctx) == report.context_sensitive_count

@@ -1,0 +1,59 @@
+"""Tests for the configuration sweep harness."""
+
+import pytest
+
+from repro.bench.apps import build_app
+from repro.bench.sweep import run_sweep
+
+
+@pytest.fixture(scope="module")
+def depth_sweep():
+    apps = [build_app("specjbb2000"), build_app("log4j")]
+    return run_sweep({"context_depth": [1, 3, 8]}, apps=apps)
+
+
+class TestSweep:
+    def test_grid_size(self, depth_sweep):
+        assert len(depth_sweep.cells) == 2 * 3
+
+    def test_cells_for_filtering(self, depth_sweep):
+        cells = depth_sweep.cells_for(context_depth=3)
+        assert {c.app_name for c in cells} == {"specjbb2000", "log4j"}
+
+    def test_series_monotone_in_depth(self, depth_sweep):
+        series = depth_sweep.series(
+            "context_depth", metric="ls", app_name="specjbb2000"
+        )
+        values = dict(series)
+        assert values[1] <= values[3] <= values[8]
+        assert values[8] == 21
+
+    def test_log4j_depth_behaviour(self, depth_sweep):
+        """At k=1 the store inside Hashtable.put (two calls deep) is past
+        the horizon and the logger leak is missed; k>=3 is stable."""
+        series = dict(
+            depth_sweep.series("context_depth", "ls", app_name="log4j")
+        )
+        assert series[1] < 4
+        assert series[3] == series[8] == 4.0
+
+    def test_multi_dimensional_grid(self):
+        result = run_sweep(
+            {"pivot": [True, False], "callgraph": ["rta", "cha"]},
+            apps=[build_app("derby")],
+        )
+        assert len(result.cells) == 4
+        with_pivot = result.cells_for(pivot=True, callgraph="rta")[0]
+        without = result.cells_for(pivot=False, callgraph="rta")[0]
+        assert without.row.ls >= with_pivot.row.ls
+
+    def test_base_config_preserved(self):
+        """Sweeping one knob must not reset another app-specific knob:
+        Mikou keeps its thread modeling while pivot is swept."""
+        result = run_sweep({"pivot": [True]}, apps=[build_app("mikou")])
+        assert result.cells[0].row.ls == 18  # needs model_threads=True
+
+    def test_format(self, depth_sweep):
+        text = depth_sweep.format()
+        assert "configuration" in text
+        assert "context_depth=8" in text

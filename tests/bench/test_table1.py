@@ -1,0 +1,89 @@
+"""Tests for the Table 1 harness: the paper's headline evaluation shape."""
+
+import pytest
+
+from repro.bench.apps import all_apps
+from repro.bench.table1 import Table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_table1()
+
+
+class TestTable1Shape:
+    def test_no_shape_violations(self, table):
+        assert table.shape_violations() == []
+
+    def test_all_eight_rows(self, table):
+        assert len(table.rows) == 8
+
+    def test_every_subject_reports_leaks(self, table):
+        """The paper: LeakChecker found leaks in all eight programs."""
+        for row in table.rows:
+            assert row.ls > 0
+
+    def test_average_fpr_in_paper_band(self, table):
+        assert table.average_fpr == pytest.approx(0.498, abs=0.005)
+
+    def test_log4j_clean(self, table):
+        row = table.row("log4j")
+        assert row.fp == 0
+
+    def test_mikou_worst(self, table):
+        mikou = table.row("mikou")
+        assert mikou.fpr > 0.9
+        assert mikou.fpr == max(r.fpr for r in table.rows)
+
+    def test_per_row_targets(self, table):
+        for row in table.rows:
+            assert row.ls == row.paper["ls"], row.name
+            assert row.fp == row.paper["fp"], row.name
+
+    def test_paper_fpr_helper(self, table):
+        row = table.row("derby")
+        assert row.paper_fpr == pytest.approx(0.5)
+
+    def test_unknown_row(self, table):
+        with pytest.raises(KeyError):
+            table.row("doom")
+
+    def test_format_is_a_table(self, table):
+        text = table.format()
+        assert "program" in text
+        assert "average FPR" in text
+        for row in table.rows:
+            assert row.name in text
+
+
+class TestSizeShape:
+    def test_eclipse_diff_most_methods(self, table):
+        """The paper's largest subject by reachable methods."""
+        diff = table.row("eclipse-diff")
+        assert diff.methods == max(r.methods for r in table.rows)
+
+    def test_mysql_most_statements(self, table):
+        mysql = table.row("mysql-connector-j")
+        assert mysql.statements == max(r.statements for r in table.rows)
+
+    def test_log4j_smallest_and_fast(self, table):
+        log4j = table.row("log4j")
+        assert log4j.methods == min(r.methods for r in table.rows)
+
+    def test_times_recorded(self, table):
+        for row in table.rows:
+            assert row.time_seconds >= 0
+
+    def test_rows_as_dict(self, table):
+        d = table.rows[0].as_dict()
+        assert {"name", "methods", "statements", "lo", "ls", "fp", "fpr"} <= set(d)
+
+
+class TestHarness:
+    def test_subset_run(self):
+        apps = [a for a in all_apps() if a.name == "log4j"]
+        table = run_table1(apps)
+        assert len(table.rows) == 1
+
+    def test_empty_average(self):
+        assert Table1([]).average_fpr == 0.0

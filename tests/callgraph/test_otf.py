@@ -1,0 +1,119 @@
+"""Tests for the on-the-fly (points-to-refined) call graph."""
+
+from repro.callgraph.otf import build_otf
+from repro.callgraph.rta import build_rta
+from repro.ir.stmts import InvokeStmt
+from repro.lang import parse_program
+
+# Both A and B are instantiated, so RTA dispatches x.m() to BOTH A.m and
+# B.m; the receiver's points-to set contains only the A object, so OTF
+# keeps just A.m.
+_PRECISION = """
+entry Main.main;
+class Main {
+  static method main() {
+    x = new A @sa;
+    y = new B @sb;
+    call x.m() @c1;
+  }
+}
+class A { method m() { return; } }
+class B { method m() { return; } }
+"""
+
+
+def _invoke(program, sig="Main.main"):
+    return next(
+        s for s in program.method(sig).statements() if isinstance(s, InvokeStmt)
+    )
+
+
+class TestOTF:
+    def test_prunes_rta_targets(self):
+        prog = parse_program(_PRECISION)
+        rta = build_rta(prog)
+        otf = build_otf(prog)
+        invoke = _invoke(prog)
+        rta_targets = {m.sig for m in rta.targets_of_site(invoke)}
+        otf_targets = {m.sig for m in otf.targets_of_site(invoke)}
+        assert rta_targets == {"A.m", "B.m"}
+        assert otf_targets == {"A.m"}
+
+    def test_subset_of_rta(self, figure1):
+        rta = build_rta(figure1)
+        otf = build_otf(figure1)
+        rta_sigs = {m.sig for m in rta.reachable_methods()}
+        otf_sigs = {m.sig for m in otf.reachable_methods()}
+        assert otf_sigs <= rta_sigs
+
+    def test_entry_always_reachable(self):
+        prog = parse_program(_PRECISION)
+        otf = build_otf(prog)
+        assert "Main.main" in {m.sig for m in otf.reachable_methods()}
+
+    def test_iterative_refinement(self):
+        """Pruning one call site exposes a second-round refinement: the
+        receiver of the inner call is only created in A.m."""
+        prog = parse_program(
+            """
+            entry Main.main;
+            class Main {
+              static method main() {
+                x = new A @sa;
+                y = new B @sb;
+                r = call x.m() @c1;
+                call r.n() @c2;
+              }
+            }
+            class A {
+              method m() { p = new P @sp; return p; }
+              method n() { return; }
+            }
+            class B {
+              method m() { q = new Q @sq; return q; }
+            }
+            class P { method n() { return; } }
+            class Q { method n() { return; } }
+            """
+        )
+        otf = build_otf(prog)
+        inner = [
+            s
+            for s in prog.method("Main.main").statements()
+            if isinstance(s, InvokeStmt) and s.callsite == "c2"
+        ][0]
+        targets = {m.sig for m in otf.targets_of_site(inner)}
+        assert targets == {"P.n"}
+
+    def test_static_calls_untouched(self):
+        prog = parse_program(
+            """
+            entry Main.main;
+            class Main {
+              static method main() { call Main.helper() @c; }
+              static method helper() { return; }
+            }
+            """
+        )
+        otf = build_otf(prog)
+        assert "Main.helper" in {m.sig for m in otf.reachable_methods()}
+
+    def test_empty_pts_keeps_old_targets(self):
+        """A call whose receiver has an empty points-to set (e.g. only
+        assigned null) keeps its RTA targets rather than dropping edges."""
+        prog = parse_program(
+            """
+            entry Main.main;
+            class Main {
+              static method main() {
+                x = null;
+                if (*) { x = new A @sa; }
+                call x.m() @c1;
+              }
+            }
+            class A { method m() { return; } }
+            """
+        )
+        otf = build_otf(prog)
+        invoke = _invoke(prog)
+        assert {m.sig for m in otf.targets_of_site(invoke)} == {"A.m"}

@@ -1,0 +1,43 @@
+"""Tests for reachable-method metrics (Table 1 Mtds/Stmts)."""
+
+from repro.callgraph.reachable import (
+    program_metrics,
+    reachable_method_count,
+    reachable_statement_count,
+)
+from repro.callgraph.rta import build_rta
+from repro.lang import parse_program
+
+_SOURCE = """
+entry Main.main;
+class Main {
+  static method main() {
+    x = new A @s;
+    call x.m() @c;
+  }
+}
+class A { method m() { y = this; return y; } }
+class Dead { method big() { a = this; b = a; c = b; return; } }
+"""
+
+
+class TestMetrics:
+    def test_method_count_excludes_dead_code(self):
+        graph = build_rta(parse_program(_SOURCE))
+        assert reachable_method_count(graph) == 2
+
+    def test_statement_count_excludes_dead_code(self):
+        graph = build_rta(parse_program(_SOURCE))
+        # main: new, invoke (2); A.m: copy, return (2)
+        assert reachable_statement_count(graph) == 4
+
+    def test_program_metrics_dict(self):
+        graph = build_rta(parse_program(_SOURCE))
+        metrics = program_metrics(graph)
+        assert metrics == {"methods": 2, "statements": 4}
+
+    def test_metrics_on_figure1(self, figure1):
+        graph = build_rta(figure1)
+        metrics = program_metrics(graph)
+        assert metrics["methods"] == 6
+        assert metrics["statements"] == figure1.statement_count()

@@ -1,0 +1,129 @@
+"""Tests for the generic dataflow framework and its instance analyses."""
+
+from repro.cfg.dataflow import (
+    BACKWARD,
+    FORWARD,
+    LiveVariables,
+    ReachingDefinitions,
+    live_variables,
+    reaching_definitions,
+    run_dataflow,
+)
+from repro.cfg.graph import build_cfg
+from repro.lang import parse_program
+
+
+def _cfg(body, params="p"):
+    prog = parse_program(
+        "class A { field f; method m(%s) { %s } }" % (params, body),
+        validate=False,
+    )
+    return build_cfg(prog.method("A.m"))
+
+
+def _reaching_vars(result, block):
+    return {var for var, _uid in result.value_out(block)}
+
+
+def _exit_block_with(cfg, predicate):
+    for block in cfg.reachable_blocks():
+        for stmt in block.stmts:
+            if predicate(stmt):
+                return block
+    raise AssertionError("no block matched")
+
+
+class TestReachingDefinitions:
+    def test_straight_line_last_def_wins(self):
+        cfg = _cfg("x = p; x = new A @s;")
+        result = reaching_definitions(cfg)
+        block = _exit_block_with(cfg, lambda s: True)
+        defs = [(v, uid) for v, uid in result.value_out(block) if v == "x"]
+        assert len(defs) == 1
+
+    def test_branches_merge_definitions(self):
+        cfg = _cfg("if (*) { x = p; } else { x = new A @s; } y = x;")
+        result = reaching_definitions(cfg)
+        join = _exit_block_with(cfg, lambda s: getattr(s, "target", None) == "y")
+        defs = [(v, uid) for v, uid in result.value_in(join) if v == "x"]
+        assert len(defs) == 2
+
+    def test_loop_definition_reaches_itself(self):
+        cfg = _cfg("loop L (*) { x = p; y = x; }")
+        result = reaching_definitions(cfg)
+        body = _exit_block_with(cfg, lambda s: getattr(s, "target", None) == "y")
+        assert "x" in {v for v, _ in result.value_in(body)}
+
+    def test_entry_has_no_definitions(self):
+        cfg = _cfg("x = p;")
+        result = reaching_definitions(cfg)
+        assert result.value_in(cfg.entry) == frozenset()
+
+
+class TestLiveVariables:
+    def test_used_variable_live_before_use(self):
+        cfg = _cfg("x = p; h = new A @s; h.f = x;")
+        result = live_variables(cfg)
+        block = _exit_block_with(cfg, lambda s: type(s).__name__ == "StoreStmt")
+        # before the block executes, x and p flow in; x is live at entry
+        assert "x" in result.value_in(block) or "p" in result.value_in(block)
+
+    def test_dead_after_last_use(self):
+        cfg = _cfg("x = p; y = x;")
+        result = live_variables(cfg)
+        block = _exit_block_with(cfg, lambda s: getattr(s, "target", None) == "y")
+        assert "x" not in result.value_out(block)
+
+    def test_loop_keeps_carried_variable_live(self):
+        cfg = _cfg("acc = p; loop L (*) { acc = acc; }")
+        result = live_variables(cfg)
+        header = next(b for b in cfg.blocks if b.loop_header_of == "L")
+        assert "acc" in result.value_in(header)
+
+    def test_return_value_live(self):
+        # the branch forces the return into its own block, so x is live
+        # across the block boundary
+        cfg = _cfg("x = p; if (*) { y = p; } return x;")
+        result = live_variables(cfg)
+        block = _exit_block_with(cfg, lambda s: type(s).__name__ == "ReturnStmt")
+        assert "x" in result.value_in(block)
+
+    def test_exit_boundary_empty(self):
+        cfg = _cfg("x = p;")
+        result = live_variables(cfg)
+        assert result.value_out(cfg.exit) == frozenset()
+
+
+class TestFramework:
+    def test_directions_exposed(self):
+        assert ReachingDefinitions.direction == FORWARD
+        assert LiveVariables.direction == BACKWARD
+
+    def test_custom_analysis(self):
+        """A trivial 'block count' style analysis: collect uids of all
+        simple statements seen on any path (may-forward)."""
+
+        class SeenStatements:
+            direction = FORWARD
+
+            def boundary(self):
+                return frozenset()
+
+            def init(self):
+                return frozenset()
+
+            def merge(self, a, b):
+                return a | b
+
+            def transfer(self, block, value):
+                return value | frozenset(s.uid for s in block.stmts)
+
+        cfg = _cfg("x = p; if (*) { y = x; } z = p;")
+        result = run_dataflow(cfg, SeenStatements())
+        total = {s.uid for b in cfg.reachable_blocks() for s in b.stmts}
+        assert result.value_in(cfg.exit) == total
+
+    def test_fixed_point_terminates_on_nested_loops(self):
+        cfg = _cfg("loop A1 (*) { loop B1 (*) { x = p; } y = p; }")
+        assert reaching_definitions(cfg)
+        assert live_variables(cfg)

@@ -1,0 +1,107 @@
+"""Tests for SSA construction (dominance frontiers + phi placement)."""
+
+from repro.cfg.graph import build_cfg
+from repro.cfg.ssa import build_ssa, dominance_frontiers
+from repro.lang import parse_program
+
+
+def _cfg(body, params="p"):
+    prog = parse_program(
+        "class A { field f; method m(%s) { %s } }" % (params, body),
+        validate=False,
+    )
+    return build_cfg(prog.method("A.m"))
+
+
+class TestDominanceFrontiers:
+    def test_straight_line_empty_frontiers(self):
+        cfg = _cfg("x = p; y = x;")
+        frontiers = dominance_frontiers(cfg)
+        assert all(not f for f in frontiers.values())
+
+    def test_branch_blocks_have_join_in_frontier(self):
+        cfg = _cfg("if (*) { x = p; } else { y = p; } z = p;")
+        frontiers = dominance_frontiers(cfg)
+        joins = [b for b in cfg.reachable_blocks() if len(b.preds) == 2]
+        assert joins
+        join = joins[0]
+        contributing = [
+            index for index, f in frontiers.items() if join.index in f
+        ]
+        assert len(contributing) >= 2
+
+    def test_loop_header_in_latch_frontier(self):
+        cfg = _cfg("loop L (*) { x = p; }")
+        frontiers = dominance_frontiers(cfg)
+        header = next(b for b in cfg.blocks if b.loop_header_of == "L")
+        assert any(header.index in f for f in frontiers.values())
+
+
+class TestPhiPlacement:
+    def test_variable_defined_on_both_branches_gets_phi(self):
+        cfg = _cfg("if (*) { x = p; } else { x = null; } y = x;")
+        ssa = build_ssa(cfg)
+        join = next(b for b in cfg.reachable_blocks() if len(b.preds) == 2)
+        assert "x" in ssa.phi_variables_at(join)
+
+    def test_single_definition_no_phi(self):
+        cfg = _cfg("x = p; if (*) { y = x; } z = x;")
+        ssa = build_ssa(cfg)
+        for block in cfg.reachable_blocks():
+            assert "x" not in ssa.phi_variables_at(block)
+
+    def test_loop_carried_variable_gets_phi_at_header(self):
+        cfg = _cfg("x = p; loop L (*) { x = x; }")
+        ssa = build_ssa(cfg)
+        header = next(b for b in cfg.blocks if b.loop_header_of == "L")
+        assert "x" in ssa.phi_variables_at(header)
+
+    def test_iterated_frontier(self):
+        """A definition inside a nested branch propagates phis through
+        successive join points."""
+        cfg = _cfg(
+            "x = p;"
+            "if (*) { if (*) { x = null; } y = p; } z = x;"
+        )
+        ssa = build_ssa(cfg)
+        phi_count = sum(
+            1
+            for b in cfg.reachable_blocks()
+            if "x" in ssa.phi_variables_at(b)
+        )
+        assert phi_count >= 2
+
+
+class TestRenaming:
+    def test_each_definition_fresh_version(self):
+        cfg = _cfg("x = p; x = null; x = p;")
+        ssa = build_ssa(cfg)
+        block = next(b for b in cfg.reachable_blocks() if b.stmts)
+        versions = [ssa.version_after(s) for s in block.stmts]
+        assert versions == sorted(set(versions))
+        assert len(versions) == 3
+
+    def test_version_count_includes_phis(self):
+        cfg = _cfg("if (*) { x = p; } else { x = null; } y = x;")
+        ssa = build_ssa(cfg)
+        # two real defs + one phi
+        assert ssa.version_count("x") == 3
+
+    def test_undefined_variable_zero_versions(self):
+        cfg = _cfg("x = p;")
+        ssa = build_ssa(cfg)
+        assert ssa.version_count("ghost") == 0
+
+    def test_version_after_non_defining_raises(self):
+        import pytest
+
+        cfg = _cfg("x = p; x.f = p;")
+        ssa = build_ssa(cfg)
+        store = next(
+            s
+            for b in cfg.reachable_blocks()
+            for s in b.stmts
+            if type(s).__name__ == "StoreStmt"
+        )
+        with pytest.raises(KeyError):
+            ssa.version_after(store)

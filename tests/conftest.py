@@ -1,0 +1,149 @@
+"""Shared fixtures: canonical programs used across the test suite."""
+
+import pytest
+
+from repro.lang import parse_program
+
+#: The paper's Figure 1 (SPECjbb2000 excerpt), in the while language.
+FIGURE1_SOURCE = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    t = new Transaction @a2;
+    call t.txInit() @c1;
+    loop L1 (*) {
+      call t.display() @cd;
+      order = new Order @a5;
+      call t.process(order) @cp;
+    }
+  }
+}
+
+class Transaction {
+  field curr;
+  field customers;
+  method txInit() {
+    cs = new Customer[] @a10;
+    this.customers = cs;
+    loop LC (*) {
+      c = new Customer @a13;
+      call c.custInit() @ci;
+      cs.elem = c;
+    }
+  }
+  method process(p) {
+    this.curr = p;
+    custs = this.customers;
+    c = custs.elem;
+    call c.addOrder(p) @ca;
+  }
+  method display() {
+    o = this.curr;
+    if (nonnull o) {
+      this.curr = null;
+    }
+  }
+}
+
+class Customer {
+  field orders;
+  method custInit() {
+    arr = new Order[] @a34;
+    this.orders = arr;
+  }
+  method addOrder(y) {
+    arr = this.orders;
+    arr.elem = y;
+  }
+}
+
+class Order { }
+"""
+
+#: The Section 3.1 worked example (o1..o4), intraprocedural.
+WORKED_EXAMPLE_SOURCE = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    b = new C1 @o1;
+    loop L (*) {
+      c = new C2 @o2;
+      d = new C3 @o3;
+      e = new C4 @o4;
+      m = b.g;
+      if (*) {
+        n = m.h;
+      }
+      if (*) {
+        b.g = d;
+        d.h = e;
+      }
+    }
+  }
+}
+
+class C1 { field g; }
+class C2 { }
+class C3 { field h; }
+class C4 { }
+"""
+
+#: A minimal single-class loop leak: objects stored into an outside
+#: holder's field, never read.
+SIMPLE_LEAK_SOURCE = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    h = new Holder @holder;
+    loop L (*) {
+      x = new Item @item;
+      h.slot = x;
+    }
+  }
+}
+
+class Holder { field slot; }
+class Item { }
+"""
+
+#: Same shape but the reference is read back each iteration: not a leak.
+SIMPLE_SHARED_SOURCE = """
+entry Main.main;
+
+class Main {
+  static method main() {
+    h = new Holder @holder;
+    loop L (*) {
+      y = h.slot;
+      x = new Item @item;
+      h.slot = x;
+    }
+  }
+}
+
+class Holder { field slot; }
+class Item { }
+"""
+
+
+@pytest.fixture
+def figure1():
+    return parse_program(FIGURE1_SOURCE)
+
+
+@pytest.fixture
+def worked_example():
+    return parse_program(WORKED_EXAMPLE_SOURCE)
+
+
+@pytest.fixture
+def simple_leak():
+    return parse_program(SIMPLE_LEAK_SOURCE)
+
+
+@pytest.fixture
+def simple_shared():
+    return parse_program(SIMPLE_SHARED_SOURCE)

@@ -1,0 +1,47 @@
+"""Tests for abstract effect records."""
+
+from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.era import CUR, FUT, ZERO
+
+
+class TestEffectIdentity:
+    def test_store_equality_ignores_stmt(self):
+        a = StoreEffect("s", CUR, "f", "b", ZERO, stmt_uid=1)
+        b = StoreEffect("s", CUR, "f", "b", ZERO, stmt_uid=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_store_era_distinguishes(self):
+        a = StoreEffect("s", CUR, "f", "b", ZERO)
+        b = StoreEffect("s", FUT, "f", "b", ZERO)
+        assert a != b
+
+    def test_load_equality(self):
+        a = LoadEffect("s", FUT, "f", "b", ZERO)
+        b = LoadEffect("s", FUT, "f", "b", ZERO)
+        assert a == b
+
+    def test_store_load_never_equal(self):
+        store = StoreEffect("s", CUR, "f", "b", ZERO)
+        load = LoadEffect("s", CUR, "f", "b", ZERO)
+        assert store != load
+
+
+class TestEffectLog:
+    def test_record_deduplicates(self):
+        log = EffectLog()
+        eff = StoreEffect("s", CUR, "f", "b", ZERO)
+        assert log.record_store(eff)
+        assert not log.record_store(StoreEffect("s", CUR, "f", "b", ZERO))
+        assert len(log.stores) == 1
+
+    def test_snapshot_tracks_growth(self):
+        log = EffectLog()
+        before = log.snapshot()
+        log.record_load(LoadEffect("s", FUT, "f", "b", ZERO))
+        assert log.snapshot() != before
+
+    def test_repr(self):
+        log = EffectLog()
+        log.record_store(StoreEffect("s", CUR, "f", "b", ZERO))
+        assert "1 stores" in repr(log)

@@ -1,0 +1,151 @@
+"""Tests for the ERA lattice and type joins, including algebraic laws
+checked with hypothesis."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.era import (
+    BOT,
+    CUR,
+    FUT,
+    TOP,
+    ZERO,
+    Type,
+    bump_era,
+    is_inside,
+    join_era,
+)
+from repro.errors import AnalysisError
+
+ERAS = [BOT, CUR, FUT, TOP, ZERO]
+INSIDE_ERAS = [BOT, CUR, FUT, TOP]
+
+era_values = st.sampled_from(ERAS)
+inside_eras = st.sampled_from(INSIDE_ERAS)
+
+types = st.one_of(
+    st.just(Type.bot()),
+    st.just(Type.top()),
+    st.builds(
+        Type.obj, st.sampled_from(["s1", "s2", "s3"]), st.sampled_from([CUR, FUT, TOP, ZERO])
+    ),
+)
+
+
+class TestEraJoin:
+    def test_ordering(self):
+        assert join_era(CUR, FUT) == FUT
+        assert join_era(FUT, TOP) == TOP
+        assert join_era(CUR, TOP) == TOP
+
+    def test_bot_identity(self):
+        for era in ERAS:
+            assert join_era(BOT, era) == era
+            assert join_era(era, BOT) == era
+
+    def test_zero_with_zero(self):
+        assert join_era(ZERO, ZERO) == ZERO
+
+    def test_zero_with_inside_is_top(self):
+        """A site cannot be both inside and outside; a mixed join gives up
+        soundly."""
+        assert join_era(ZERO, CUR) == TOP
+        assert join_era(FUT, ZERO) == TOP
+
+    @given(era_values, era_values)
+    def test_commutative(self, a, b):
+        assert join_era(a, b) == join_era(b, a)
+
+    @given(era_values, era_values, era_values)
+    def test_associative(self, a, b, c):
+        assert join_era(join_era(a, b), c) == join_era(a, join_era(b, c))
+
+    @given(era_values)
+    def test_idempotent(self, a):
+        assert join_era(a, a) == a
+
+    @given(inside_eras, inside_eras)
+    def test_upper_bound(self, a, b):
+        order = {BOT: 0, CUR: 1, FUT: 2, TOP: 3}
+        joined = join_era(a, b)
+        assert order[joined] >= order[a]
+        assert order[joined] >= order[b]
+
+
+class TestBump:
+    def test_cur_becomes_suspect(self):
+        assert bump_era(CUR) == TOP
+
+    def test_fut_becomes_suspect(self):
+        assert bump_era(FUT) == TOP
+
+    def test_zero_unchanged(self):
+        assert bump_era(ZERO) == ZERO
+
+    def test_top_fixed_point(self):
+        assert bump_era(TOP) == TOP
+
+    @given(era_values)
+    def test_bump_idempotent(self, era):
+        assert bump_era(bump_era(era)) == bump_era(era)
+
+    @given(era_values)
+    def test_bump_monotone_in_lattice(self, era):
+        assert join_era(era, bump_era(era)) == bump_era(era)
+
+
+class TestIsInside:
+    def test_classification(self):
+        assert is_inside(CUR) and is_inside(FUT) and is_inside(TOP)
+        assert not is_inside(ZERO)
+
+
+class TestTypeJoin:
+    def test_bot_identity(self):
+        t = Type.obj("s", CUR)
+        assert Type.bot().join(t) == t
+        assert t.join(Type.bot()) == t
+
+    def test_top_absorbs(self):
+        t = Type.obj("s", CUR)
+        assert t.join(Type.top()).is_top
+
+    def test_same_site_joins_eras(self):
+        joined = Type.obj("s", CUR).join(Type.obj("s", TOP))
+        assert joined == Type.obj("s", TOP)
+
+    def test_different_sites_incomparable(self):
+        """Types with different allocation sites join to the any-type —
+        the rule that forces reports when any path escapes."""
+        assert Type.obj("s1", CUR).join(Type.obj("s2", CUR)).is_top
+
+    def test_with_era(self):
+        assert Type.obj("s", CUR).with_era(FUT).era == FUT
+        assert Type.top().with_era(FUT).is_top
+
+    def test_bump(self):
+        assert Type.obj("s", CUR).bump().era == TOP
+        assert Type.obj("s", ZERO).bump().era == ZERO
+        assert Type.bot().bump().is_bot
+
+    def test_invalid_era_rejected(self):
+        with pytest.raises(AnalysisError):
+            Type.obj("s", "banana")
+
+    @given(types, types)
+    def test_join_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(types, types, types)
+    def test_join_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(types)
+    def test_join_idempotent(self, t):
+        assert t.join(t) == t
+
+    def test_equality_hash(self):
+        assert Type.obj("s", CUR) == Type.obj("s", CUR)
+        assert hash(Type.bot()) == hash(Type.bot())
+        assert Type.obj("s", CUR) != Type.obj("s", FUT)

@@ -1,0 +1,159 @@
+"""Tests for the flows-out/flows-in relations and Definition-3 matching."""
+
+from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.era import CUR, FUT, TOP, ZERO
+from repro.core.flows import (
+    FlowPair,
+    detect_leaks,
+    flows_in_pairs,
+    flows_out_pairs,
+    match_flows,
+)
+from repro.core.typestate import analyze_loop
+from repro.lang import parse_program
+
+INSIDE = frozenset({"i1", "i2"})
+
+
+def _log(stores=(), loads=()):
+    log = EffectLog()
+    for eff in stores:
+        log.record_store(eff)
+    for eff in loads:
+        log.record_load(eff)
+    return log
+
+
+class TestFlowsOut:
+    def test_direct_escape(self):
+        log = _log(stores=[StoreEffect("i1", CUR, "f", "b", ZERO)])
+        assert flows_out_pairs(log, INSIDE) == {FlowPair("i1", "f", "b")}
+
+    def test_transitive_escape_keeps_outer_field(self):
+        """i2 stored into i1 stored into b.g: the pair reports field g of
+        the closest outside object b."""
+        log = _log(
+            stores=[
+                StoreEffect("i2", CUR, "val", "i1", CUR),
+                StoreEffect("i1", CUR, "g", "b", ZERO),
+            ]
+        )
+        pairs = flows_out_pairs(log, INSIDE)
+        assert FlowPair("i2", "g", "b") in pairs
+        assert FlowPair("i1", "g", "b") in pairs
+
+    def test_outside_to_outside_not_a_flow(self):
+        log = _log(stores=[StoreEffect("b1", ZERO, "f", "b2", ZERO)])
+        assert flows_out_pairs(log, INSIDE) == set()
+
+    def test_inside_only_chain_no_escape(self):
+        log = _log(stores=[StoreEffect("i2", CUR, "val", "i1", CUR)])
+        assert flows_out_pairs(log, INSIDE) == set()
+
+
+class TestFlowsIn:
+    def test_cross_iteration_load(self):
+        log = _log(loads=[LoadEffect("i1", FUT, "f", "b", ZERO)])
+        assert flows_in_pairs(log, INSIDE) == {FlowPair("i1", "f", "b")}
+
+    def test_top_era_load_counts(self):
+        log = _log(loads=[LoadEffect("i1", TOP, "f", "b", ZERO)])
+        assert flows_in_pairs(log, INSIDE) == {FlowPair("i1", "f", "b")}
+
+    def test_same_iteration_load_ignored(self):
+        """A load of a 'c' object is a same-iteration retrieval — the
+        extended-recency check rejects it."""
+        log = _log(loads=[LoadEffect("i1", CUR, "f", "b", ZERO)])
+        assert flows_in_pairs(log, INSIDE) == set()
+
+    def test_transitive_retrieval(self):
+        """i2 loaded from i1 which flowed in from b.g: i2 flows in too."""
+        log = _log(
+            loads=[
+                LoadEffect("i1", FUT, "g", "b", ZERO),
+                LoadEffect("i2", FUT, "val", "i1", FUT),
+            ]
+        )
+        pairs = flows_in_pairs(log, INSIDE)
+        assert FlowPair("i2", "g", "b") in pairs
+
+    def test_outside_value_ignored(self):
+        log = _log(loads=[LoadEffect("b2", ZERO, "f", "b", ZERO)])
+        assert flows_in_pairs(log, INSIDE) == set()
+
+
+class TestMatching:
+    def test_top_era_always_leaks(self):
+        verdicts = match_flows(
+            {"i1": TOP},
+            {FlowPair("i1", "f", "b")},
+            set(),
+            INSIDE,
+        )
+        assert verdicts["i1"].is_leak
+
+    def test_fut_with_match_not_a_leak(self):
+        verdicts = match_flows(
+            {"i1": FUT},
+            {FlowPair("i1", "f", "b")},
+            {FlowPair("i1", "f", "b")},
+            INSIDE,
+        )
+        assert not verdicts["i1"].is_leak
+        assert verdicts["i1"].matched
+
+    def test_fut_with_unmatched_pair_leaks(self):
+        """The Figure 1 situation: one matched pair (curr) plus one
+        unmatched pair (orders array) — the unmatched edge is the leak."""
+        verdicts = match_flows(
+            {"i1": FUT},
+            {FlowPair("i1", "curr", "b"), FlowPair("i1", "elem", "arr")},
+            {FlowPair("i1", "curr", "b")},
+            INSIDE,
+        )
+        assert verdicts["i1"].is_leak
+        assert FlowPair("i1", "elem", "arr") in verdicts["i1"].unmatched
+
+    def test_match_requires_same_base_and_field(self):
+        verdicts = match_flows(
+            {"i1": FUT},
+            {FlowPair("i1", "f", "b1")},
+            {FlowPair("i1", "f", "b2")},  # different outside object
+            INSIDE,
+        )
+        assert verdicts["i1"].is_leak
+
+    def test_no_flows_out_no_verdict(self):
+        verdicts = match_flows({"i1": CUR}, set(), set(), INSIDE)
+        assert "i1" not in verdicts
+
+
+class TestEndToEnd:
+    def test_detect_leaks_on_worked_example(self, worked_example):
+        result = analyze_loop(worked_example.method("Main.main"), "L")
+        leaks = detect_leaks(result)
+        # o4 escapes and never flows back (ERA T); o3 flows back (ERA f,
+        # matched): only o4 is a leak.
+        assert set(leaks) == {"o4"}
+
+    def test_detect_leaks_matched_program(self):
+        prog = parse_program(
+            """entry M.main;
+            class M { static method main() {
+              b = new H @outer;
+              loop L (*) {
+                m = b.g;
+                d = new M @inner;
+                b.g = d;
+              }
+            } }
+            class H { field g; }""",
+            validate=False,
+        )
+        result = analyze_loop(prog.method("M.main"), "L")
+        assert detect_leaks(result) == {}
+
+    def test_flow_pair_identity(self):
+        assert FlowPair("a", "f", "b") == FlowPair("a", "f", "b")
+        assert hash(FlowPair("a", "f", "b")) == hash(FlowPair("a", "f", "b"))
+        assert FlowPair("a", "f", "b") != FlowPair("a", "g", "b")

@@ -1,0 +1,128 @@
+"""Tests for component harness synthesis."""
+
+import pytest
+
+from repro.core.harness import (
+    HARNESS_LOOP,
+    check_component,
+    synthesize_harness,
+)
+from repro.errors import AnalysisError
+from repro.lang import parse_program
+
+# A component with no main: a registry that parks records in its own
+# long-lived list and also writes into its (unknown) sink parameter.
+_COMPONENT = """
+class Registry {
+  field store;
+  method regInit() {
+    l = new Record[] @store_arr;
+    this.store = l;
+  }
+  method handle(sink) {
+    r = new Record @record;
+    l = this.store;
+    l.elem = r;
+    t = new Token @token;
+    sink.latest = t;
+  }
+}
+class Record { }
+class Token { }
+"""
+
+
+class TestSynthesis:
+    def test_harness_program_builds(self):
+        program = parse_program(_COMPONENT)
+        harness, spec = synthesize_harness(program, "Registry.handle")
+        assert harness.entry == "LeakHarness.main"
+        assert spec.loop_label == HARNESS_LOOP
+        assert "LeakHarnessMock" in harness.classes
+
+    def test_receiver_and_mock_args_allocated(self):
+        program = parse_program(_COMPONENT)
+        harness, _ = synthesize_harness(program, "Registry.handle")
+        labels = {s.label for s in harness.alloc_sites()}
+        assert "harness:recv" in labels
+        assert "harness:arg0" in labels
+
+    def test_static_method_harness(self):
+        program = parse_program(
+            "class C { static method go(x) { y = x; } }"
+        )
+        harness, spec = synthesize_harness(program, "C.go")
+        report_sites = {s.label for s in harness.alloc_sites()}
+        assert "harness:recv" not in report_sites  # no receiver needed
+        assert harness.entry == "LeakHarness.main"
+
+    def test_reserved_name_clash(self):
+        program = parse_program("class LeakHarness { method m() { } }")
+        with pytest.raises(AnalysisError):
+            synthesize_harness(program, "LeakHarness.m")
+
+    def test_existing_entry_stripped(self):
+        program = parse_program(
+            "entry C.main;\nclass C { static method main() { } }"
+        )
+        harness, _ = synthesize_harness(program, "C.main")
+        assert harness.entry == "LeakHarness.main"
+
+
+class TestCheckComponent:
+    def test_component_self_state_leak_found(self):
+        """The record parked in the registry's own array leaks; no main
+        method was ever written."""
+        program = parse_program(_COMPONENT)
+        report = check_component(
+            program,
+            "Registry.handle",
+            setup_source="call recv.regInit() @setup;",
+        )
+        labels = set(report.leaking_site_labels)
+        assert "record" in labels
+
+    def test_escape_to_unknown_environment_found(self):
+        """The token written into the sink parameter escapes to the mock
+        (outside) environment object — also reported."""
+        program = parse_program(_COMPONENT)
+        report = check_component(
+            program,
+            "Registry.handle",
+            setup_source="call recv.regInit() @setup;",
+        )
+        token = next(
+            f for f in report.findings if f.site.label == "token"
+        )
+        bases = {b for b, _f in token.redundant_edges}
+        assert "harness:arg0" in bases
+
+    def test_component_without_setup(self):
+        """Without setup the registry's array is never created: only the
+        parameter escape remains (the store list is a null field)."""
+        program = parse_program(_COMPONENT)
+        report = check_component(program, "Registry.handle")
+        assert "token" in report.leaking_site_labels
+
+    def test_clean_component(self):
+        program = parse_program(
+            """class Calc {
+              method compute(x) {
+                t = new Temp @temp;
+                u = t;
+              }
+            }
+            class Temp { }"""
+        )
+        report = check_component(program, "Calc.compute")
+        assert report.findings == []
+
+    def test_harness_sites_never_reported(self):
+        program = parse_program(_COMPONENT)
+        report = check_component(
+            program,
+            "Registry.handle",
+            setup_source="call recv.regInit() @setup;",
+        )
+        for finding in report.findings:
+            assert not finding.site.label.startswith("harness:")

@@ -1,0 +1,100 @@
+"""Tests for call inlining (the bridge to the formal checker)."""
+
+import pytest
+
+from repro.core.inline import inline_calls
+from repro.core.typestate import analyze_loop
+from repro.core.era import CUR, FUT, ZERO
+from repro.core.flows import detect_leaks
+from repro.errors import AnalysisError
+from repro.ir.stmts import InvokeStmt
+from repro.lang import parse_program
+
+
+class TestInlining:
+    def test_result_is_call_free(self, figure1):
+        clone = inline_calls(figure1, "Main.main")
+        assert not any(isinstance(s, InvokeStmt) for s in clone.statements())
+
+    def test_site_labels_preserved(self, figure1):
+        clone = inline_calls(figure1, "Main.main")
+        sites = {
+            s.site for s in clone.statements() if type(s).__name__ == "NewStmt"
+        }
+        assert {"a2", "a5", "a10", "a13", "a34"} <= sites
+
+    def test_variables_renamed_apart(self):
+        prog = parse_program(
+            """entry M.main;
+            class M {
+              static method main() {
+                x = new M @s1;
+                call M.clobber() @c;
+                y = x;
+              }
+              static method clobber() { x = new M @s2; }
+            }"""
+        )
+        clone = inline_calls(prog, "M.main")
+        # x in main must not be clobbered by the callee's x
+        copies = [s for s in clone.statements() if type(s).__name__ == "CopyStmt"]
+        target_sources = {(c.target, c.source) for c in copies}
+        assert ("y", "x") in target_sources
+
+    def test_return_value_wired(self):
+        prog = parse_program(
+            """entry M.main;
+            class M {
+              static method main() { r = call M.make() @c; }
+              static method make() { x = new M @s; return x; }
+            }"""
+        )
+        clone = inline_calls(prog, "M.main")
+        copies = [
+            (s.target, s.source)
+            for s in clone.statements()
+            if type(s).__name__ == "CopyStmt"
+        ]
+        assert any(t == "r" for t, _ in copies)
+
+    def test_recursion_rejected(self):
+        prog = parse_program(
+            """entry M.main;
+            class M {
+              static method main() { call M.loopy() @c; }
+              static method loopy() { call M.loopy() @c2; }
+            }"""
+        )
+        with pytest.raises(AnalysisError):
+            inline_calls(prog, "M.main")
+
+    def test_polymorphic_call_rejected(self):
+        prog = parse_program(
+            """entry M.main;
+            class M {
+              static method main() { a = new A @sa; call a.m() @c; }
+            }
+            class A { method m() { return; } }
+            class B extends A { method m() { return; } }"""
+        )
+        with pytest.raises(AnalysisError):
+            inline_calls(prog, "M.main")
+
+    def test_depth_limit(self, figure1):
+        with pytest.raises(AnalysisError):
+            inline_calls(figure1, "Main.main", max_depth=0)
+
+    def test_figure1_formal_analysis_after_inlining(self, figure1):
+        """The headline integration: inline Figure 1, run the FORMAL type
+        and effect system, and find exactly the paper's answer — the
+        Order (a5) leaks, its ERA is f (it flows back via curr), and the
+        Customer array edge is the unmatched one."""
+        clone = inline_calls(figure1, "Main.main")
+        result = analyze_loop(clone, "L1")
+        assert result.era_of("a5") == FUT
+        assert result.era_of("a2") == ZERO
+        assert result.era_of("a13") == ZERO
+        leaks = detect_leaks(result)
+        assert set(leaks) == {"a5"}
+        unmatched_bases = {(p.base, p.field) for p in leaks["a5"].unmatched}
+        assert ("a34", "elem") in unmatched_bases

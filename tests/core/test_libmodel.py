@@ -1,0 +1,121 @@
+"""Tests for the stronger library flows-in condition (Section 4)."""
+
+from repro.callgraph.rta import build_rta
+from repro.core.detector import DetectorConfig, LeakChecker
+from repro.core.libmodel import (
+    is_library_sig,
+    library_visible_values,
+    load_counts_as_flow_in,
+)
+from repro.core.regions import LoopSpec
+from repro.javalib import with_javalib
+from repro.lang import parse_program
+from repro.pta.pag import PAG
+
+_PUT_ONLY = """
+entry Main.main;
+class Main {
+  static method main() {
+    m = new HashMap @map;
+    call m.hmInit() @mi;
+    loop L (*) {
+      x = new Item @item;
+      call m.put(x, x) @do_put;
+    }
+  }
+}
+class Item { }
+"""
+
+_PUT_AND_GET = """
+entry Main.main;
+class Main {
+  static method main() {
+    m = new HashMap @map;
+    call m.hmInit() @mi;
+    loop L (*) {
+      y = call m.get(m) @do_get;
+      x = new Item @item;
+      call m.put(x, x) @do_put;
+    }
+  }
+}
+class Item { }
+"""
+
+
+def _program(app):
+    return parse_program(with_javalib(app, "hashmap"))
+
+
+class TestVisibility:
+    def test_is_library_sig(self):
+        prog = _program(_PUT_ONLY)
+        assert is_library_sig(prog, "HashMap.put")
+        assert not is_library_sig(prog, "Main.main")
+
+    def test_put_probe_not_visible(self):
+        """HashMap.put's internal entry probe is never returned: its load
+        target must not be application-visible."""
+        prog = _program(_PUT_ONLY)
+        pag = PAG(prog, build_rta(prog))
+        visible = library_visible_values(prog, pag)
+        probe_loads = [e for e in pag.load_edges if e.target.name == "probe"]
+        assert probe_loads
+        for edge in probe_loads:
+            assert edge.target not in visible
+            assert not load_counts_as_flow_in(prog, pag, edge, visible)
+
+    def test_get_value_visible(self):
+        """HashMap.get returns what it loads: the load counts."""
+        prog = _program(_PUT_AND_GET)
+        pag = PAG(prog, build_rta(prog))
+        visible = library_visible_values(prog, pag)
+        value_loads = [
+            e
+            for e in pag.load_edges
+            if e.target.method_sig == "HashMap.get" and e.target.name == "v"
+        ]
+        assert value_loads
+        for edge in value_loads:
+            assert load_counts_as_flow_in(prog, pag, edge, visible)
+
+    def test_application_loads_always_count(self):
+        prog = _program(_PUT_ONLY)
+        pag = PAG(prog, build_rta(prog))
+        app_loads = [
+            e for e in pag.load_edges if not is_library_sig(prog, e.target.method_sig)
+        ]
+        for edge in app_loads:
+            assert load_counts_as_flow_in(prog, pag, edge)
+
+
+class TestDetectorIntegration:
+    def test_put_only_is_a_leak(self):
+        """Objects put into a HashMap and never retrieved leak, even
+        though put internally READS the backing array — the stronger
+        condition ignores that read."""
+        prog = _program(_PUT_ONLY)
+        report = LeakChecker(prog).check(LoopSpec("Main.main", "L"))
+        assert report.leaking_site_labels == ["item"]
+
+    def test_put_and_get_not_a_leak(self):
+        prog = _program(_PUT_AND_GET)
+        report = LeakChecker(prog).check(LoopSpec("Main.main", "L"))
+        assert report.findings == []
+
+    def test_disabling_condition_misses_the_leak(self):
+        """The ablation: without the stronger condition, put's internal
+        read looks like a retrieval and the leak is missed — exactly why
+        Section 4 introduces the condition."""
+        prog = _program(_PUT_ONLY)
+        config = DetectorConfig(library_condition=False)
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert report.findings == []
+
+    def test_library_entry_sites_not_reported(self):
+        """MapEntry allocations inside HashMap.put are library internals:
+        the report points at the application site, not the entry site."""
+        prog = _program(_PUT_ONLY)
+        report = LeakChecker(prog).check(LoopSpec("Main.main", "L"))
+        assert "HashMap:entry" not in report.leaking_site_labels

@@ -1,0 +1,45 @@
+"""Tests for pivot mode."""
+
+from repro.core.pivot import apply_pivot, containment_edges
+
+
+class TestApplyPivot:
+    def test_contained_leak_suppressed(self):
+        # item flows into node; both leak: keep only the root (node)
+        kept = apply_pivot(["item", "node"], [("item", "node")])
+        assert kept == ["node"]
+
+    def test_transitive_containment(self):
+        kept = apply_pivot(
+            ["a", "c"], [("a", "b"), ("b", "c")]
+        )
+        assert kept == ["c"]
+
+    def test_containment_through_unreported_intermediate(self):
+        """Paths may traverse library-internal nodes that are themselves
+        not reported (e.g. HashMap entries)."""
+        kept = apply_pivot(["value", "container"], [("value", "entry"), ("entry", "container")])
+        assert kept == ["container"]
+
+    def test_independent_leaks_all_kept(self):
+        kept = apply_pivot(["a", "b"], [])
+        assert kept == ["a", "b"]
+
+    def test_containment_into_non_leaking_site_irrelevant(self):
+        # a flows into x, but x is not a reported leak: a stays
+        kept = apply_pivot(["a"], [("a", "x")])
+        assert kept == ["a"]
+
+    def test_cycle_suppresses_both(self):
+        """Mutually contained leaking sites dominate each other; pivot
+        keeps neither — degenerate but must terminate."""
+        kept = apply_pivot(["a", "b"], [("a", "b"), ("b", "a")])
+        assert kept == []
+
+    def test_self_edge_does_not_suppress(self):
+        kept = apply_pivot(["a"], [("a", "a")])
+        assert kept == ["a"]
+
+    def test_edges_helper(self):
+        edges = containment_edges([("a", "b"), ("a", "c")])
+        assert edges == {"a": {"b", "c"}}

@@ -1,0 +1,63 @@
+"""Tests for whole-program loop scanning."""
+
+from repro.core.detector import DetectorConfig
+from repro.core.scan import scan_all_loops
+from repro.lang import parse_program
+
+_TWO_LOOPS = """
+entry Main.main;
+class Main {
+  static method main() {
+    h = new Holder @holder;
+    loop LEAKY (*) {
+      x = new Item @item;
+      h.slot = x;
+    }
+    loop CLEAN (*) {
+      y = new Item @local;
+    }
+  }
+}
+class Holder { field slot; }
+class Item { }
+"""
+
+
+class TestScan:
+    def test_scans_every_loop(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog)
+        assert len(result.entries) == 2
+
+    def test_identifies_leaky_loop(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog)
+        leaky = result.loops_with_leaks()
+        assert [spec.loop_label for spec in leaky] == ["LEAKY"]
+
+    def test_aggregated_sites(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog)
+        assert result.leaking_sites() == ["item"]
+
+    def test_ranked_order_visits_suspicious_first(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog, ranked=True)
+        assert result.entries[0][0].loop_label == "LEAKY"
+
+    def test_limit(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog, ranked=True, limit=1)
+        assert len(result.entries) == 1
+        assert result.total_findings() == 1
+
+    def test_config_respected(self):
+        prog = parse_program(_TWO_LOOPS)
+        result = scan_all_loops(prog, config=DetectorConfig(pivot=False))
+        assert result.total_findings() == 1
+
+    def test_format(self):
+        prog = parse_program(_TWO_LOOPS)
+        text = scan_all_loops(prog).format()
+        assert "[LEAKS]" in text
+        assert "[clean]" in text

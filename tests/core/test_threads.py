@@ -1,0 +1,131 @@
+"""Tests for threads-as-outside-objects modeling (Mikou workaround)."""
+
+from repro.callgraph.rta import build_rta
+from repro.core.detector import DetectorConfig, LeakChecker
+from repro.core.regions import LoopSpec
+from repro.core.threads import started_thread_sites
+from repro.javalib import with_javalib
+from repro.lang import parse_program
+from repro.pta.queries import PointsTo
+
+_THREAD_LEAK = """
+entry Main.main;
+class Main {
+  static method main() {
+    loop L (*) {
+      t = new Worker @worker;
+      x = new Item @item;
+      t.payload = x;
+      call t.start() @st;
+    }
+  }
+}
+class Worker extends Thread {
+  field payload;
+}
+class Item { }
+"""
+
+_NEVER_STARTED = """
+entry Main.main;
+class Main {
+  static method main() {
+    loop L (*) {
+      t = new Worker @worker;
+      x = new Item @item;
+      t.payload = x;
+    }
+  }
+}
+class Worker extends Thread {
+  field payload;
+}
+class Item { }
+"""
+
+
+def _program(app):
+    return parse_program(with_javalib(app, "thread"))
+
+
+class TestStartedThreadSites:
+    def test_started_thread_found(self):
+        prog = _program(_THREAD_LEAK)
+        graph = build_rta(prog)
+        sites = started_thread_sites(prog, graph, PointsTo(prog, graph))
+        assert sites == {"worker"}
+
+    def test_unstarted_thread_not_tagged(self):
+        prog = _program(_NEVER_STARTED)
+        graph = build_rta(prog)
+        assert started_thread_sites(prog, graph, PointsTo(prog, graph)) == set()
+
+    def test_non_thread_receiver_ignored(self):
+        src = """
+        entry Main.main;
+        class Main { static method main() {
+          x = new NotAThread @nt;
+          call x.start() @c;
+        } }
+        class NotAThread { method start() { return; } }
+        """
+        prog = _program(src)
+        graph = build_rta(prog)
+        assert started_thread_sites(prog, graph, PointsTo(prog, graph)) == set()
+
+
+class TestDetectorIntegration:
+    def test_without_modeling_thread_escape_invisible(self):
+        """The thread is created inside the loop, so stores into it look
+        inside-to-inside and nothing is reported — the paper's first
+        (failing) attempt on Mikou."""
+        prog = _program(_THREAD_LEAK)
+        report = LeakChecker(prog).check(LoopSpec("Main.main", "L"))
+        assert report.findings == []
+
+    def test_with_modeling_escape_reported(self):
+        prog = _program(_THREAD_LEAK)
+        config = DetectorConfig(model_threads=True)
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert report.leaking_site_labels == ["item"]
+        assert any("thread" in n for n in report.findings[0].notes)
+
+    def test_thread_site_itself_not_reported(self):
+        prog = _program(_THREAD_LEAK)
+        config = DetectorConfig(model_threads=True)
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert "worker" not in report.leaking_site_labels
+
+    def test_unstarted_thread_is_ordinary_object(self):
+        prog = _program(_NEVER_STARTED)
+        config = DetectorConfig(model_threads=True)
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert report.findings == []
+
+    def test_loads_in_thread_run_do_not_cancel_reports(self):
+        """A retrieval by the thread body is not a retrieval by a later
+        loop iteration."""
+        src = """
+        entry Main.main;
+        class Main {
+          static method main() {
+            loop L (*) {
+              t = new Worker @worker;
+              x = new Item @item;
+              t.payload = x;
+              call t.start() @st;
+            }
+          }
+        }
+        class Worker extends Thread {
+          field payload;
+          method run() {
+            p = this.payload;
+          }
+        }
+        class Item { }
+        """
+        prog = _program(src)
+        config = DetectorConfig(model_threads=True)
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert report.leaking_site_labels == ["item"]

@@ -1,0 +1,113 @@
+"""Tests for repro.ir.builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import ProgramBuilder
+from repro.ir.stmts import Cond, IfStmt, LoopStmt, NewStmt
+from repro.ir.types import ELEM_FIELD
+
+
+class TestBuilderBasics:
+    def test_fresh_sites_unique(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        s1 = mb.new("x", "A")
+        s2 = mb.new("y", "A")
+        assert s1.site != s2.site
+        pb.build()
+
+    def test_explicit_site(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        stmt = mb.new("x", "A", site="here")
+        assert stmt.site == "here"
+        pb.build()
+
+    def test_array_helpers(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        mb.new_array("arr", "A")
+        mb.aload("x", "arr")
+        mb.astore("arr", "x")
+        prog = pb.build()
+        stmts = list(prog.method("A.m").statements())
+        fields = {getattr(s, "field", None) for s in stmts}
+        assert ELEM_FIELD in fields
+
+    def test_if_builders(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        mb.new("x", "A")
+        then_b, else_b = mb.if_nonnull("x")
+        then_b.null("x")
+        else_b.copy("y", "x")
+        prog = pb.build()
+        ifs = [s for s in prog.method("A.m").statements() if isinstance(s, IfStmt)]
+        assert len(ifs) == 1
+        assert ifs[0].cond.kind == Cond.NONNULL
+        assert len(ifs[0].then_block.stmts) == 1
+
+    def test_loop_builder_default_label(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        body = mb.loop()
+        body.new("x", "A")
+        prog = pb.build()
+        loops = [s for s in prog.method("A.m").statements() if isinstance(s, LoopStmt)]
+        assert len(loops) == 1
+        assert loops[0].label
+
+    def test_static_vs_virtual_invoke(self):
+        pb = ProgramBuilder()
+        a = pb.cls("A")
+        mb = a.method("m")
+        mb.new("x", "A")
+        mb.invoke("r", "x", "m2", ["x"])
+        mb.sinvoke(None, "A", "s1")
+        a.method("m2", params=["p"]).ret("p")
+        a.static_method("s1")
+        prog = pb.build()
+        invokes = [
+            s
+            for s in prog.method("A.m").statements()
+            if type(s).__name__ == "InvokeStmt"
+        ]
+        assert [i.is_static for i in invokes] == [False, True]
+
+    def test_build_twice_fails(self):
+        pb = ProgramBuilder()
+        pb.cls("A")
+        pb.build()
+        with pytest.raises(IRError):
+            pb.build()
+
+    def test_entry_validated(self):
+        pb = ProgramBuilder()
+        pb.cls("A")
+        with pytest.raises(Exception):
+            pb.build(entry="A.nope")
+
+    def test_uids_assigned(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        mb.new("x", "A")
+        prog = pb.build()
+        for stmt in prog.all_statements():
+            assert stmt.uid is not None
+            assert stmt.method is not None
+
+    def test_fields_helper(self):
+        pb = ProgramBuilder()
+        pb.cls("A").fields("f", "g")
+        prog = pb.build()
+        assert set(prog.cls("A").fields) == {"f", "g"}
+
+    def test_context_manager_style(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        with mb.loop("L") as body:
+            body.new("x", "A")
+        prog = pb.build()
+        loop = prog.method("A.m").find_loop("L")
+        assert isinstance(loop.body.stmts[0], NewStmt)

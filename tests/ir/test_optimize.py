@@ -1,0 +1,193 @@
+"""Tests for the IR cleanup optimizer passes."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetectorConfig, LeakChecker, LoopSpec
+
+_NO_PIVOT = DetectorConfig(pivot=False)
+from repro.ir.optimize import (
+    eliminate_dead_copies,
+    optimize_program,
+    propagate_copies,
+)
+from repro.ir.stmts import CopyStmt, StoreStmt, walk
+from repro.lang import parse_program
+from repro.semantics.interp import RandomSchedule, execute
+
+from tests.properties.strategies import loop_programs
+
+
+def _method(source, sig="A.m"):
+    return parse_program(source, validate=False).method(sig)
+
+
+class TestCopyPropagation:
+    def test_straight_line_chain(self):
+        m = _method(
+            "class A { field f; method m(p) { a = p; b = a; b.f = b; } }"
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        assert store.base == "p"
+        assert store.source == "p"
+
+    def test_redefinition_invalidates(self):
+        m = _method(
+            """class A { field f; method m(p, q) {
+              a = p;
+              a = q;
+              a.f = a;
+            } }"""
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        assert store.base == "q"
+
+    def test_source_redefinition_invalidates(self):
+        m = _method(
+            """class A { field f; method m(p, q) {
+              a = p;
+              p = q;
+              a.f = a;
+            } }"""
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        # a's copy of (old) p must NOT be rewritten to the new p
+        assert store.base == "a"
+
+    def test_branch_inherits_incoming_copies(self):
+        m = _method(
+            """class A { field f; method m(p) {
+              a = p;
+              if (*) { a.f = a; }
+            } }"""
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        assert store.base == "p"
+
+    def test_after_branch_conservative(self):
+        m = _method(
+            """class A { field f; method m(p, q) {
+              a = p;
+              if (*) { a = q; }
+              a.f = a;
+            } }"""
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        assert store.base == "a"  # unknown which definition reaches
+
+    def test_loop_body_starts_cold(self):
+        m = _method(
+            """class A { field f; method m(p) {
+              a = p;
+              loop L (*) {
+                a.f = a;
+                a = call A.next(a) @c;
+              }
+            }
+            static method next(x) { return x; } }"""
+        )
+        propagate_copies(m)
+        store = next(s for s in walk(m.body) if isinstance(s, StoreStmt))
+        # 'a' changes across iterations: must not be rewritten to p
+        assert store.base == "a"
+
+    def test_condition_variable_rewritten(self):
+        m = _method(
+            """class A { method m(p) {
+              a = p;
+              if (nonnull a) { x = a; }
+            } }"""
+        )
+        propagate_copies(m)
+        cond = next(s for s in walk(m.body) if type(s).__name__ == "IfStmt").cond
+        assert cond.var == "p"
+
+
+class TestDeadCopyElimination:
+    def test_write_only_copy_removed(self):
+        m = _method("class A { method m(p) { a = p; return p; } }")
+        assert eliminate_dead_copies(m) == 1
+        assert not any(isinstance(s, CopyStmt) for s in walk(m.body))
+
+    def test_self_copy_removed(self):
+        m = _method("class A { method m(p) { p = p; return p; } }")
+        assert eliminate_dead_copies(m) == 1
+
+    def test_used_copy_kept(self):
+        m = _method("class A { method m(p) { a = p; return a; } }")
+        assert eliminate_dead_copies(m) == 0
+
+    def test_cascading_removal(self):
+        """Removing the outer dead copy makes the inner one dead too."""
+        m = _method("class A { method m(p) { a = p; b = a; return p; } }")
+        assert eliminate_dead_copies(m) == 2
+
+    def test_allocations_never_removed(self):
+        m = _method("class A { method m() { a = new A @keep; } }")
+        eliminate_dead_copies(m)
+        sites = [s for s in walk(m.body) if type(s).__name__ == "NewStmt"]
+        assert len(sites) == 1
+
+    def test_nested_blocks_swept(self):
+        m = _method(
+            "class A { method m(p) { if (*) { a = p; } return p; } }"
+        )
+        assert eliminate_dead_copies(m) == 1
+
+
+class TestOptimizeProgram:
+    def test_stats(self, figure1):
+        stats = optimize_program(figure1)
+        assert stats["copies_propagated_methods"] == len(
+            list(figure1.all_methods())
+        )
+
+    def test_detector_report_unchanged(self, figure1):
+        before = LeakChecker(figure1).check(LoopSpec("Main.main", "L1"))
+        optimize_program(figure1)
+        after = LeakChecker(figure1).check(LoopSpec("Main.main", "L1"))
+        assert before.leaking_site_labels == after.leaking_site_labels
+        assert (
+            before.findings[0].redundant_edges
+            == after.findings[0].redundant_edges
+        )
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loop_programs(), st.integers(min_value=0, max_value=2**16))
+    def test_semantics_preserved_on_random_programs(self, source, seed):
+        """The optimizer must not change observable behaviour: identical
+        allocation order and heap effects under the same schedule."""
+        original = parse_program(source)
+        optimized = parse_program(source)
+        optimize_program(optimized)
+
+        t1 = execute(original, schedule=RandomSchedule(seed=seed, max_trips=3))
+        t2 = execute(optimized, schedule=RandomSchedule(seed=seed, max_trips=3))
+        assert [o.site for o in t1.objects] == [o.site for o in t2.objects]
+        assert [
+            (e.source.site, e.field, e.base.site) for e in t1.stores
+        ] == [(e.source.site, e.field, e.base.site) for e in t2.stores]
+        assert [
+            (e.value.site, e.field, e.base.site) for e in t1.loads
+        ] == [(e.value.site, e.field, e.base.site) for e in t2.loads]
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(loop_programs())
+    def test_detector_reports_refined_on_random_programs(self, source):
+        """Copy propagation can only *sharpen* the flow-insensitive
+        detector: rewriting uses to the original variable removes
+        spurious copy-chain flows, so the optimized program's report is
+        a subset of the original's (never a superset)."""
+        original = parse_program(source)
+        optimized = parse_program(source)
+        optimize_program(optimized)
+        a = LeakChecker(original, _NO_PIVOT).check(LoopSpec("Main.main", "L"))
+        b = LeakChecker(optimized, _NO_PIVOT).check(LoopSpec("Main.main", "L"))
+        assert set(b.leaking_site_labels) <= set(a.leaking_site_labels)

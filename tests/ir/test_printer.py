@@ -1,0 +1,67 @@
+"""Tests for repro.ir.printer: rendering and round-tripping."""
+
+from repro.ir.printer import class_to_text, method_to_text, program_to_text
+from repro.lang import parse_program
+from tests.conftest import FIGURE1_SOURCE, SIMPLE_LEAK_SOURCE
+
+
+class TestRendering:
+    def test_entry_rendered(self, simple_leak):
+        text = program_to_text(simple_leak)
+        assert "entry Main.main;" in text
+
+    def test_loop_label_rendered(self, simple_leak):
+        assert "loop L (*)" in program_to_text(simple_leak)
+
+    def test_site_labels_preserved(self, simple_leak):
+        text = program_to_text(simple_leak)
+        assert "@holder" in text
+        assert "@item" in text
+
+    def test_library_flag_rendered(self):
+        prog = parse_program("library class L { method m() { return; } }")
+        assert class_to_text(prog.cls("L")).startswith("library class L")
+
+    def test_extends_rendered(self):
+        prog = parse_program("class A { }\nclass B extends A { }")
+        assert "class B extends A" in class_to_text(prog.cls("B"))
+
+    def test_static_method_rendered(self, simple_leak):
+        text = method_to_text(simple_leak.method("Main.main"))
+        assert text.strip().startswith("static method main()")
+
+    def test_nonnull_condition_rendered(self, figure1):
+        text = method_to_text(figure1.method("Transaction.display"))
+        assert "if (nonnull o)" in text
+
+    def test_store_null_rendered(self, figure1):
+        text = method_to_text(figure1.method("Transaction.display"))
+        assert "this.curr = null;" in text
+
+
+class TestRoundTrip:
+    def _round_trip(self, source):
+        prog = parse_program(source)
+        text = program_to_text(prog)
+        reparsed = parse_program(text)
+        assert program_to_text(reparsed) == text
+
+    def test_figure1(self):
+        self._round_trip(FIGURE1_SOURCE)
+
+    def test_simple_leak(self):
+        self._round_trip(SIMPLE_LEAK_SOURCE)
+
+    def test_javalib(self):
+        from repro.javalib import JAVALIB_SOURCE
+
+        self._round_trip(JAVALIB_SOURCE + "\nclass App { }")
+
+    def test_semantics_preserved(self, simple_leak):
+        """Reparsed program has identical sites and statement counts."""
+        text = program_to_text(simple_leak)
+        reparsed = parse_program(text)
+        assert {s.label for s in reparsed.alloc_sites()} == {
+            s.label for s in simple_leak.alloc_sites()
+        }
+        assert reparsed.statement_count() == simple_leak.statement_count()

@@ -1,0 +1,120 @@
+"""Tests for repro.ir.stmts."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.stmts import (
+    Block,
+    Cond,
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    NullStmt,
+    ReturnStmt,
+    StoreNullStmt,
+    StoreStmt,
+    simple_statements,
+    walk,
+)
+from repro.ir.types import RefType
+
+
+class TestCond:
+    def test_nondet_default(self):
+        assert Cond().kind == Cond.NONDET
+        assert str(Cond()) == "*"
+
+    def test_nonnull(self):
+        cond = Cond(Cond.NONNULL, "x")
+        assert str(cond) == "nonnull x"
+
+    def test_null(self):
+        assert str(Cond(Cond.NULL, "x")) == "null x"
+
+    def test_invalid_kind(self):
+        with pytest.raises(IRError):
+            Cond("maybe")
+
+    def test_var_required_for_tests(self):
+        with pytest.raises(IRError):
+            Cond(Cond.NONNULL)
+
+
+class TestSimpleStatements:
+    def test_new_describes_site(self):
+        stmt = NewStmt("x", RefType("C"), "s1")
+        assert "new C" in repr(stmt)
+        assert stmt.is_simple
+
+    def test_copy(self):
+        assert CopyStmt("a", "b").is_simple
+
+    def test_null(self):
+        assert "null" in repr(NullStmt("a"))
+
+    def test_load_store_fields(self):
+        load = LoadStmt("x", "y", "f")
+        store = StoreStmt("y", "f", "x")
+        assert load.field == store.field == "f"
+
+    def test_store_null(self):
+        stmt = StoreNullStmt("y", "f")
+        assert "y.f = null" in repr(stmt)
+
+    def test_return_optional_value(self):
+        assert ReturnStmt().value is None
+        assert ReturnStmt("x").value == "x"
+
+
+class TestInvoke:
+    def test_virtual(self):
+        stmt = InvokeStmt("r", "recv", None, "m", ["a"], "cs")
+        assert not stmt.is_static
+
+    def test_static(self):
+        stmt = InvokeStmt(None, None, "C", "m", [], "cs")
+        assert stmt.is_static
+
+    def test_must_pick_one_dispatch(self):
+        with pytest.raises(IRError):
+            InvokeStmt(None, "recv", "C", "m", [], "cs")
+        with pytest.raises(IRError):
+            InvokeStmt(None, None, None, "m", [], "cs")
+
+
+class TestCompound:
+    def _nested(self):
+        inner = Block([CopyStmt("a", "b")])
+        loop = LoopStmt("L", inner)
+        blk = Block([NullStmt("a"), IfStmt(Cond(), Block([loop]), Block([]))])
+        return blk
+
+    def test_walk_reaches_nested(self):
+        stmts = list(walk(self._nested()))
+        kinds = [type(s).__name__ for s in stmts]
+        assert "LoopStmt" in kinds
+        assert "CopyStmt" in kinds
+
+    def test_walk_preorder(self):
+        blk = self._nested()
+        stmts = list(walk(blk))
+        assert stmts[0] is blk
+
+    def test_simple_statements_filters_blocks(self):
+        simples = list(simple_statements(self._nested()))
+        assert all(s.is_simple for s in simples)
+        assert len(simples) == 2  # a = null; a = b
+
+    def test_compound_not_simple(self):
+        assert not Block([]).is_simple
+        assert not IfStmt(Cond(), Block([]), Block([])).is_simple
+        assert not LoopStmt("L", Block([])).is_simple
+
+    def test_children(self):
+        stmt = IfStmt(Cond(), Block([]), Block([]))
+        assert len(stmt.children()) == 2
+        assert len(LoopStmt("L", Block([])).children()) == 1
+        assert CopyStmt("a", "b").children() == ()

@@ -1,0 +1,89 @@
+"""Tests for repro.ir.validate."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import ProgramBuilder
+from repro.ir.validate import check, validate_program
+from repro.lang.lowering import lower
+from repro.lang.parser import parse
+
+
+def _issues(source):
+    return validate_program(lower(parse(source)))
+
+
+class TestValidation:
+    def test_valid_program_clean(self):
+        assert _issues("class A { method m(p) { x = p; return x; } }") == []
+
+    def test_undefined_variable(self):
+        issues = _issues("class A { method m() { x = y; } }")
+        assert any("'y' used but never defined" in i for i in issues)
+
+    def test_undefined_store_base(self):
+        issues = _issues("class A { field f; method m(p) { q.f = p; } }")
+        assert any("'q'" in i for i in issues)
+
+    def test_unknown_allocated_class(self):
+        issues = _issues("class A { method m() { x = new Ghost; } }")
+        assert any("unknown class Ghost" in i for i in issues)
+
+    def test_unknown_superclass(self):
+        issues = _issues("class A extends Ghost { }")
+        assert any("unknown class Ghost" in i for i in issues)
+
+    def test_static_call_unknown_method(self):
+        issues = _issues("class A { method m() { call A.nope(); } }")
+        assert any("unknown method A.nope" in i for i in issues)
+
+    def test_static_call_to_instance_method(self):
+        issues = _issues(
+            "class A { method inst() { return; } method m() { call A.inst(); } }"
+        )
+        assert any("static call to instance method" in i for i in issues)
+
+    def test_virtual_call_without_target(self):
+        issues = _issues("class A { method m(p) { call p.ghost(); } }")
+        assert any("no target anywhere" in i for i in issues)
+
+    def test_arity_mismatch(self):
+        issues = _issues(
+            "class A { method f(a, b) { return; } method m(p) { call p.f(p); } }"
+        )
+        assert any("passes 1 args, expected 2" in i for i in issues)
+
+    def test_condition_variable_checked(self):
+        issues = _issues("class A { method m() { if (nonnull ghost) { } } }")
+        assert any("'ghost'" in i for i in issues)
+
+    def test_check_raises(self):
+        from repro.lang.parser import parse as p
+
+        prog = lower(p("class A { method m() { x = y; } }"))
+        with pytest.raises(IRError):
+            check(prog)
+
+    def test_unsealed_statement_detected(self):
+        pb = ProgramBuilder()
+        mb = pb.cls("A").method("m")
+        mb.new("x", "A")
+        prog = pb.build()
+        # Simulate a statement added after sealing.
+        from repro.ir.stmts import NullStmt
+
+        prog.method("A.m").body.stmts.append(NullStmt("x"))
+        issues = validate_program(prog)
+        assert any("unsealed" in i for i in issues)
+
+    def test_duplicate_loop_labels(self):
+        issues = _issues(
+            "class A { method m() { loop L { } loop L { } } }"
+        )
+        assert any("duplicate loop label" in i for i in issues)
+
+    def test_entry_resolution(self):
+        issues = validate_program(
+            lower(parse("entry A.ghost;\nclass A { }"))
+        )
+        assert any("entry method" in i for i in issues)

@@ -1,0 +1,89 @@
+"""Tests for AST-to-IR lowering."""
+
+from repro.ir.stmts import (
+    CopyStmt,
+    IfStmt,
+    InvokeStmt,
+    LoadStmt,
+    LoopStmt,
+    NewStmt,
+    StoreNullStmt,
+)
+from repro.lang import parse_program
+
+
+def _method(source, sig="A.m"):
+    return parse_program(source, validate=False).method(sig)
+
+
+class TestLowering:
+    def test_fresh_site_labels(self):
+        m = _method("class A { method m() { x = new A; y = new A; } }")
+        sites = [s.site for s in m.statements() if isinstance(s, NewStmt)]
+        assert len(set(sites)) == 2
+        assert all("A:m" in s for s in sites)
+
+    def test_explicit_sites_kept(self):
+        m = _method("class A { method m() { x = new A @mine; } }")
+        assert [s.site for s in m.statements() if isinstance(s, NewStmt)] == ["mine"]
+
+    def test_static_call_recognized_by_class_name(self):
+        prog = parse_program(
+            "class A { static method s() { } method m() { call A.s(); } }"
+        )
+        invoke = next(
+            s for s in prog.method("A.m").statements() if isinstance(s, InvokeStmt)
+        )
+        assert invoke.is_static
+        assert invoke.static_class == "A"
+
+    def test_virtual_call_on_variable(self):
+        prog = parse_program(
+            "class A { method f() { } method m(p) { call p.f(); } }"
+        )
+        invoke = next(
+            s for s in prog.method("A.m").statements() if isinstance(s, InvokeStmt)
+        )
+        assert not invoke.is_static
+        assert invoke.base == "p"
+
+    def test_fresh_callsite_labels(self):
+        prog = parse_program(
+            "class A { method f() { } method m(p) { call p.f(); call p.f(); } }"
+        )
+        sites = [
+            s.callsite
+            for s in prog.method("A.m").statements()
+            if isinstance(s, InvokeStmt)
+        ]
+        assert len(set(sites)) == 2
+
+    def test_unlabelled_loop_gets_fresh_label(self):
+        m = _method("class A { method m() { while (*) { } while (*) { } } }")
+        labels = [s.label for s in m.statements() if isinstance(s, LoopStmt)]
+        assert len(set(labels)) == 2
+
+    def test_if_blocks_lowered(self):
+        m = _method("class A { method m(p) { if (*) { x = p; } else { y = p; } } }")
+        stmt = next(s for s in m.statements() if isinstance(s, IfStmt))
+        assert isinstance(stmt.then_block.stmts[0], CopyStmt)
+
+    def test_store_null_lowered(self):
+        m = _method("class A { field f; method m(p) { p.f = null; } }")
+        assert any(isinstance(s, StoreNullStmt) for s in m.statements())
+
+    def test_load_lowered(self):
+        m = _method("class A { field f; method m(p) { x = p.f; } }")
+        load = next(s for s in m.statements() if isinstance(s, LoadStmt))
+        assert load.field == "f"
+
+    def test_entry_set(self, simple_leak):
+        assert simple_leak.entry == "Main.main"
+
+    def test_validation_runs_by_default(self):
+        import pytest
+
+        from repro.errors import IRError
+
+        with pytest.raises(IRError):
+            parse_program("class A { method m() { x = ghost; } }")

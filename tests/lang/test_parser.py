@@ -1,0 +1,144 @@
+"""Tests for the while-language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+
+
+def _first_stmt(body_source):
+    ast = parse("class A { method m(p) { %s } }" % body_source)
+    return ast.classes[0].methods[0].body.stmts[0]
+
+
+class TestDeclarations:
+    def test_entry(self):
+        ast = parse("entry Main.main;\nclass Main { }")
+        assert ast.entry == "Main.main"
+
+    def test_class_with_extends(self):
+        ast = parse("class A { }\nclass B extends A { }")
+        assert ast.classes[1].superclass == "A"
+
+    def test_library_class(self):
+        ast = parse("library class L { }")
+        assert ast.classes[0].is_library
+
+    def test_fields(self):
+        ast = parse("class A { field f; field g; }")
+        assert ast.classes[0].fields == ["f", "g"]
+
+    def test_static_method(self):
+        ast = parse("class A { static method m() { } }")
+        assert ast.classes[0].methods[0].is_static
+
+    def test_params(self):
+        ast = parse("class A { method m(a, b, c) { } }")
+        assert ast.classes[0].methods[0].params == ["a", "b", "c"]
+
+
+class TestStatements:
+    def test_new_with_site(self):
+        stmt = _first_stmt("x = new C @site1;")
+        assert isinstance(stmt, A.NewNode)
+        assert stmt.site == "site1"
+        assert stmt.dims == 0
+
+    def test_new_array(self):
+        stmt = _first_stmt("x = new C[];")
+        assert stmt.dims == 1
+
+    def test_new_without_site(self):
+        assert _first_stmt("x = new C;").site is None
+
+    def test_copy(self):
+        stmt = _first_stmt("x = p;")
+        assert isinstance(stmt, A.CopyNode)
+
+    def test_null_assign(self):
+        assert isinstance(_first_stmt("x = null;"), A.NullAssignNode)
+
+    def test_load(self):
+        stmt = _first_stmt("x = p.f;")
+        assert isinstance(stmt, A.LoadNode)
+        assert (stmt.base, stmt.field) == ("p", "f")
+
+    def test_store(self):
+        stmt = _first_stmt("p.f = p;")
+        assert isinstance(stmt, A.StoreNode)
+
+    def test_store_null(self):
+        stmt = _first_stmt("p.f = null;")
+        assert isinstance(stmt, A.StoreNullNode)
+
+    def test_call_with_target(self):
+        stmt = _first_stmt("x = call p.m2(p) @cs;")
+        assert isinstance(stmt, A.CallNode)
+        assert stmt.target == "x"
+        assert stmt.site == "cs"
+
+    def test_call_without_target(self):
+        stmt = _first_stmt("call p.m2(p, p);")
+        assert stmt.target is None
+        assert stmt.args == ["p", "p"]
+
+    def test_return_value(self):
+        stmt = _first_stmt("return p;")
+        assert isinstance(stmt, A.ReturnNode)
+        assert stmt.value == "p"
+
+    def test_return_void(self):
+        assert _first_stmt("return;").value is None
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        stmt = _first_stmt("if (*) { x = p; } else { x = null; }")
+        assert isinstance(stmt, A.IfNode)
+        assert len(stmt.then_block.stmts) == 1
+        assert len(stmt.else_block.stmts) == 1
+
+    def test_if_without_else(self):
+        stmt = _first_stmt("if (nonnull p) { x = p; }")
+        assert stmt.cond.kind == "nonnull"
+        assert stmt.else_block.stmts == []
+
+    def test_null_condition(self):
+        assert _first_stmt("if (null p) { }").cond.kind == "null"
+
+    def test_labelled_loop(self):
+        stmt = _first_stmt("loop L1 (*) { x = p; }")
+        assert isinstance(stmt, A.LoopNode)
+        assert stmt.label == "L1"
+
+    def test_while_is_unlabelled_loop(self):
+        stmt = _first_stmt("while (*) { }")
+        assert isinstance(stmt, A.LoopNode)
+        assert stmt.label is None
+
+    def test_loop_condition_optional(self):
+        assert _first_stmt("loop L { }").cond.kind == "*"
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("class A { method m() { x = y } }")
+
+    def test_bad_condition(self):
+        with pytest.raises(ParseError):
+            parse("class A { method m() { if (x) { } } }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("class A {\n  method m() { = }\n}")
+        assert exc.value.line == 2
+
+    def test_garbage_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("banana")
+
+    def test_loop_needs_label_after_keyword(self):
+        with pytest.raises(ParseError):
+            parse("class A { method m() { loop { } } }")

@@ -1,0 +1,107 @@
+"""Hypothesis strategies generating random while-language programs.
+
+Programs have the canonical leak-detection shape: a preamble allocating
+outside holder objects, then one labelled loop ``L`` whose body is a
+random mix of allocations, copies, heap reads/writes, destructive updates
+and nondeterministic branches.  All programs are valid by construction
+(variables are defined before use, flow-insensitively).
+"""
+
+from hypothesis import strategies as st
+
+FIELDS = ("f", "g")
+VARS = ("v0", "v1", "v2", "v3")
+HOLDERS = ("h0", "h1")
+
+
+class _Gen:
+    """Stateful source-text generator driven by hypothesis choices."""
+
+    def __init__(self, draw, allow_loads=True):
+        self._draw = draw
+        self._site = 0
+        self.allow_loads = allow_loads
+        self.defined = set(HOLDERS)
+
+    def fresh_site(self, prefix):
+        self._site += 1
+        return "%s%d" % (prefix, self._site)
+
+    def pick_defined(self):
+        return self._draw(st.sampled_from(sorted(self.defined)))
+
+    def stmt(self, depth):
+        choices = ["new", "copy", "store", "null", "store_null"]
+        if self.allow_loads:
+            choices.append("load")
+        if depth > 0:
+            choices.append("if")
+        kind = self._draw(st.sampled_from(choices))
+        if kind == "new":
+            var = self._draw(st.sampled_from(VARS))
+            self.defined.add(var)
+            return "%s = new C @%s;" % (var, self.fresh_site("in"))
+        if kind == "copy":
+            src = self.pick_defined()
+            var = self._draw(st.sampled_from(VARS))
+            self.defined.add(var)
+            return "%s = %s;" % (var, src)
+        if kind == "null":
+            var = self._draw(st.sampled_from(VARS))
+            self.defined.add(var)
+            return "%s = null;" % var
+        if kind == "store":
+            base = self.pick_defined()
+            src = self.pick_defined()
+            field = self._draw(st.sampled_from(FIELDS))
+            return "%s.%s = %s;" % (base, field, src)
+        if kind == "store_null":
+            base = self.pick_defined()
+            field = self._draw(st.sampled_from(FIELDS))
+            return "%s.%s = null;" % (base, field)
+        if kind == "load":
+            base = self.pick_defined()
+            var = self._draw(st.sampled_from(VARS))
+            field = self._draw(st.sampled_from(FIELDS))
+            self.defined.add(var)
+            return "%s = %s.%s;" % (var, base, field)
+        # if
+        then_stmts = self.block(depth - 1)
+        else_stmts = self.block(depth - 1)
+        return "if (*) { %s } else { %s }" % (then_stmts, else_stmts)
+
+    def block(self, depth):
+        count = self._draw(st.integers(min_value=0, max_value=3))
+        return " ".join(self.stmt(depth) for _ in range(count))
+
+
+@st.composite
+def loop_programs(draw, max_body_stmts=8, allow_loads=True):
+    """Source of a random single-loop program with label ``L``."""
+    gen = _Gen(draw, allow_loads=allow_loads)
+    body = []
+    count = draw(st.integers(min_value=1, max_value=max_body_stmts))
+    for _ in range(count):
+        body.append(gen.stmt(depth=2))
+    source = """
+entry Main.main;
+class Main {
+  static method main() {
+    h0 = new C @out0;
+    h1 = new C @out1;
+    h0.f = h1;
+    loop L (*) {
+      %s
+    }
+  }
+}
+class C { field f; field g; }
+""" % "\n      ".join(body)
+    return source
+
+
+@st.composite
+def store_only_programs(draw, max_body_stmts=6):
+    """Programs whose loop bodies contain no heap reads: every escaping
+    site must be reported (no flows-in can exist)."""
+    return draw(loop_programs(max_body_stmts=max_body_stmts, allow_loads=False))

@@ -1,0 +1,120 @@
+"""Tests for the method-escape analysis."""
+
+from repro.callgraph.rta import build_rta
+from repro.lang import parse_program
+from repro.pta.escape import analyze_escape
+from repro.pta.pag import PAG
+
+
+def _escape(source):
+    prog = parse_program(source)
+    return analyze_escape(prog, PAG(prog, build_rta(prog)))
+
+
+class TestEscape:
+    def test_local_object_captured(self):
+        result = _escape(
+            """entry M.main;
+            class M { static method main() { a = new M @local; b = a; } }"""
+        )
+        assert not result.escapes("local")
+        assert "local" in result.captured
+
+    def test_stored_object_escapes(self):
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @holder;
+                a = new M @stored;
+                h.f = a;
+              }
+            }
+            class H { field f; }"""
+        )
+        assert result.escapes("stored")
+
+    def test_returned_object_escapes(self):
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() { r = call M.make() @c; }
+              static method make() { x = new M @made; return x; }
+            }"""
+        )
+        assert result.escapes("made")
+
+    def test_argument_escapes(self):
+        """Passing to a callee is a conservative escape — the callee
+        might store it."""
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() {
+                a = new M @passed;
+                call M.consume(a) @c;
+              }
+              static method consume(x) { return; }
+            }"""
+        )
+        assert result.escapes("passed")
+
+    def test_receiver_escapes(self):
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() {
+                a = new A @recv;
+                call a.m() @c;
+              }
+            }
+            class A { method m() { return; } }"""
+        )
+        assert result.escapes("recv")
+
+    def test_escape_through_copy_chain(self):
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @holder;
+                a = new M @chained;
+                b = a;
+                c = b;
+                h.f = c;
+              }
+            }
+            class H { field f; }"""
+        )
+        assert result.escapes("chained")
+
+    def test_holder_itself_escapes_via_store_base(self):
+        """The holder is used as a store base only — that alone does not
+        leak a reference OUT of the frame, so it remains captured."""
+        result = _escape(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @holder;
+                a = new M @stored;
+                h.f = a;
+              }
+            }
+            class H { field f; }"""
+        )
+        assert not result.escapes("holder")
+
+    def test_figure1_classification(self, figure1):
+        pag = PAG(figure1, build_rta(figure1))
+        result = analyze_escape(figure1, pag)
+        # the Order is passed to process/addOrder and stored: escapes
+        assert result.escapes("a5")
+        # the Transaction is a call receiver: escapes its frame
+        assert result.escapes("a2")
+
+    def test_every_site_classified(self, figure1):
+        pag = PAG(figure1, build_rta(figure1))
+        result = analyze_escape(figure1, pag)
+        all_sites = {s.label for s in figure1.alloc_sites()}
+        assert result.escaping | result.captured == all_sites
+        assert not (result.escaping & result.captured)

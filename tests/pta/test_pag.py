@@ -1,0 +1,85 @@
+"""Tests for pointer-assignment graph construction."""
+
+from repro.callgraph.rta import build_rta
+from repro.lang import parse_program
+from repro.pta.pag import ENTER, EXIT, PAG, RETURN_VAR, VarNode
+
+_SOURCE = """
+entry Main.main;
+class Main {
+  static method main() {
+    a = new A @sa;
+    b = a;
+    h = new Holder @sh;
+    h.f = a;
+    c = h.f;
+    r = call a.identity(b) @c1;
+  }
+}
+class A { method identity(x) { return x; } }
+class Holder { field f; }
+"""
+
+
+def _pag():
+    prog = parse_program(_SOURCE)
+    return PAG(prog, build_rta(prog))
+
+
+class TestPAG:
+    def test_new_edges(self):
+        pag = _pag()
+        node = VarNode("Main.main", "a")
+        assert pag.new_edges[node] == ["sa"]
+
+    def test_copy_edge(self):
+        pag = _pag()
+        srcs = [e.src.name for e in pag.assigns_into[VarNode("Main.main", "b")]]
+        assert "a" in srcs
+
+    def test_store_edge(self):
+        pag = _pag()
+        assert len(pag.store_edges) == 1
+        store = pag.store_edges[0]
+        assert store.field == "f"
+        assert store.base.name == "h"
+
+    def test_load_edge(self):
+        pag = _pag()
+        assert len(pag.load_edges) == 1
+        load = pag.load_edges[0]
+        assert load.target.name == "c"
+
+    def test_param_edge_labelled_enter(self):
+        pag = _pag()
+        edges = pag.assigns_into.get(VarNode("A.identity", "x"), [])
+        assert len(edges) == 1
+        assert edges[0].direction == ENTER
+        assert edges[0].callsite == "c1"
+
+    def test_this_binding(self):
+        pag = _pag()
+        edges = pag.assigns_into.get(VarNode("A.identity", "this"), [])
+        assert [e.src.name for e in edges] == ["a"]
+
+    def test_return_edge_labelled_exit(self):
+        pag = _pag()
+        edges = pag.assigns_into.get(VarNode("Main.main", "r"), [])
+        assert len(edges) == 1
+        assert edges[0].direction == EXIT
+        assert edges[0].src == VarNode("A.identity", RETURN_VAR)
+
+    def test_return_var_collects_returns(self):
+        pag = _pag()
+        edges = pag.assigns_into.get(VarNode("A.identity", RETURN_VAR), [])
+        assert [e.src.name for e in edges] == ["x"]
+
+    def test_loads_into_index(self):
+        pag = _pag()
+        target = VarNode("Main.main", "c")
+        assert [e.field for e in pag.loads_into[target]] == ["f"]
+
+    def test_all_var_nodes(self):
+        pag = _pag()
+        names = {n.name for n in pag.all_var_nodes() if n.method_sig == "Main.main"}
+        assert {"a", "b", "c", "h", "r"} <= names

@@ -1,0 +1,53 @@
+"""Tests for the PointsTo facade."""
+
+from repro.callgraph.rta import build_rta
+from repro.lang import parse_program
+from repro.pta.queries import PointsTo, build_points_to
+
+_SOURCE = """
+entry M.main;
+class M {
+  static method main() {
+    h = new H @hs;
+    v = new M @vs;
+    h.f = v;
+    w = h.f;
+  }
+}
+class H { field f; }
+"""
+
+
+def _pt(demand_driven=False):
+    prog = parse_program(_SOURCE)
+    return PointsTo(prog, build_rta(prog), demand_driven=demand_driven)
+
+
+class TestFacade:
+    def test_whole_program_mode(self):
+        pt = _pt(False)
+        assert set(pt.pts("M.main", "w")) == {"vs"}
+
+    def test_demand_driven_mode(self):
+        pt = _pt(True)
+        assert set(pt.pts("M.main", "w")) == {"vs"}
+
+    def test_modes_agree_on_this_program(self):
+        whole = _pt(False)
+        demand = _pt(True)
+        for var in ("h", "v", "w"):
+            assert set(whole.pts("M.main", var)) == set(demand.pts("M.main", var))
+
+    def test_field_pts(self):
+        pt = _pt(True)
+        assert set(pt.field_pts("hs", "f")) == {"vs"}
+
+    def test_may_alias(self):
+        pt = _pt(False)
+        assert pt.may_alias("M.main", "v", "M.main", "w")
+        assert not pt.may_alias("M.main", "h", "M.main", "v")
+
+    def test_builder_helper(self):
+        prog = parse_program(_SOURCE)
+        pt = build_points_to(prog, build_rta(prog), demand_driven=True, budget=10)
+        assert set(pt.pts("M.main", "h")) == {"hs"}

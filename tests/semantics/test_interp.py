@@ -1,0 +1,261 @@
+"""Tests for the concrete interpreter (Figure 3 semantics)."""
+
+import pytest
+
+from repro.errors import InterpError
+from repro.lang import parse_program
+from repro.semantics.interp import FixedSchedule, Interpreter, RandomSchedule, execute
+
+
+def _run(source, **kwargs):
+    return execute(parse_program(source), **kwargs)
+
+
+class TestExecution:
+    def test_allocation_recorded(self):
+        trace = _run(
+            "entry M.main;\nclass M { static method main() { a = new M @s; } }"
+        )
+        assert [o.site for o in trace.objects] == ["s"]
+
+    def test_loop_iterations_annotated(self):
+        trace = _run(
+            """entry M.main;
+            class M { static method main() {
+              loop L (*) { a = new M @s; }
+            } }""",
+            schedule=FixedSchedule(trips_map={"L": 3}),
+        )
+        iters = [o.iteration_in("L") for o in trace.objects]
+        assert iters == [1, 2, 3]
+
+    def test_outside_objects_have_iteration_zero(self):
+        trace = _run(
+            """entry M.main;
+            class M { static method main() {
+              pre = new M @pre;
+              loop L (*) { a = new M @s; }
+            } }""",
+            schedule=FixedSchedule(trips_map={"L": 1}),
+        )
+        pre = trace.objects_of_site("pre")[0]
+        assert pre.iteration_in("L") == 0
+        assert not pre.is_inside("L")
+
+    def test_store_effect_recorded_with_iteration(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @hs;
+                loop L (*) { v = new M @vs; h.f = v; }
+              }
+            }
+            class H { field f; }""",
+            schedule=FixedSchedule(trips_map={"L": 2}),
+        )
+        assert len(trace.stores) == 2
+        assert [e.iteration_in("L") for e in trace.stores] == [1, 2]
+        assert all(e.base.site == "hs" for e in trace.stores)
+
+    def test_load_effect_recorded(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @hs;
+                v = new M @vs;
+                h.f = v;
+                w = h.f;
+              }
+            }
+            class H { field f; }"""
+        )
+        assert len(trace.loads) == 1
+        assert trace.loads[0].value.site == "vs"
+
+    def test_null_load_not_an_effect(self):
+        trace = _run(
+            """entry M.main;
+            class M { static method main() { h = new H @hs; w = h.f; } }
+            class H { field f; }"""
+        )
+        assert trace.loads == []
+
+    def test_destructive_update_removes_reference(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                h = new H @hs;
+                v = new M @vs;
+                h.f = v;
+                h.f = null;
+                w = h.f;
+              }
+            }
+            class H { field f; }"""
+        )
+        # second load sees null: only the first store produced an effect
+        assert len(trace.loads) == 0 or trace.loads == []
+
+    def test_nonnull_condition_evaluated(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                a = new M @taken;
+                if (nonnull a) { b = new M @then_site; } else { c = new M @else_site; }
+              }
+            }"""
+        )
+        sites = {o.site for o in trace.objects}
+        assert "then_site" in sites
+        assert "else_site" not in sites
+
+    def test_null_condition_evaluated(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                a = null;
+                if (null a) { b = new M @then_site; }
+              }
+            }"""
+        )
+        assert {o.site for o in trace.objects} == {"then_site"}
+
+
+class TestCalls:
+    def test_virtual_dispatch_by_runtime_type(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                a = new B @sb;
+                call a.m() @c;
+              }
+            }
+            class A { method m() { x = new A @in_a; } }
+            class B extends A { method m() { x = new B @in_b; } }"""
+        )
+        sites = {o.site for o in trace.objects}
+        assert "in_b" in sites
+        assert "in_a" not in sites
+
+    def test_inherited_method_dispatch(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() { a = new B @sb; call a.m() @c; }
+            }
+            class A { method m() { x = new A @in_a; } }
+            class B extends A { }"""
+        )
+        assert "in_a" in {o.site for o in trace.objects}
+
+    def test_return_value(self):
+        trace = _run(
+            """entry M.main;
+            class M {
+              static method main() {
+                r = call M.make() @c;
+                h = new H @hs;
+                h.f = r;
+              }
+              static method make() { x = new M @s; return x; }
+            }
+            class H { field f; }"""
+        )
+        assert trace.stores[0].source.site == "s"
+
+    def test_thread_start_runs_run(self):
+        trace = _run(
+            """entry M.main;
+            class Thread { method start() { call this.run() @sr; } method run() { return; } }
+            class Worker extends Thread { method run() { x = new M @in_run; } }
+            class M {
+              static method main() {
+                w = new Worker @ws;
+                call w.start() @c;
+              }
+            }"""
+        )
+        assert "in_run" in {o.site for o in trace.objects}
+
+
+class TestSchedulesAndLimits:
+    def test_fixed_schedule_branches(self):
+        src = """entry M.main;
+        class M { static method main() {
+          if (*) { a = new M @yes; } else { b = new M @no; }
+        } }"""
+        yes = execute(parse_program(src), schedule=FixedSchedule(branches=True))
+        no = execute(parse_program(src), schedule=FixedSchedule(branches=False))
+        assert {o.site for o in yes.objects} == {"yes"}
+        assert {o.site for o in no.objects} == {"no"}
+
+    def test_branch_sequence_cycles(self):
+        src = """entry M.main;
+        class M { static method main() {
+          if (*) { a = new M @s1; }
+          if (*) { b = new M @s2; }
+          if (*) { c = new M @s3; }
+        } }"""
+        trace = execute(
+            parse_program(src), schedule=FixedSchedule(branches=[True, False])
+        )
+        assert {o.site for o in trace.objects} == {"s1", "s3"}
+
+    def test_random_schedule_deterministic_per_seed(self):
+        src = """entry M.main;
+        class M { static method main() {
+          loop L (*) { if (*) { a = new M @s; } }
+        } }"""
+        t1 = execute(parse_program(src), schedule=RandomSchedule(seed=7))
+        t2 = execute(parse_program(src), schedule=RandomSchedule(seed=7))
+        assert [o.site for o in t1.objects] == [o.site for o in t2.objects]
+
+    def test_step_budget(self):
+        src = """entry M.main;
+        class M { static method main() { loop L (*) { a = new M @s; } } }"""
+        with pytest.raises(InterpError):
+            execute(
+                parse_program(src),
+                schedule=FixedSchedule(trips_map={"L": 10_000}),
+                max_steps=100,
+            )
+
+    def test_strict_null_dereference(self):
+        src = """entry M.main;
+        class M { static method main() { a = null; b = a.f; } }"""
+        with pytest.raises(InterpError):
+            execute(parse_program(src, validate=False), strict=True)
+
+    def test_lenient_null_dereference(self):
+        src = """entry M.main;
+        class M { static method main() { a = null; b = a.f; } }"""
+        trace = execute(parse_program(src, validate=False), strict=False)
+        assert trace.loads == []
+
+    def test_entry_with_params_rejected(self):
+        src = "entry M.main;\nclass M { static method main() { } }"
+        prog = parse_program(src)
+        prog.entry = "M.other"
+        prog.cls("M").add_method(
+            type(prog.method("M.main"))("other", ["p"], None, "M", is_static=True)
+        )
+        with pytest.raises(InterpError):
+            Interpreter(prog).run()
+
+    def test_nested_loop_counters_independent(self):
+        trace = _run(
+            """entry M.main;
+            class M { static method main() {
+              loop OUT (*) { loop IN (*) { a = new M @s; } }
+            } }""",
+            schedule=FixedSchedule(trips_map={"OUT": 2, "IN": 2}),
+        )
+        # 4 objects; IN counter persists across OUT iterations (paper's nu)
+        assert [o.iteration_in("IN") for o in trace.objects] == [1, 2, 3, 4]
+        assert [o.iteration_in("OUT") for o in trace.objects] == [1, 1, 2, 2]

@@ -1,0 +1,52 @@
+"""Tests for run-time value records."""
+
+from repro.semantics.values import LoadEffect, RuntimeObject, StoreEffect, Trace
+
+
+def _obj(oid=1, site="s", loop_state=None):
+    return RuntimeObject(oid, site, "C", False, loop_state or {})
+
+
+class TestRuntimeObject:
+    def test_outside_iteration_zero(self):
+        assert _obj().iteration_in("L") == 0
+        assert not _obj().is_inside("L")
+
+    def test_inside_iteration(self):
+        obj = _obj(loop_state={"L": 3})
+        assert obj.iteration_in("L") == 3
+        assert obj.is_inside("L")
+
+    def test_multiple_active_loops(self):
+        obj = _obj(loop_state={"OUT": 2, "IN": 5})
+        assert obj.iteration_in("OUT") == 2
+        assert obj.iteration_in("IN") == 5
+
+    def test_loop_state_snapshot_isolated(self):
+        state = {"L": 1}
+        obj = _obj(loop_state=state)
+        state["L"] = 9
+        assert obj.iteration_in("L") == 1
+
+
+class TestEffects:
+    def test_store_effect_iteration(self):
+        eff = StoreEffect(_obj(1), "f", _obj(2), {"L": 4}, 0)
+        assert eff.iteration_in("L") == 4
+        assert eff.iteration_in("OTHER") == 0
+
+    def test_load_effect_iteration(self):
+        eff = LoadEffect(_obj(1), "f", _obj(2), {"L": 2}, 0)
+        assert eff.iteration_in("L") == 2
+
+
+class TestTrace:
+    def test_objects_of_site(self):
+        trace = Trace()
+        trace.objects.extend([_obj(1, "a"), _obj(2, "b"), _obj(3, "a")])
+        assert [o.oid for o in trace.objects_of_site("a")] == [1, 3]
+
+    def test_repr_counts(self):
+        trace = Trace()
+        trace.objects.append(_obj())
+        assert "1 objects" in repr(trace)

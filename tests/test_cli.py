@@ -1,0 +1,297 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import FIGURE1_SOURCE, SIMPLE_LEAK_SOURCE
+
+
+@pytest.fixture
+def leak_file(tmp_path):
+    path = tmp_path / "leak.wl"
+    path.write_text(SIMPLE_LEAK_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def figure1_file(tmp_path):
+    path = tmp_path / "fig1.wl"
+    path.write_text(FIGURE1_SOURCE)
+    return str(path)
+
+
+class TestCheck:
+    def test_leak_found_exit_code(self, leak_file, capsys):
+        code = main(["check", leak_file, "--region", "Main.main:L"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "leaking allocation site: item" in out
+
+    def test_clean_program_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              loop L (*) { x = new Main @local; }
+            } }"""
+        )
+        assert main(["check", str(path), "--region", "Main.main:L"]) == 0
+
+    def test_figure1(self, figure1_file, capsys):
+        code = main(["check", figure1_file, "--region", "Main.main:L1"])
+        assert code == 1
+        assert "a5" in capsys.readouterr().out
+
+    def test_region_spec(self, figure1_file, capsys):
+        code = main(["check", figure1_file, "--region", "Transaction.process"])
+        assert code in (0, 1)
+
+    def test_bad_region(self, leak_file, capsys):
+        assert main(["check", leak_file, "--region", "Ghost.m"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nonexistent.wl", "--region", "A.m"]) == 2
+
+    def test_flags_accepted(self, leak_file):
+        code = main(
+            [
+                "check",
+                leak_file,
+                "--region",
+                "Main.main:L",
+                "--callgraph",
+                "cha",
+                "--demand-driven",
+                "--context-depth",
+                "3",
+                "--no-pivot",
+                "--model-threads",
+            ]
+        )
+        assert code == 1
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.wl"
+        path.write_text("class {")
+        assert main(["check", str(path), "--region", "A.m"]) == 2
+
+
+class TestLoops:
+    def test_lists_labelled_loops(self, figure1_file, capsys):
+        assert main(["loops", figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "Main.main:L1" in out
+        assert "Transaction.txInit:LC" in out
+
+
+class TestRun:
+    def test_executes_and_reports_ground_truth(self, leak_file, capsys):
+        code = main(["run", leak_file, "--loop", "L", "--trips", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed:" in out
+        assert "item" in out
+
+    def test_run_without_loop(self, leak_file, capsys):
+        assert main(["run", leak_file]) == 0
+        assert "leaking sites" not in capsys.readouterr().out
+
+
+class TestScanAndRank:
+    @pytest.fixture
+    def two_loops_file(self, tmp_path):
+        path = tmp_path / "two.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main {
+              static method main() {
+                h = new Holder @holder;
+                loop LEAKY (*) { x = new Item @item; h.slot = x; }
+                loop CLEAN (*) { y = new Item @local; }
+              }
+            }
+            class Holder { field slot; }
+            class Item { }"""
+        )
+        return str(path)
+
+    def test_scan_finds_leaky_loop(self, two_loops_file, capsys):
+        code = main(["scan", two_loops_file])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "[LEAKS] Main.main:LEAKY" in out
+        assert "[clean] Main.main:CLEAN" in out
+
+    def test_scan_ranked_with_limit(self, two_loops_file, capsys):
+        code = main(["scan", two_loops_file, "--ranked", "--limit", "1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "LEAKY" in out
+        assert "CLEAN" not in out
+
+    def test_rank_lists_scores(self, two_loops_file, capsys):
+        assert main(["rank", two_loops_file]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "LEAKY" in lines[0]
+
+    def test_check_json_output(self, two_loops_file, capsys):
+        import json
+
+        code = main(
+            ["check", two_loops_file, "--region", "Main.main:LEAKY", "--json"]
+        )
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"][0]["site"] == "item"
+
+    def test_check_strong_updates_flag(self, tmp_path, capsys):
+        path = tmp_path / "nulled.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main {
+              static method main() {
+                h = new Holder @holder;
+                loop L (*) { x = new Item @item; h.slot = x; h.slot = null; }
+              }
+            }
+            class Holder { field slot; }
+            class Item { }"""
+        )
+        assert main(["check", str(path), "--region", "Main.main:L"]) == 1
+        assert (
+            main(
+                ["check", str(path), "--region", "Main.main:L", "--strong-updates"]
+            )
+            == 0
+        )
+
+    def test_check_otf_callgraph_flag(self, two_loops_file):
+        code = main(
+            [
+                "check",
+                two_loops_file,
+                "--region",
+                "Main.main:LEAKY",
+                "--callgraph",
+                "otf",
+            ]
+        )
+        assert code == 1
+
+
+class TestComponentCommand:
+    @pytest.fixture
+    def component_file(self, tmp_path):
+        path = tmp_path / "component.wl"
+        path.write_text(
+            """class Registry {
+              field store;
+              method regInit() {
+                l = new Record[] @store_arr;
+                this.store = l;
+              }
+              method handle(sink) {
+                r = new Record @record;
+                l = this.store;
+                l.elem = r;
+              }
+            }
+            class Record { }"""
+        )
+        return str(path)
+
+    def test_component_check(self, component_file, tmp_path, capsys):
+        setup = tmp_path / "setup.wl"
+        setup.write_text("call recv.regInit() @setup;")
+        code = main(
+            [
+                "component",
+                component_file,
+                "--method",
+                "Registry.handle",
+                "--setup",
+                str(setup),
+            ]
+        )
+        assert code == 1
+        assert "record" in capsys.readouterr().out
+
+    def test_component_json(self, component_file, capsys):
+        import json
+
+        code = main(
+            [
+                "component",
+                component_file,
+                "--method",
+                "Registry.handle",
+                "--json",
+            ]
+        )
+        assert code in (0, 1)
+        json.loads(capsys.readouterr().out)  # must be valid JSON
+
+    def test_component_unknown_method(self, component_file, capsys):
+        assert (
+            main(["component", component_file, "--method", "Ghost.run"]) == 2
+        )
+
+
+class TestTable1Command:
+    def test_table_printed_and_clean(self, capsys):
+        code = main(["table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average FPR: 49.8%" in out
+        assert "specjbb2000" in out
+        assert "derby" in out
+
+
+class TestCompile:
+    def test_compile_with_optimize_flag(self, leak_file, tmp_path, capsys):
+        out = str(tmp_path / "opt.jbc")
+        assert main(["compile", leak_file, "-O", "-o", out]) == 0
+        text = capsys.readouterr().out
+        assert "optimizer:" in text
+        # the optimized container still checks identically
+        assert main(["check", out, "--region", "Main.main:L"]) == 1
+
+    def test_compile_and_check_bytecode(self, leak_file, tmp_path, capsys):
+        out = str(tmp_path / "prog.jbc")
+        assert main(["compile", leak_file, "-o", out]) == 0
+        # the .jbc file is directly checkable
+        code = main(["check", out, "--region", "Main.main:L"])
+        assert code == 1
+        assert "item" in capsys.readouterr().out
+
+    def test_compile_output_is_json(self, leak_file, tmp_path):
+        import json
+
+        out = str(tmp_path / "prog.jbc")
+        main(["compile", leak_file, "-o", out])
+        with open(out) as handle:
+            data = json.load(handle)
+        assert data["version"] == 1
+        assert data["entry"] == "Main.main"
+
+
+class TestJavalibFlag:
+    def test_javalib_prepended(self, tmp_path, capsys):
+        path = tmp_path / "uses_lib.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              m = new HashMap @map;
+              call m.hmInit() @mi;
+              loop L (*) {
+                x = new Item @item;
+                call m.put(x, x) @p;
+              }
+            } }
+            class Item { }"""
+        )
+        code = main(["check", str(path), "--region", "Main.main:L", "--javalib"])
+        assert code == 1
+        assert "item" in capsys.readouterr().out

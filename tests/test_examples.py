@@ -1,0 +1,36 @@
+"""Every example script must run to completion (they contain their own
+assertions), so the documentation never rots."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_expected_examples_present():
+    names = {p.name for p in _EXAMPLES}
+    assert {
+        "quickstart.py",
+        "eclipse_plugin.py",
+        "derby_client.py",
+        "thread_leaks.py",
+        "custom_language_tour.py",
+        "leak_triage.py",
+        "dynamic_vs_static.py",
+    } <= names

@@ -1,0 +1,65 @@
+"""Public API surface checks: every ``__all__`` name must resolve, and
+the headline entry points must be importable from the package root."""
+
+import importlib
+
+import pytest
+
+_PACKAGES = [
+    "repro",
+    "repro.ir",
+    "repro.lang",
+    "repro.cfg",
+    "repro.callgraph",
+    "repro.pta",
+    "repro.core",
+    "repro.semantics",
+    "repro.javalib",
+    "repro.bytecode",
+]
+
+
+@pytest.mark.parametrize("name", _PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    assert exported, "%s must declare __all__" % name
+    for attr in exported:
+        assert hasattr(module, attr), "%s.%s missing" % (name, attr)
+
+
+def test_root_quickstart_surface():
+    import repro
+
+    for attr in (
+        "parse_program",
+        "LeakChecker",
+        "LoopSpec",
+        "RegionSpec",
+        "DetectorConfig",
+        "analyze_loop",
+        "analyze_trace",
+        "execute",
+        "inline_calls",
+    ):
+        assert hasattr(repro, attr)
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_no_all_duplicates():
+    for name in _PACKAGES:
+        module = importlib.import_module(name)
+        exported = module.__all__
+        assert len(exported) == len(set(exported)), name
+
+
+def test_all_sorted_for_readability():
+    for name in _PACKAGES:
+        module = importlib.import_module(name)
+        exported = [n for n in module.__all__ if n != "__version__"]
+        assert exported == sorted(exported), name
