@@ -1,4 +1,4 @@
-.PHONY: install test bench table1 examples all
+.PHONY: install test bench table1 profile examples all
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,6 +11,9 @@ bench:
 
 table1:
 	python -m repro table1
+
+profile:
+	PYTHONPATH=src python -m repro.bench.profile --output bench-profile.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done

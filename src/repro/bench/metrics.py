@@ -84,9 +84,16 @@ def classify_findings(app, report):
     return true_ctx, false_ctx
 
 
-def run_app(app, config=None):
-    """Run the detector on one application model; returns (Row, report)."""
-    checker = LeakChecker(app.program, config or app.config)
+def run_app(app, config=None, session=None):
+    """Run the detector on one application model; returns (Row, report).
+
+    ``session`` may carry a prebuilt
+    :class:`~repro.core.pipeline.session.AnalysisSession` for the app's
+    program, so harnesses running one app under many configurations
+    (e.g. the sweep grid) share substrate artifacts instead of
+    rebuilding the call graph and points-to state per cell.
+    """
+    checker = LeakChecker(app.program, config or app.config, session=session)
     report = checker.check(app.region)
     true_ctx, false_ctx = classify_findings(app, report)
     row = Row(

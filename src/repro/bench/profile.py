@@ -1,0 +1,73 @@
+"""Profiled Table 1 runs: stage timings as a JSON artifact.
+
+``make profile`` (or ``python -m repro.bench.profile``) runs every
+benchmark application through the staged pipeline, collects the Table 1
+row plus the per-stage timings and work counters from each report, and
+writes one JSON artifact for the bench trajectory — successive commits
+can diff stage costs instead of one opaque wall-clock number.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench.apps import all_apps
+from repro.bench.metrics import run_app
+
+DEFAULT_OUTPUT = "bench-profile.json"
+
+
+def collect_profile(apps=None):
+    """Run every app; returns the JSON-ready profile document."""
+    entries = []
+    for app in apps or all_apps():
+        row, report = run_app(app)
+        entries.append(
+            {
+                "app": app.name,
+                "row": row.as_dict(),
+                "stages": report.stats.get("stages", {}),
+                "counters": report.stats.get("counters", {}),
+            }
+        )
+    stage_totals = {}
+    for entry in entries:
+        for stage, seconds in entry["stages"].items():
+            stage_totals[stage] = round(
+                stage_totals.get(stage, 0.0) + seconds, 6
+            )
+    return {
+        "apps": entries,
+        "stage_totals": stage_totals,
+        "total_time_seconds": round(
+            sum(e["row"]["time_seconds"] for e in entries), 4
+        ),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.profile",
+        description="run the Table 1 apps with per-stage profiling and "
+        "write a JSON artifact",
+    )
+    parser.add_argument(
+        "--output", "-o", default=DEFAULT_OUTPUT, help="artifact path"
+    )
+    args = parser.parse_args(argv)
+
+    profile = collect_profile()
+    with open(args.output, "w") as handle:
+        json.dump(profile, handle, indent=2, sort_keys=True)
+    print("wrote %s" % args.output)
+    print("stage totals (seconds):")
+    for stage, seconds in sorted(
+        profile["stage_totals"].items(), key=lambda kv: -kv[1]
+    ):
+        print("  %-16s %9.4f" % (stage, seconds))
+    print("total analysis time: %.4fs" % profile["total_time_seconds"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ behind trade-off curves such as "context depth vs. precision".
 from repro.bench.apps import all_apps
 from repro.bench.metrics import run_app
 from repro.core.detector import DetectorConfig
+from repro.core.pipeline.session import AnalysisSession
 
 
 class SweepCell:
@@ -108,6 +109,12 @@ def run_sweep(dimensions, apps=None):
     values, e.g. ``{"context_depth": [1, 2, 4, 8]}``.  Per-app base
     configuration (e.g. Mikou's thread modeling) is preserved for
     parameters not swept.
+
+    Cells whose configurations agree on the substrate key (call-graph
+    kind, demand-driven mode, budget) share one analysis session's
+    program-level artifacts — sweeping pivot/strong-updates/context
+    dimensions no longer rebuilds the call graph and points-to state
+    per cell.
     """
     cells = []
     for app in apps or all_apps():
@@ -120,9 +127,17 @@ def run_sweep(dimensions, apps=None):
             "pivot": app.config.pivot,
             "strong_updates": app.config.strong_updates,
         }
+        anchors = {}  # substrate key -> session to fork from
         for params in _grid(dimensions):
             merged = dict(base)
             merged.update(params)
-            row, _report = run_app(app, DetectorConfig(**merged))
+            config = DetectorConfig(**merged)
+            anchor = anchors.get(config.substrate_key())
+            if anchor is None:
+                session = AnalysisSession(app.program, config)
+                anchors[config.substrate_key()] = session
+            else:
+                session = anchor.fork(config)
+            row, _report = run_app(app, config, session=session)
             cells.append(SweepCell(app.name, params, row))
     return SweepResult(cells, dimensions)

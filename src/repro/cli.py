@@ -56,12 +56,22 @@ def _config_from(args):
     return DetectorConfig(
         callgraph=args.callgraph,
         demand_driven=args.demand_driven,
+        budget=args.budget,
         context_depth=args.context_depth,
+        max_contexts_per_site=args.max_contexts_per_site,
         library_condition=not args.no_library_condition,
         model_threads=args.model_threads,
         pivot=not args.no_pivot,
         strong_updates=args.strong_updates,
     )
+
+
+def _print_profile(stats_dict):
+    from repro.core.pipeline.stats import stats_from_report
+
+    print()
+    print("-- pipeline profile --")
+    print(stats_from_report(stats_dict).format())
 
 
 def _cmd_check(args):
@@ -72,6 +82,8 @@ def _cmd_check(args):
         print(report.to_json())
     else:
         print(report.format())
+        if args.profile:
+            _print_profile(report.stats)
     return 1 if report.findings else 0
 
 
@@ -84,8 +96,17 @@ def _cmd_scan(args):
         config=_config_from(args),
         ranked=args.ranked,
         limit=args.limit,
+        parallel=args.parallel,
+        max_workers=args.jobs,
     )
-    print(result.format())
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.format())
+        if args.profile:
+            print()
+            print("-- pipeline profile (all loops) --")
+            print(result.aggregate_stats().format())
     return 1 if result.total_findings() else 0
 
 
@@ -123,6 +144,8 @@ def _cmd_component(args):
         print(report.to_json())
     else:
         print(report.format())
+        if args.profile:
+            _print_profile(report.stats)
     return 1 if report.findings else 0
 
 
@@ -180,10 +203,27 @@ def build_parser():
     def add_detector_flags(p):
         p.add_argument("--callgraph", choices=["rta", "cha", "otf"], default="rta")
         p.add_argument("--demand-driven", action="store_true")
+        p.add_argument(
+            "--budget",
+            type=int,
+            default=100_000,
+            help="per-query budget for the demand-driven solver",
+        )
         p.add_argument("--context-depth", type=int, default=8)
+        p.add_argument(
+            "--max-contexts-per-site",
+            type=int,
+            default=64,
+            help="cap on enumerated contexts per allocation site",
+        )
         p.add_argument("--no-library-condition", action="store_true")
         p.add_argument("--model-threads", action="store_true")
         p.add_argument("--no-pivot", action="store_true")
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="print per-stage timings and work counters",
+        )
         p.add_argument(
             "--strong-updates",
             action="store_true",
@@ -226,6 +266,18 @@ def build_parser():
     scan.add_argument("file")
     scan.add_argument("--ranked", action="store_true", help="most suspicious first")
     scan.add_argument("--limit", type=int, default=None)
+    scan.add_argument("--json", action="store_true", help="emit JSON")
+    scan.add_argument(
+        "--parallel",
+        action="store_true",
+        help="check loops concurrently (identical output to serial)",
+    )
+    scan.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker threads for --parallel (default: min(4, loops))",
+    )
     add_detector_flags(scan)
     scan.set_defaults(func=_cmd_scan)
 

@@ -3,6 +3,11 @@ relations, and the interprocedural leak detector."""
 
 from repro.core.detector import DetectorConfig, LeakChecker, check_program
 from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.pipeline import (
+    AnalysisSession,
+    PipelineStats,
+    check_regions_parallel,
+)
 from repro.core.era import BOT, CUR, FUT, TOP, ZERO, Type, bump_era, join_era
 from repro.core.flows import (
     FlowPair,
@@ -35,6 +40,7 @@ from repro.core.typestate import (
 
 __all__ = [
     "AbstractState",
+    "AnalysisSession",
     "BOT",
     "CUR",
     "DetectorConfig",
@@ -47,6 +53,7 @@ __all__ = [
     "LeakVerdict",
     "LoadEffect",
     "LoopSpec",
+    "PipelineStats",
     "RankedLoop",
     "Region",
     "RegionSpec",
@@ -64,6 +71,7 @@ __all__ = [
     "candidate_loops",
     "check_component",
     "check_program",
+    "check_regions_parallel",
     "detect_leaks",
     "diff_reports",
     "flows_in_pairs",

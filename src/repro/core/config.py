@@ -1,0 +1,83 @@
+"""Detector configuration: the tunable knobs of the analysis.
+
+Lives in its own module so both the thin :class:`LeakChecker` façade
+(:mod:`repro.core.detector`) and the staged pipeline
+(:mod:`repro.core.pipeline`) can import it without a cycle.
+"""
+
+from repro.errors import AnalysisError
+
+
+class DetectorConfig:
+    """Tunable knobs of the detector; defaults match the paper's setup.
+
+    Attributes
+    ----------
+    callgraph:
+        ``"rta"`` (default), ``"cha"``, or ``"otf"`` (points-to-refined).
+    demand_driven:
+        Answer points-to queries with the CFL solver (budget + fallback)
+        instead of only the whole-program Andersen result.
+    budget:
+        Per-query budget for the demand-driven solver.
+    context_depth:
+        Maximum call-string length for context enumeration (``k``).
+    max_contexts_per_site:
+        Cap on enumerated contexts per allocation site.
+    library_condition:
+        Apply the stronger flows-in condition to library loads.
+    model_threads:
+        Treat started ``Thread`` objects as outside objects.
+    pivot:
+        Report only the roots of leaking structures.
+    strong_updates:
+        Model destructive updates (``x.f = null``): flows-out pairs into a
+        heap slot that region code nulls are dropped.  This implements the
+        paper's future-work precision refinement; it is OFF by default
+        because the allocation-site abstraction makes it unsound when a
+        site has multiple live instances or the null-store is conditional.
+    """
+
+    def __init__(
+        self,
+        callgraph="rta",
+        demand_driven=False,
+        budget=100_000,
+        context_depth=8,
+        max_contexts_per_site=64,
+        library_condition=True,
+        model_threads=False,
+        pivot=True,
+        strong_updates=False,
+    ):
+        if callgraph not in ("rta", "cha", "otf"):
+            raise AnalysisError("unknown call graph kind %r" % callgraph)
+        self.callgraph = callgraph
+        self.demand_driven = demand_driven
+        self.budget = budget
+        self.context_depth = context_depth
+        self.max_contexts_per_site = max_contexts_per_site
+        self.library_condition = library_condition
+        self.model_threads = model_threads
+        self.pivot = pivot
+        self.strong_updates = strong_updates
+
+    def describe(self):
+        return {
+            "callgraph": self.callgraph,
+            "demand_driven": self.demand_driven,
+            "budget": self.budget,
+            "context_depth": self.context_depth,
+            "max_contexts_per_site": self.max_contexts_per_site,
+            "library_condition": self.library_condition,
+            "model_threads": self.model_threads,
+            "pivot": self.pivot,
+            "strong_updates": self.strong_updates,
+        }
+
+    def substrate_key(self):
+        """The configuration slice that determines the *program-level*
+        substrate (call graph + points-to).  Sessions whose configs agree
+        on this key can share one :class:`~repro.core.pipeline.session.
+        SharedArtifacts` instance."""
+        return (self.callgraph, self.demand_driven, self.budget)

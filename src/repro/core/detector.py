@@ -22,194 +22,40 @@ treated as an artificial loop), the detector:
    contexts, and sample escaping stores;
 6. optionally applies pivot mode, keeping only the roots of leaking
    structures.
+
+Since the staged-pipeline refactor the work happens in
+:mod:`repro.core.pipeline`: :class:`LeakChecker` is a thin façade over an
+:class:`~repro.core.pipeline.session.AnalysisSession`, which owns the
+program-level artifacts, memoizes them across regions, and reports
+per-stage timings and counters through ``LeakReport.stats``.
 """
 
-import time
+from repro.core.config import DetectorConfig
+from repro.core.pipeline.session import AnalysisSession
 
-from repro.callgraph.cha import build_cha
-from repro.callgraph.otf import build_otf
-from repro.callgraph.rta import build_rta
-from repro.core.era import FUT, TOP
-from repro.core.flows import FlowPair
-from repro.core.libmodel import is_library_sig, library_visible_values
-from repro.core.pivot import apply_pivot
-from repro.core.report import LeakFinding, LeakReport
-from repro.core.threads import started_thread_sites
-from repro.errors import AnalysisError
-from repro.ir.stmts import InvokeStmt, LoadStmt, NewStmt, StoreNullStmt, StoreStmt
-from repro.ir.types import THREAD_CLASS
-from repro.pta.context import EMPTY, CallString
-from repro.pta.queries import PointsTo
-
-
-class DetectorConfig:
-    """Tunable knobs of the detector; defaults match the paper's setup.
-
-    Attributes
-    ----------
-    callgraph:
-        ``"rta"`` (default), ``"cha"``, or ``"otf"`` (points-to-refined).
-    demand_driven:
-        Answer points-to queries with the CFL solver (budget + fallback)
-        instead of only the whole-program Andersen result.
-    budget:
-        Per-query budget for the demand-driven solver.
-    context_depth:
-        Maximum call-string length for context enumeration (``k``).
-    max_contexts_per_site:
-        Cap on enumerated contexts per allocation site.
-    library_condition:
-        Apply the stronger flows-in condition to library loads.
-    model_threads:
-        Treat started ``Thread`` objects as outside objects.
-    pivot:
-        Report only the roots of leaking structures.
-    strong_updates:
-        Model destructive updates (``x.f = null``): flows-out pairs into a
-        heap slot that region code nulls are dropped.  This implements the
-        paper's future-work precision refinement; it is OFF by default
-        because the allocation-site abstraction makes it unsound when a
-        site has multiple live instances or the null-store is conditional.
-    """
-
-    def __init__(
-        self,
-        callgraph="rta",
-        demand_driven=False,
-        budget=100_000,
-        context_depth=8,
-        max_contexts_per_site=64,
-        library_condition=True,
-        model_threads=False,
-        pivot=True,
-        strong_updates=False,
-    ):
-        if callgraph not in ("rta", "cha", "otf"):
-            raise AnalysisError("unknown call graph kind %r" % callgraph)
-        self.callgraph = callgraph
-        self.demand_driven = demand_driven
-        self.budget = budget
-        self.context_depth = context_depth
-        self.max_contexts_per_site = max_contexts_per_site
-        self.library_condition = library_condition
-        self.model_threads = model_threads
-        self.pivot = pivot
-        self.strong_updates = strong_updates
-
-    def describe(self):
-        return {
-            "callgraph": self.callgraph,
-            "demand_driven": self.demand_driven,
-            "context_depth": self.context_depth,
-            "library_condition": self.library_condition,
-            "model_threads": self.model_threads,
-            "pivot": self.pivot,
-            "strong_updates": self.strong_updates,
-        }
+__all__ = ["DetectorConfig", "LeakChecker", "check_program"]
 
 
 class LeakChecker:
-    """The leak detector; reusable across regions of one program."""
+    """The leak detector; reusable across regions of one program.
 
-    def __init__(self, program, config=None):
+    A façade over :class:`~repro.core.pipeline.session.AnalysisSession`
+    keeping the historical constructor and attribute surface
+    (``checker.callgraph``, ``checker.points_to``, ``checker.config``).
+    Pass ``session=`` to share program-level artifacts with other
+    workflows analyzing the same program.
+    """
+
+    def __init__(self, program, config=None, session=None):
+        self.session = session or AnalysisSession(program, config)
         self.program = program
-        self.config = config or DetectorConfig()
-        builders = {"rta": build_rta, "cha": build_cha, "otf": build_otf}
-        self.callgraph = builders[self.config.callgraph](program)
-        self.points_to = PointsTo(
-            program,
-            self.callgraph,
-            demand_driven=self.config.demand_driven,
-            budget=self.config.budget,
-        )
-        self._visible = None
-
-    # -- public ------------------------------------------------------------
+        self.config = self.session.config
+        self.callgraph = self.session.callgraph
+        self.points_to = self.session.points_to
 
     def check(self, region):
         """Analyze one region; returns a :class:`LeakReport`."""
-        started = time.perf_counter()
-        contexts, region_methods = self._enumerate_contexts(region)
-        inside_sites = set(contexts)
-
-        thread_sites = set()
-        if self.config.model_threads:
-            thread_sites = started_thread_sites(
-                self.program, self.callgraph, self.points_to
-            )
-            inside_sites -= thread_sites
-
-        # Leaks are reported at application allocation sites; collection
-        # internals (HashMap entries, list nodes) stay in the flow
-        # computation as inside objects but are never reported themselves —
-        # the paper's "higher level of abstraction" requirement.
-        reportable = {
-            s
-            for s in inside_sites
-            if not is_library_sig(self.program, self.program.site(s).method_sig)
-        }
-
-        region_stmts = self._region_statements(region, region_methods)
-        store_edges = self._store_edges(region_stmts)
-        out_pairs, escape_stmts = self._flows_out(
-            inside_sites, store_edges, thread_sites
-        )
-        in_pairs = self._flows_in(inside_sites, region_stmts, thread_sites)
-
-        if self.config.strong_updates:
-            cleared = self._cleared_slots(region_stmts)
-            out_pairs = {
-                p for p in out_pairs if (p.base, p.field) not in cleared
-            }
-
-        verdicts = self._match(reportable, out_pairs, in_pairs)
-        leaking = sorted(site for site, v in verdicts.items() if v.is_leak)
-        if self.config.pivot:
-            # Containment edges may pass through library-internal nodes
-            # (entry objects); dominance is only judged between reported
-            # (application) sites, but paths traverse the full inside graph.
-            containment = [
-                (edge.src_site, edge.base_site)
-                for edge in store_edges
-                if edge.src_site in inside_sites and edge.base_site in inside_sites
-            ]
-            leaking = apply_pivot(leaking, containment)
-
-        findings = []
-        for site_label in leaking:
-            verdict = verdicts[site_label]
-            notes = []
-            for base, _field in verdict.unmatched_keys:
-                if base in thread_sites:
-                    notes.append("escapes to a started thread object (%s)" % base)
-            findings.append(
-                LeakFinding(
-                    self.program.site(site_label),
-                    verdict.era,
-                    [(base, field) for base, field in verdict.unmatched_keys],
-                    sorted(contexts.get(site_label, ()), key=lambda c: c.sites),
-                    escape_stores=escape_stmts.get(site_label, [])[:3],
-                    notes=notes,
-                )
-            )
-
-        elapsed = time.perf_counter() - started
-        reachable = self.callgraph.reachable_methods()
-        stats = {
-            "methods": len(reachable),
-            "statements": sum(
-                1 for m in reachable for s in m.statements() if s.is_simple
-            ),
-            "time_seconds": round(elapsed, 4),
-            "loop_objects": sum(
-                len(ctxs) for site, ctxs in contexts.items() if site in reportable
-            ),
-            "loop_alloc_sites": len(reportable),
-            "reported_sites": len(findings),
-            "reported_ctx_sites": sum(f.context_count for f in findings),
-        }
-        stats.update(self.config.describe())
-        return LeakReport(region, findings, stats)
+        return self.session.check(region)
 
     def flow_relations(self, region):
         """The raw transitive flows-out / flows-in pair sets for a region.
@@ -219,238 +65,7 @@ class LeakChecker:
         property-based tests check exactly that.
         Returns ``(inside_sites, out_pairs, in_pairs)``.
         """
-        contexts, region_methods = self._enumerate_contexts(region)
-        inside_sites = set(contexts)
-        thread_sites = set()
-        if self.config.model_threads:
-            thread_sites = started_thread_sites(
-                self.program, self.callgraph, self.points_to
-            )
-            inside_sites -= thread_sites
-        region_stmts = self._region_statements(region, region_methods)
-        store_edges = self._store_edges(region_stmts)
-        out_pairs, _ = self._flows_out(inside_sites, store_edges, thread_sites)
-        in_pairs = self._flows_in(inside_sites, region_stmts, thread_sites)
-        return inside_sites, out_pairs, in_pairs
-
-    # -- step 2: context enumeration ----------------------------------------
-
-    def _enumerate_contexts(self, region):
-        """Map inside-site label -> set of CallString; also the set of
-        method signatures whose bodies execute during an iteration."""
-        contexts = {}
-        region_methods = set()
-
-        def add_site(stmt, ctx):
-            ctxs = contexts.setdefault(stmt.site, set())
-            if len(ctxs) < self.config.max_contexts_per_site:
-                ctxs.add(ctx)
-
-        def visit_method(method, ctx, chain):
-            region_methods.add(method.sig)
-            for stmt in method.statements():
-                if isinstance(stmt, NewStmt):
-                    add_site(stmt, ctx)
-                elif isinstance(stmt, InvokeStmt):
-                    descend(stmt, ctx, chain)
-
-        def descend(invoke, ctx, chain):
-            if ctx.depth >= self.config.context_depth:
-                return
-            for callee in self.callgraph.targets_of_site(invoke):
-                if callee.sig in chain:
-                    continue  # cut recursion cycles
-                visit_method(
-                    callee, ctx.push(invoke.callsite), chain | {callee.sig}
-                )
-
-        for stmt in region.body_statements(self.program):
-            if isinstance(stmt, NewStmt):
-                add_site(stmt, EMPTY)
-            elif isinstance(stmt, InvokeStmt):
-                descend(stmt, EMPTY, frozenset())
-        return contexts, region_methods
-
-    def _region_statements(self, region, region_methods):
-        """Statements that may execute during one iteration: the region
-        body plus every statement of methods reachable from it."""
-        stmts = list(region.body_statements(self.program))
-        seen_uids = {s.uid for s in stmts}
-        for sig in region_methods:
-            for stmt in self.program.method(sig).statements():
-                if stmt.uid not in seen_uids:
-                    seen_uids.add(stmt.uid)
-                    stmts.append(stmt)
-        return stmts
-
-    # -- steps 3-4: flow relations ------------------------------------------
-
-    class _StoreEdge:
-        __slots__ = ("src_site", "field", "base_site", "stmt")
-
-        def __init__(self, src_site, field, base_site, stmt):
-            self.src_site = src_site
-            self.field = field
-            self.base_site = base_site
-            self.stmt = stmt
-
-    def _store_edges(self, region_stmts):
-        edges = []
-        for stmt in region_stmts:
-            if not isinstance(stmt, StoreStmt):
-                continue
-            sig = stmt.method.sig
-            src_sites = self.points_to.pts(sig, stmt.source)
-            base_sites = self.points_to.pts(sig, stmt.base)
-            for src in src_sites:
-                for base in base_sites:
-                    edges.append(self._StoreEdge(src, stmt.field, base, stmt))
-        return edges
-
-    def _cleared_slots(self, region_stmts):
-        """Heap slots (base_site, field) destructively nulled by region
-        code — the strong-update extension's evidence."""
-        cleared = set()
-        for stmt in region_stmts:
-            if not isinstance(stmt, StoreNullStmt):
-                continue
-            for base in self.points_to.pts(stmt.method.sig, stmt.base):
-                cleared.add((base, stmt.field))
-        return cleared
-
-    def _flows_out(self, inside_sites, store_edges, thread_sites):
-        """Transitive flows-out pairs and sample escaping stores per site.
-
-        A site is outside when it is not an inside site (this includes
-        forced-outside started-thread sites).
-        """
-        by_src = {}
-        for edge in store_edges:
-            by_src.setdefault(edge.src_site, []).append(edge)
-
-        out_pairs = set()
-        escape_stmts = {}
-        for origin in inside_sites:
-            seen = {origin}
-            work = [origin]
-            while work:
-                site = work.pop()
-                for edge in by_src.get(site, ()):
-                    if edge.base_site in inside_sites:
-                        if edge.base_site not in seen:
-                            seen.add(edge.base_site)
-                            work.append(edge.base_site)
-                    else:
-                        pair = FlowPair(origin, edge.field, edge.base_site)
-                        if pair not in out_pairs:
-                            out_pairs.add(pair)
-                            escape_stmts.setdefault(origin, []).append(edge.stmt)
-        return out_pairs, escape_stmts
-
-    def _flows_in(self, inside_sites, region_stmts, thread_sites):
-        """Transitive flows-in pairs from in-region loads.
-
-        The Section 4 library condition constrains the *finally retrieved*
-        object: a chain of loads rooted at an outside object's field is a
-        flows-in for its final value only when the load producing that
-        value either sits in application code or hands the value back to
-        application code.  Intermediate links (e.g. the ``MapEntry`` read
-        inside ``HashMap.get``) may be library-internal.
-        """
-        if self.config.library_condition and self._visible is None:
-            self._visible = library_visible_values(self.program, self.points_to.pag)
-
-        #: pair -> True when the final link satisfies the condition
-        pairs = {}
-        #: inside-base links: (value_site, inside_base) -> final-link visible
-        inside_loads = {}
-        thread_classes = (
-            set(self.program.subclasses(THREAD_CLASS))
-            if self.config.model_threads
-            else set()
-        )
-
-        def link_visible(stmt):
-            if not self.config.library_condition:
-                return True
-            if not is_library_sig(self.program, stmt.method.sig):
-                return True
-            target_node = self.points_to.pag.var(stmt.method, stmt.target)
-            return target_node in self._visible
-
-        for stmt in region_stmts:
-            if not isinstance(stmt, LoadStmt):
-                continue
-            sig = stmt.method.sig
-            if stmt.method.declaring_class in thread_classes:
-                # A retrieval performed by a (started) thread body is not a
-                # retrieval by a later loop iteration; under thread
-                # modeling such loads do not produce flows-in, which is
-                # why the Mikou case study sees the escapes reported.
-                continue
-            visible = link_visible(stmt)
-            for base in self.points_to.pts(sig, stmt.base):
-                for value in self.points_to.field_pts(base, stmt.field):
-                    if value not in inside_sites:
-                        continue
-                    if base in inside_sites:
-                        key = (value, base)
-                        inside_loads[key] = inside_loads.get(key, False) or visible
-                    else:
-                        pair = FlowPair(value, stmt.field, base)
-                        pairs[pair] = pairs.get(pair, False) or visible
-
-        changed = True
-        while changed:
-            changed = False
-            for (value, mid), visible in inside_loads.items():
-                for pair in list(pairs):
-                    if pair.site != mid:
-                        continue
-                    extended = FlowPair(value, pair.field, pair.base)
-                    # The chain's visibility is that of its final link.
-                    if visible and not pairs.get(extended, False):
-                        pairs[extended] = True
-                        changed = True
-                    elif extended not in pairs:
-                        pairs[extended] = False
-                        changed = True
-        return {pair for pair, visible in pairs.items() if visible}
-
-    # -- step 5: matching -----------------------------------------------------
-
-    class _Verdict:
-        __slots__ = ("site", "era", "unmatched_keys", "matched_keys")
-
-        def __init__(self, site, era, unmatched_keys, matched_keys):
-            self.site = site
-            self.era = era
-            self.unmatched_keys = unmatched_keys
-            self.matched_keys = matched_keys
-
-        @property
-        def is_leak(self):
-            return bool(self.unmatched_keys)
-
-    def _match(self, inside_sites, out_pairs, in_pairs):
-        outs_by_site = {}
-        for pair in out_pairs:
-            outs_by_site.setdefault(pair.site, set()).add((pair.base, pair.field))
-        ins_by_site = {}
-        for pair in in_pairs:
-            ins_by_site.setdefault(pair.site, set()).add((pair.base, pair.field))
-
-        verdicts = {}
-        for site in inside_sites:
-            site_outs = outs_by_site.get(site)
-            if not site_outs:
-                continue  # never escapes: ERA c, cannot leak
-            site_ins = ins_by_site.get(site, set())
-            era = FUT if site_ins else TOP
-            unmatched = sorted(site_outs - site_ins)
-            matched = sorted(site_outs & site_ins)
-            verdicts[site] = self._Verdict(site, era, unmatched, matched)
-        return verdicts
+        return self.session.flow_relations(region)
 
 
 def check_program(program, region, config=None):

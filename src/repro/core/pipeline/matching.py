@@ -1,0 +1,42 @@
+"""Stage 6 — matching (Definition 3).
+
+Sites that never flow back (ERA ``T``), or whose flows-out pair
+``(o, g, b)`` has no flows-in pair on the same ``b.g``, get a leak
+verdict carrying the redundant reference edges.
+"""
+
+from repro.core.era import FUT, TOP
+from repro.core.pipeline.artifacts import MatchArtifact, Verdict
+
+
+def match_pairs(context_art, out_pairs, in_pairs, stats):
+    """Produce the :class:`MatchArtifact`.
+
+    ``out_pairs`` is the *effective* flows-out set (after the
+    strong-update post-pass); verdicts are computed for reportable
+    (application) sites only.
+    """
+    outs_by_site = {}
+    for pair in out_pairs:
+        outs_by_site.setdefault(pair.site, set()).add((pair.base, pair.field))
+    ins_by_site = {}
+    for pair in in_pairs:
+        ins_by_site.setdefault(pair.site, set()).add((pair.base, pair.field))
+
+    verdicts = {}
+    matched_total = 0
+    unmatched_total = 0
+    for site in context_art.reportable:
+        site_outs = outs_by_site.get(site)
+        if not site_outs:
+            continue  # never escapes: ERA c, cannot leak
+        site_ins = ins_by_site.get(site, set())
+        era = FUT if site_ins else TOP
+        unmatched = sorted(site_outs - site_ins)
+        matched = sorted(site_outs & site_ins)
+        matched_total += len(matched)
+        unmatched_total += len(unmatched)
+        verdicts[site] = Verdict(site, era, unmatched, matched)
+    stats.count("flow_pairs_matched", matched_total)
+    stats.count("flow_pairs_unmatched", unmatched_total)
+    return MatchArtifact(verdicts=verdicts)

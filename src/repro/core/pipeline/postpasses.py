@@ -1,0 +1,49 @@
+"""Stage 7 — post-passes: strong updates and pivot mode.
+
+* **Strong updates** (before matching): flows-out pairs into a heap slot
+  ``(base, field)`` that region code destructively nulls are dropped —
+  the paper's future-work precision refinement.
+* **Pivot** (after matching): keep only the roots of leaking structures;
+  containment edges may pass through library-internal nodes (entry
+  objects) — dominance is only judged between reported (application)
+  sites, but paths traverse the full inside graph.
+"""
+
+from repro.core.pivot import apply_pivot
+from repro.ir.stmts import StoreNullStmt
+
+
+def cleared_slots(session, region_stmts, stats):
+    """Heap slots (base_site, field) destructively nulled by region
+    code — the strong-update extension's evidence."""
+    cleared = set()
+    for stmt in region_stmts.statements:
+        if not isinstance(stmt, StoreNullStmt):
+            continue
+        for base in session.points_to.pts(stmt.method.sig, stmt.base):
+            cleared.add((base, stmt.field))
+    stats.count("cleared_slots", len(cleared))
+    return frozenset(cleared)
+
+
+def apply_strong_updates(out_pairs, cleared, stats):
+    """Filter flows-out pairs whose target slot the region nulls."""
+    kept = {p for p in out_pairs if (p.base, p.field) not in cleared}
+    stats.count("strong_update_drops", len(out_pairs) - len(kept))
+    return kept
+
+
+def pivot_roots(context_art, store_art, match_art, stats):
+    """The final ordered list of leaking site labels under pivot mode."""
+    leaking = sorted(
+        site for site, v in match_art.verdicts.items() if v.is_leak
+    )
+    inside_sites = context_art.inside_sites
+    containment = [
+        (edge.src_site, edge.base_site)
+        for edge in store_art.edges
+        if edge.src_site in inside_sites and edge.base_site in inside_sites
+    ]
+    rooted = apply_pivot(leaking, containment)
+    stats.count("pivot_folded", len(leaking) - len(rooted))
+    return rooted

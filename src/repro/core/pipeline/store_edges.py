@@ -1,0 +1,23 @@
+"""Stage 3 — store-edge extraction.
+
+Every store executable during an iteration is resolved through points-to
+into (src_site, field, base_site) edges.  Resolution of one store
+statement is region-independent, so results live in the session's
+per-statement index: scanning many regions resolves each store once.
+"""
+
+from repro.core.pipeline.artifacts import StoreEdgeArtifact
+from repro.ir.stmts import StoreStmt
+
+
+def extract_store_edges(session, region_stmts, stats):
+    """Produce the :class:`StoreEdgeArtifact` for a region."""
+    edges = []
+    for stmt in region_stmts.statements:
+        if isinstance(stmt, StoreStmt):
+            edges.extend(session.store_edges_for(stmt, stats))
+    by_src = {}
+    for edge in edges:
+        by_src.setdefault(edge.src_site, []).append(edge)
+    stats.count("store_edges", len(edges))
+    return StoreEdgeArtifact(edges=edges, by_src=by_src)

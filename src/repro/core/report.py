@@ -104,6 +104,8 @@ class LeakReport:
         head = "LeakChecker report for %s" % self.region.describe()
         lines = [head, "=" * len(head)]
         for key in sorted(self.stats):
+            if isinstance(self.stats[key], dict):
+                continue  # stages/counters render via --profile and JSON
             lines.append("%s: %s" % (key, self.stats[key]))
         lines.append("")
         if not self.findings:

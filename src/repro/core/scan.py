@@ -4,9 +4,18 @@ When no single suspicious loop is known, LeakChecker can sweep all
 labelled loops (optionally in ranked order) and aggregate the per-region
 reports.  Each loop is still checked independently — the per-loop
 semantics of the analysis is unchanged; scanning is a convenience layer.
+
+The scan rides on one :class:`~repro.core.pipeline.session.
+AnalysisSession`, so program-level artifacts (call graph, points-to,
+per-method statement and store-edge indexes, library visibility) are
+built once and shared by every loop.  With ``parallel=True`` the
+independent loops fan out over a thread pool; the resulting entries are
+identical to a serial scan in both content and order.
 """
 
-from repro.core.detector import LeakChecker
+from repro.core.pipeline.parallel import check_regions_parallel
+from repro.core.pipeline.session import AnalysisSession
+from repro.core.pipeline.stats import PipelineStats, stats_from_report
 from repro.core.ranking import rank_loops
 from repro.core.regions import candidate_loops
 
@@ -31,6 +40,15 @@ class ScanResult:
             sites.update(report.leaking_site_labels)
         return sorted(sites)
 
+    def aggregate_stats(self):
+        """One :class:`PipelineStats` folding every loop's stage timings
+        and counters together — the scan-level profile."""
+        total = None
+        for _spec, report in self.entries:
+            stats = stats_from_report(report.stats)
+            total = stats if total is None else total.merge(stats)
+        return total or PipelineStats()
+
     def format(self):
         lines = ["scanned %d loops, %d findings total" % (
             len(self.entries),
@@ -49,6 +67,28 @@ class ScanResult:
             )
         return "\n".join(lines)
 
+    def as_dict(self):
+        """JSON-ready representation: per-loop reports plus aggregates."""
+        return {
+            "loops": [
+                {
+                    "method": spec.method_sig,
+                    "loop": spec.loop_label,
+                    "report": report.as_dict(),
+                }
+                for spec, report in self.entries
+            ],
+            "total_findings": self.total_findings(),
+            "leaking_sites": self.leaking_sites(),
+            "profile": self.aggregate_stats().as_dict(),
+        }
+
+    def to_json(self, indent=2):
+        """Serialize the scan result to a JSON string (for CI pipelines)."""
+        import json
+
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
     def __repr__(self):
         return "ScanResult(%d loops, %d findings)" % (
             len(self.entries),
@@ -56,19 +96,33 @@ class ScanResult:
         )
 
 
-def scan_all_loops(program, config=None, ranked=False, limit=None):
+def scan_all_loops(
+    program,
+    config=None,
+    ranked=False,
+    limit=None,
+    parallel=False,
+    max_workers=None,
+    session=None,
+):
     """Run the detector on every labelled loop of ``program``.
 
     With ``ranked=True`` loops are visited in structural-suspicion order
     (see :mod:`repro.core.ranking`) and ``limit`` caps how many are
-    checked — the triage workflow for large programs.
+    checked — the triage workflow for large programs.  ``parallel=True``
+    checks loops concurrently (``max_workers`` threads) with output
+    identical to the serial scan; ``session`` lets callers bring their
+    own warmed :class:`AnalysisSession`.
     """
-    checker = LeakChecker(program, config)
+    session = session or AnalysisSession(program, config)
     if ranked:
-        specs = [entry.spec for entry in rank_loops(program, checker.callgraph)]
+        specs = [entry.spec for entry in rank_loops(program, session.callgraph)]
     else:
         specs = candidate_loops(program)
     if limit is not None:
         specs = specs[:limit]
-    entries = [(spec, checker.check(spec)) for spec in specs]
+    if parallel:
+        entries = check_regions_parallel(session, specs, max_workers=max_workers)
+    else:
+        entries = [(spec, session.check(spec)) for spec in specs]
     return ScanResult(entries)

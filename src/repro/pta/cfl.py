@@ -78,6 +78,11 @@ class CFLPointsTo:
     def pts_of(self, method_sig, var):
         return self.points_to(VarNode(method_sig, var))
 
+    def is_memoized(self, node):
+        """Whether a refined answer for ``node`` is already cached (the
+        query-metering facade distinguishes memo hits from fresh work)."""
+        return node in self._memo
+
     def may_alias(self, node_a, node_b):
         return bool(self.points_to(node_a) & self.points_to(node_b))
 

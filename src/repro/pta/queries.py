@@ -3,9 +3,19 @@
 The leak detector talks to this facade so it can run in whole-program mode
 (Andersen) or demand-driven mode (CFL with Andersen fallback); the ablation
 benchmark compares the two.
+
+The facade also meters its own traffic: every query bumps the
+session-lifetime ``totals`` counters, and — inside a
+:meth:`PointsTo.recording` block — a caller-supplied sink, which is how
+the analysis pipeline attributes CFL queries, budget exhaustions, and
+Andersen fallbacks to individual region runs (the sink is thread-local,
+so parallel region checks each meter their own work).
 """
 
-from repro.pta.andersen import analyze as andersen_analyze
+import threading
+from contextlib import contextmanager
+
+from repro.errors import BudgetExhausted
 from repro.pta.cfl import CFLPointsTo
 from repro.pta.pag import PAG, VarNode
 
@@ -30,27 +40,62 @@ class PointsTo:
         self.demand_driven = demand_driven
         self._andersen = None
         self._cfl = CFLPointsTo(self.pag, budget=budget) if demand_driven else None
+        #: facade-lifetime query counters (informational)
+        self.totals = {}
+        self._solve_lock = threading.Lock()
+        self._active = threading.local()
+
+    # -- counters -----------------------------------------------------------
+
+    def _bump(self, name, delta=1):
+        self.totals[name] = self.totals.get(name, 0) + delta
+        sink = getattr(self._active, "sink", None)
+        if sink is not None:
+            sink[name] = sink.get(name, 0) + delta
+
+    @contextmanager
+    def recording(self, sink):
+        """Route this thread's query counters into ``sink`` (a dict) for
+        the duration of the block, in addition to ``totals``."""
+        previous = getattr(self._active, "sink", None)
+        self._active.sink = sink
+        try:
+            yield sink
+        finally:
+            self._active.sink = previous
+
+    # -- queries ------------------------------------------------------------
 
     @property
     def andersen(self):
         if self._andersen is None:
-            from repro.pta.andersen import solve
+            with self._solve_lock:
+                if self._andersen is None:
+                    from repro.pta.andersen import solve
 
-            self._andersen = solve(self.pag)
-            if self._cfl is not None and self._cfl._fallback is None:
-                self._cfl._fallback = self._andersen
+                    result = solve(self.pag)
+                    if self._cfl is not None and self._cfl._fallback is None:
+                        self._cfl._fallback = result
+                    self._andersen = result
         return self._andersen
 
     def pts(self, method_sig, var):
         """Allocation sites that ``var`` in ``method_sig`` may point to."""
-        node = VarNode(method_sig, var)
-        if self._cfl is not None:
-            return self._cfl.points_to(node)
-        return self.andersen.pts(node)
+        return self.pts_node(VarNode(method_sig, var))
 
     def pts_node(self, node):
+        self._bump("var_queries")
         if self._cfl is not None:
-            return self._cfl.points_to(node)
+            self._bump("cfl_queries")
+            if self._cfl.is_memoized(node):
+                self._bump("cfl_memo_hits")
+                return self._cfl.points_to_refined(node)
+            try:
+                return self._cfl.points_to_refined(node)
+            except BudgetExhausted:
+                self._bump("budget_exhaustions")
+                self._bump("andersen_fallbacks")
+                return self.andersen.pts(node)
         return self.andersen.pts(node)
 
     def field_pts(self, site_label, field):
@@ -59,6 +104,7 @@ class PointsTo:
         Heap slots are only tracked by the whole-program solver; demand-
         driven mode still consults Andersen for these (sound and standard).
         """
+        self._bump("heap_queries")
         return self.andersen.field_pts(site_label, field)
 
     def may_alias(self, sig_a, var_a, sig_b, var_b):

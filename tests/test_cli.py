@@ -167,6 +167,59 @@ class TestScanAndRank:
             == 0
         )
 
+    def test_scan_json_output(self, two_loops_file, capsys):
+        import json
+
+        code = main(["scan", two_loops_file, "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["leaking_sites"] == ["item"]
+        assert [loop["loop"] for loop in data["loops"]] == ["LEAKY", "CLEAN"]
+        assert "stages" in data["profile"]
+
+    def test_scan_profile_output(self, two_loops_file, capsys):
+        code = main(["scan", two_loops_file, "--profile"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "pipeline stages" in out
+        assert "flows_out" in out
+        assert "var_queries" in out
+
+    def test_scan_parallel_matches_serial(self, two_loops_file, capsys):
+        assert main(["scan", two_loops_file]) == 1
+        serial = capsys.readouterr().out
+        assert main(["scan", two_loops_file, "--parallel", "--jobs", "2"]) == 1
+        assert capsys.readouterr().out == serial
+
+    def test_check_profile_output(self, two_loops_file, capsys):
+        code = main(
+            [
+                "check",
+                two_loops_file,
+                "--region",
+                "Main.main:LEAKY",
+                "--profile",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "leaking allocation site: item" in out
+        assert "pipeline stages" in out
+
+    def test_check_budget_flag(self, two_loops_file):
+        code = main(
+            [
+                "check",
+                two_loops_file,
+                "--region",
+                "Main.main:LEAKY",
+                "--demand-driven",
+                "--budget",
+                "1",
+            ]
+        )
+        assert code == 1  # budget exhaustion falls back, same verdict
+
     def test_check_otf_callgraph_flag(self, two_loops_file):
         code = main(
             [
