@@ -1,4 +1,4 @@
-.PHONY: install test bench table1 profile examples all
+.PHONY: install test bench table1 profile examples golden-update cache-smoke nightly all
 
 install:
 	pip install -e . --no-build-isolation
@@ -17,5 +17,15 @@ profile:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+golden-update:
+	PYTHONPATH=src python tests/golden/update_golden.py
+
+cache-smoke:
+	PYTHONPATH=src python -m repro.core.cache.smoke
+
+nightly:
+	HYPOTHESIS_PROFILE=nightly PYTHONPATH=src python -m pytest tests/properties -q
+	PYTHONPATH=src python -m repro.core.cache.smoke
 
 all: test bench table1 examples

@@ -14,7 +14,7 @@ import argparse
 import sys
 
 from repro.bench.table1 import run_table1
-from repro.core.detector import DetectorConfig, LeakChecker
+from repro.core.detector import DetectorConfig
 from repro.core.regions import candidate_loops, resolve_region
 from repro.errors import ReproError
 from repro.javalib import JAVALIB_SOURCE
@@ -74,12 +74,28 @@ def _print_profile(stats_dict):
     print(stats_from_report(stats_dict).format())
 
 
+def _cache_from(args):
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.core.cache import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
 def _cmd_check(args):
+    from repro.core.pipeline import AnalysisSession
+
     program = _load_program(args.file, args.javalib)
     region = resolve_region(program, args.region)
-    report = LeakChecker(program, _config_from(args)).check(region)
+    cache = _cache_from(args)
+    session = AnalysisSession(program, _config_from(args), cache=cache)
+    report = session.check(region)
+    if cache is not None:
+        if not session.hydrated_from_cache:
+            session.persist()
+        report.stats["counters"].update(session.cache_counters())
     if args.json:
-        print(report.to_json())
+        print(report.to_json(canonical=args.canonical))
     else:
         print(report.format())
         if args.profile:
@@ -90,6 +106,13 @@ def _cmd_check(args):
 def _cmd_scan(args):
     from repro.core.scan import scan_all_loops
 
+    if args.jobs is not None and args.jobs < 1:
+        print(
+            "error: --jobs must be a positive worker count (got %d)"
+            % args.jobs,
+            file=sys.stderr,
+        )
+        return 2
     program = _load_program(args.file, args.javalib)
     result = scan_all_loops(
         program,
@@ -98,9 +121,11 @@ def _cmd_scan(args):
         limit=args.limit,
         parallel=args.parallel,
         max_workers=args.jobs,
+        backend=args.backend,
+        cache=_cache_from(args),
     )
     if args.json:
-        print(result.to_json())
+        print(result.to_json(canonical=args.canonical))
     else:
         print(result.format())
         if args.profile:
@@ -235,6 +260,22 @@ def build_parser():
             help="prepend the standard-library models to the program",
         )
 
+    def add_cache_flags(p):
+        p.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persistent artifact-cache directory: program-level "
+            "artifacts are hydrated from (and saved to) this directory, "
+            "so repeated runs skip the analysis warm-up",
+        )
+        p.add_argument(
+            "--canonical",
+            action="store_true",
+            help="with --json, emit canonical run-independent JSON "
+            "(timings zeroed, cache counters dropped) — byte-stable "
+            "across repeated and parallel runs",
+        )
+
     check = sub.add_parser("check", help="run the leak detector")
     check.add_argument("file", help="while-language source file")
     check.add_argument(
@@ -243,6 +284,7 @@ def build_parser():
         help="Class.method:LOOP for a loop, Class.method for a region",
     )
     check.add_argument("--json", action="store_true", help="emit JSON")
+    add_cache_flags(check)
     add_detector_flags(check)
     check.set_defaults(func=_cmd_check)
 
@@ -276,8 +318,17 @@ def build_parser():
         "--jobs",
         type=int,
         default=None,
-        help="worker threads for --parallel (default: min(4, loops))",
+        help="workers for --parallel (default: min(4, loops)); must be >= 1",
     )
+    scan.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="--parallel execution backend: 'thread' shares one session "
+        "under the GIL; 'process' fans out over a process pool whose "
+        "workers hydrate the substrate from a snapshot (true parallelism)",
+    )
+    add_cache_flags(scan)
     add_detector_flags(scan)
     scan.set_defaults(func=_cmd_scan)
 

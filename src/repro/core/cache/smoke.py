@@ -1,0 +1,89 @@
+"""Cache round-trip smoke check: ``python -m repro.core.cache.smoke``.
+
+Runs every bench app through a cold scan/check (compute + persist) and
+a warm one (hydrate from disk) against a throwaway cache directory,
+and verifies that
+
+* the warm run is a cache hit that saves nothing back, and
+* cold and warm canonical reports are byte-identical.
+
+Exits nonzero on the first divergence.  The nightly workflow runs this
+as a cheap end-to-end guard on the serialization layer; it is also a
+convenient local check after touching :mod:`repro.core.cache`.
+"""
+
+import shutil
+import sys
+import tempfile
+
+from repro.bench.apps import app_names, build_app
+from repro.core.cache.store import ArtifactCache
+from repro.core.pipeline.session import AnalysisSession
+from repro.core.scan import scan_all_loops
+from repro.errors import ResolutionError
+
+
+def _canonical_pair(app, root):
+    """(cold, warm) canonical JSON plus the warm session's counters."""
+    try:
+        cold = scan_all_loops(
+            app.program, app.config, cache=ArtifactCache(root)
+        )
+        warm = scan_all_loops(
+            app.program, app.config, cache=ArtifactCache(root)
+        )
+        return (
+            cold.to_json(canonical=True),
+            warm.to_json(canonical=True),
+            warm.cache_counters,
+        )
+    except ResolutionError:
+        # No labelled loops (artificial region): use the check path.
+        cold_session = AnalysisSession(
+            app.program, app.config, cache=ArtifactCache(root)
+        )
+        cold = cold_session.check(app.region)
+        cold_session.persist()
+        warm_session = AnalysisSession(
+            app.program, app.config, cache=ArtifactCache(root)
+        )
+        warm = warm_session.check(app.region)
+        return (
+            cold.to_json(canonical=True),
+            warm.to_json(canonical=True),
+            warm_session.cache_counters(),
+        )
+
+
+def main(argv=None):
+    names = (argv or [])[0:] or app_names()
+    root = tempfile.mkdtemp(prefix="repro-cache-smoke-")
+    failures = 0
+    try:
+        for name in names:
+            app = build_app(name)
+            app_root = "%s/%s" % (root, name)
+            cold_json, warm_json, counters = _canonical_pair(app, app_root)
+            problems = []
+            if counters.get("artifact_cache_hits") != 1:
+                problems.append("warm run missed the cache (%r)" % counters)
+            if counters.get("artifact_cache_saves", 0) != 0:
+                problems.append("warm run re-persisted the artifacts")
+            if warm_json != cold_json:
+                problems.append("cold and warm canonical reports differ")
+            if problems:
+                failures += 1
+                print("FAIL %-18s %s" % (name, "; ".join(problems)))
+            else:
+                print("ok   %-18s cold==warm, hit=1" % name)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        print("cache smoke: %d of %d apps FAILED" % (failures, len(names)))
+        return 1
+    print("cache smoke: %d apps round-tripped cleanly" % len(names))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -14,6 +14,7 @@ from repro.core.flows import FlowPair
 from repro.core.libmodel import is_library_sig
 from repro.core.pipeline.artifacts import FlowsInArtifact
 from repro.ir.stmts import LoadStmt
+from repro.pta.pag import VarNode
 
 
 def compute_flows_in(session, context_art, region_stmts, stats):
@@ -40,8 +41,9 @@ def compute_flows_in(session, context_art, region_stmts, stats):
             return True
         if not is_library_sig(program, stmt.method.sig):
             return True
-        target_node = points_to.pag.var(stmt.method, stmt.target)
-        return target_node in visible
+        # VarNode construction is stateless; avoid touching points_to.pag
+        # so cache-hydrated sessions never build the PAG for a region run.
+        return VarNode(stmt.method.sig, stmt.target) in visible
 
     for stmt in region_stmts.statements:
         if not isinstance(stmt, LoadStmt):

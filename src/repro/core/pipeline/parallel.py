@@ -1,32 +1,150 @@
 """Parallel region checking: independent regions, identical reports.
 
 Regions are analytically independent — a region check only *reads* the
-program-level artifacts — so a scan can fan out across a thread pool.
-The session is warmed first (Andersen solve, library visibility, thread
-summaries) so workers never duplicate the one-time work, and results are
-collected in submission order, making the output byte-identical to a
-serial scan of the same spec list.
+program-level artifacts — so a scan can fan out over a worker pool.
+Two backends are provided:
+
+* ``thread`` — a :class:`ThreadPoolExecutor` sharing one warmed
+  session.  Cheap to start, but Python's GIL serializes the actual
+  analysis work;
+* ``process`` — a :class:`ProcessPoolExecutor` achieving true
+  parallelism.  Each worker process hydrates its own session from a
+  snapshot of the parent's shared artifacts (the same serialization
+  the persistent artifact cache uses — see
+  :mod:`repro.core.cache.serialize`), so workers never re-solve the
+  call graph or the points-to system.
+
+Either way the session is warmed first so workers never duplicate the
+one-time work, and results are collected in submission order, making
+the output byte-identical (canonically — timings and cache bookkeeping
+aside, see :mod:`repro.core.canonical`) to a serial scan of the same
+spec list.
+
+A failing region check is re-raised as
+:class:`~repro.errors.RegionCheckError` naming the region that died,
+instead of a bare future traceback.
 """
 
-from concurrent.futures import ThreadPoolExecutor
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.errors import AnalysisError, RegionCheckError
 
 DEFAULT_WORKERS = 4
+BACKENDS = ("thread", "process")
+
+#: Per-process worker state, installed by :func:`_init_process_worker`.
+_WORKER_SESSION = None
 
 
-def check_regions_parallel(session, specs, max_workers=None):
+def _resolve_workers(max_workers, spec_count):
+    """Validate an explicit worker count; pick a default otherwise."""
+    if max_workers is None:
+        return min(DEFAULT_WORKERS, spec_count)
+    if max_workers < 1:
+        raise AnalysisError(
+            "--jobs must be a positive worker count, got %d" % max_workers
+        )
+    return max_workers
+
+
+def _check_wrapped(session, spec):
+    """One region check with the failure labelled by its region."""
+    try:
+        return session.check(spec)
+    except RegionCheckError:
+        raise
+    except Exception as exc:
+        raise RegionCheckError(
+            spec.describe(), "%s: %s" % (type(exc).__name__, exc)
+        ) from exc
+
+
+def _init_process_worker(program_blob, config_kwargs, snapshot):
+    """Build this worker process's session from the parent's snapshot."""
+    from repro.core.cache.serialize import hydrate_shared
+    from repro.core.config import DetectorConfig
+    from repro.core.pipeline.session import AnalysisSession
+
+    global _WORKER_SESSION
+    program = pickle.loads(program_blob)
+    config = DetectorConfig(**config_kwargs)
+    # The snapshot came straight from the parent's live session, so its
+    # recorded digest is trusted — no need to re-hash the program here.
+    shared = hydrate_shared(
+        program, config, snapshot, program_dig=snapshot["program_digest"]
+    )
+    _WORKER_SESSION = AnalysisSession(program, config, shared=shared)
+
+
+def _process_check(spec):
+    """Worker-side check returning an outcome tuple (exceptions do not
+    reliably pickle across the process boundary, so failures travel as
+    data and are re-raised in the parent with the region named)."""
+    try:
+        return ("ok", _WORKER_SESSION.check(spec))
+    except Exception as exc:
+        return (
+            "error",
+            spec.describe(),
+            "%s: %s" % (type(exc).__name__, exc),
+            traceback.format_exc(),
+        )
+
+
+def _check_regions_process(session, specs, workers):
+    session.warm()
+    from repro.core.cache.serialize import snapshot_shared
+
+    initargs = (
+        pickle.dumps(session.program, protocol=pickle.HIGHEST_PROTOCOL),
+        session.config.describe(),
+        snapshot_shared(session.shared),
+    )
+    entries = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_process_worker,
+        initargs=initargs,
+    ) as pool:
+        futures = [pool.submit(_process_check, spec) for spec in specs]
+        for spec, future in zip(specs, futures):
+            outcome = future.result()
+            if outcome[0] == "error":
+                _kind, desc, cause, worker_tb = outcome
+                raise RegionCheckError(
+                    desc, "%s\n--- worker traceback ---\n%s" % (cause, worker_tb)
+                )
+            entries.append((spec, outcome[1]))
+    return entries
+
+
+def check_regions_parallel(session, specs, max_workers=None, backend="thread"):
     """Check every region in ``specs`` concurrently.
 
     Returns ``[(spec, LeakReport)]`` in the order of ``specs`` —
     the same entries a serial ``[session.check(s) for s in specs]``
-    would produce.
+    would produce.  ``backend`` is ``"thread"`` (shared session) or
+    ``"process"`` (snapshot-hydrated worker sessions); an explicit
+    ``max_workers`` below 1 raises :class:`AnalysisError`.
     """
+    if backend not in BACKENDS:
+        raise AnalysisError(
+            "unknown parallel backend %r (choose from %s)"
+            % (backend, ", ".join(BACKENDS))
+        )
     specs = list(specs)
+    workers = _resolve_workers(max_workers, len(specs) or 1)
     if not specs:
         return []
-    workers = max_workers or min(DEFAULT_WORKERS, len(specs))
     if workers <= 1 or len(specs) == 1:
-        return [(spec, session.check(spec)) for spec in specs]
+        return [(spec, _check_wrapped(session, spec)) for spec in specs]
+    if backend == "process":
+        return _check_regions_process(session, specs, workers)
     session.warm()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(session.check, spec) for spec in specs]
+        futures = [
+            pool.submit(_check_wrapped, session, spec) for spec in specs
+        ]
         return [(spec, future.result()) for spec, future in zip(specs, futures)]

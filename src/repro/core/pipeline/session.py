@@ -62,12 +62,17 @@ class SharedArtifacts:
 
     All lazily-filled caches hold values that are pure functions of the
     program + substrate, so concurrent fills are benign (idempotent).
+
+    ``callgraph`` lets the artifact cache supply a prebuilt call graph
+    (hydrated from a snapshot) instead of running a builder.
     """
 
-    def __init__(self, program, config):
+    def __init__(self, program, config, callgraph=None):
         self.program = program
         self.substrate_key = config.substrate_key()
-        self.callgraph = _CALLGRAPH_BUILDERS[config.callgraph](program)
+        if callgraph is None:
+            callgraph = _CALLGRAPH_BUILDERS[config.callgraph](program)
+        self.callgraph = callgraph
         self.points_to = PointsTo(
             program,
             self.callgraph,
@@ -145,11 +150,26 @@ class AnalysisSession:
         When ``False``, the per-method/per-statement/per-region caches
         are bypassed and every region pays full rebuild cost — the
         seed's behaviour, kept as a baseline for the reuse benchmarks.
+    cache:
+        Optional :class:`~repro.core.cache.store.ArtifactCache`.  On
+        construction the session tries to hydrate its shared artifacts
+        from the cache (skipping the whole warm-up on a hit);
+        :meth:`persist` writes them back.  Cache hit/miss/save/eviction
+        counters fold into :attr:`stats`.
     """
 
-    def __init__(self, program, config=None, shared=None, reuse_artifacts=True):
+    def __init__(
+        self, program, config=None, shared=None, reuse_artifacts=True, cache=None
+    ):
         self.program = program
         self.config = config or DetectorConfig()
+        self.cache = cache
+        #: True when the shared artifacts came from the persistent cache
+        #: (so re-persisting them after a run would be redundant).
+        self.hydrated_from_cache = False
+        if shared is None and cache is not None:
+            shared = cache.load(program, self.config)
+            self.hydrated_from_cache = shared is not None
         if shared is not None:
             if shared.substrate_key != self.config.substrate_key():
                 raise AnalysisError(
@@ -192,6 +212,7 @@ class AnalysisSession:
             config,
             shared=shared,
             reuse_artifacts=self.reuse_artifacts,
+            cache=self.cache,
         )
 
     def method_statements(self, sig):
@@ -246,6 +267,26 @@ class AnalysisSession:
             self.shared.thread_sites()
             self.shared.thread_subclasses()
         return self
+
+    def persist(self):
+        """Warm the shared artifacts and write them to the session's
+        cache; returns the entry path, or ``None`` without a cache."""
+        if self.cache is None:
+            return None
+        self.warm()
+        return self.cache.save(self.program, self.config, self.shared)
+
+    def cache_counters(self):
+        """The artifact-cache hit/miss/save/eviction counters observed
+        by this session's cache (all zero without one)."""
+        if self.cache is None:
+            return {
+                "artifact_cache_hits": 0,
+                "artifact_cache_misses": 0,
+                "artifact_cache_saves": 0,
+                "artifact_cache_evictions": 0,
+            }
+        return dict(self.cache.stats)
 
     # -- the staged pipeline -------------------------------------------------
 
@@ -389,7 +430,13 @@ class AnalysisSession:
                     sorted(
                         contexts.get(site_label, ()), key=lambda c: c.sites
                     ),
-                    escape_stores=escape_stmts.get(site_label, [])[:3],
+                    # Sorted before truncating so the evidence sample is
+                    # the same across runs and processes (the discovery
+                    # order of escaping stores is traversal-dependent).
+                    escape_stores=sorted(
+                        escape_stmts.get(site_label, []),
+                        key=lambda s: (s.method.sig, s.uid),
+                    )[:3],
                     notes=notes,
                 )
             )

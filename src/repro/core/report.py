@@ -123,10 +123,23 @@ class LeakReport:
             "findings": [f.as_dict() for f in self.findings],
         }
 
-    def to_json(self, indent=2):
-        """Serialize the report to a JSON string (for CI pipelines)."""
+    def to_json(self, indent=2, canonical=False):
+        """Serialize the report to a JSON string (for CI pipelines).
+
+        ``canonical=True`` zeroes timings and drops run-dependent cache
+        counters (:mod:`repro.core.canonical`) so equivalent runs emit
+        byte-identical text — the form the golden corpus stores.
+        """
         import json
 
+        if canonical:
+            from repro.core.canonical import canonical_report_dict
+
+            return json.dumps(
+                canonical_report_dict(self.as_dict()),
+                indent=indent,
+                sort_keys=True,
+            )
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def __repr__(self):

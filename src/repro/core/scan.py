@@ -9,8 +9,12 @@ The scan rides on one :class:`~repro.core.pipeline.session.
 AnalysisSession`, so program-level artifacts (call graph, points-to,
 per-method statement and store-edge indexes, library visibility) are
 built once and shared by every loop.  With ``parallel=True`` the
-independent loops fan out over a thread pool; the resulting entries are
-identical to a serial scan in both content and order.
+independent loops fan out over a worker pool (``backend="thread"`` or
+``"process"``); the resulting entries are identical to a serial scan in
+both content and order.  With ``cache=`` (an :class:`~repro.core.cache.
+store.ArtifactCache`) the session hydrates its program-level artifacts
+from disk when a prior run left them there, and persists them after the
+scan — repeated scans of the same program skip the warm-up entirely.
 """
 
 from repro.core.pipeline.parallel import check_regions_parallel
@@ -23,9 +27,12 @@ from repro.core.regions import candidate_loops
 class ScanResult:
     """Aggregated reports from scanning multiple loops."""
 
-    def __init__(self, entries):
+    def __init__(self, entries, cache_counters=None):
         #: list of (LoopSpec, LeakReport), in scan order
         self.entries = entries
+        #: artifact-cache traffic observed by the scan's session
+        #: (hits/misses/saves/evictions), all zero without a cache
+        self.cache_counters = dict(cache_counters or {})
 
     def loops_with_leaks(self):
         return [spec for spec, report in self.entries if report.findings]
@@ -42,12 +49,18 @@ class ScanResult:
 
     def aggregate_stats(self):
         """One :class:`PipelineStats` folding every loop's stage timings
-        and counters together — the scan-level profile."""
+        and counters together — the scan-level profile.  Artifact-cache
+        traffic (a session-level observation, not a per-loop one) is
+        merged on top."""
         total = None
         for _spec, report in self.entries:
             stats = stats_from_report(report.stats)
             total = stats if total is None else total.merge(stats)
-        return total or PipelineStats()
+        total = total or PipelineStats()
+        for name, value in self.cache_counters.items():
+            if value:
+                total.count(name, value)
+        return total
 
     def format(self):
         lines = ["scanned %d loops, %d findings total" % (
@@ -83,10 +96,22 @@ class ScanResult:
             "profile": self.aggregate_stats().as_dict(),
         }
 
-    def to_json(self, indent=2):
-        """Serialize the scan result to a JSON string (for CI pipelines)."""
+    def to_json(self, indent=2, canonical=False):
+        """Serialize the scan result to a JSON string (for CI pipelines).
+
+        ``canonical=True`` zeroes timings and drops run-dependent cache
+        counters (:mod:`repro.core.canonical`) so equivalent runs —
+        serial, parallel, cache-hydrated — produce byte-identical text;
+        the golden regression corpus stores this form.
+        """
         import json
 
+        if canonical:
+            from repro.core.canonical import canonical_scan_dict
+
+            return json.dumps(
+                canonical_scan_dict(self.as_dict()), indent=indent, sort_keys=True
+            )
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
     def __repr__(self):
@@ -103,18 +128,23 @@ def scan_all_loops(
     limit=None,
     parallel=False,
     max_workers=None,
+    backend="thread",
     session=None,
+    cache=None,
 ):
     """Run the detector on every labelled loop of ``program``.
 
     With ``ranked=True`` loops are visited in structural-suspicion order
     (see :mod:`repro.core.ranking`) and ``limit`` caps how many are
     checked — the triage workflow for large programs.  ``parallel=True``
-    checks loops concurrently (``max_workers`` threads) with output
-    identical to the serial scan; ``session`` lets callers bring their
-    own warmed :class:`AnalysisSession`.
+    checks loops concurrently (``max_workers`` workers on ``backend``,
+    ``"thread"`` or ``"process"``) with output identical to the serial
+    scan; ``session`` lets callers bring their own warmed
+    :class:`AnalysisSession`; ``cache`` hydrates/persists the
+    program-level artifacts through a persistent
+    :class:`~repro.core.cache.store.ArtifactCache`.
     """
-    session = session or AnalysisSession(program, config)
+    session = session or AnalysisSession(program, config, cache=cache)
     if ranked:
         specs = [entry.spec for entry in rank_loops(program, session.callgraph)]
     else:
@@ -122,7 +152,11 @@ def scan_all_loops(
     if limit is not None:
         specs = specs[:limit]
     if parallel:
-        entries = check_regions_parallel(session, specs, max_workers=max_workers)
+        entries = check_regions_parallel(
+            session, specs, max_workers=max_workers, backend=backend
+        )
     else:
         entries = [(spec, session.check(spec)) for spec in specs]
-    return ScanResult(entries)
+    if session.cache is not None and not session.hydrated_from_cache:
+        session.persist()
+    return ScanResult(entries, cache_counters=session.cache_counters())

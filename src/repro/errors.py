@@ -39,6 +39,35 @@ class InterpError(ReproError):
     """
 
 
+class RegionCheckError(AnalysisError):
+    """Raised when checking one region of a multi-region scan fails.
+
+    Wraps the worker-side exception so a failing spec reports *which*
+    region died instead of a bare future traceback; ``region_desc``
+    carries the region description and ``cause_text`` the original
+    error rendering (the original traceback cannot always cross a
+    process boundary).
+    """
+
+    def __init__(self, region_desc, cause_text=""):
+        self.region_desc = region_desc
+        self.cause_text = cause_text
+        message = "region check failed for %s" % region_desc
+        if cause_text:
+            message += ": %s" % cause_text
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (RegionCheckError, (self.region_desc, self.cause_text))
+
+
+class CacheError(ReproError):
+    """Raised when the persistent artifact cache cannot serve a request
+    it was explicitly asked to serve (e.g. an unwritable cache root).
+    Silent degradation paths — corrupt or version-mismatched entries —
+    do not raise; they fall back to recomputation."""
+
+
 class BudgetExhausted(AnalysisError):
     """Raised internally by the demand-driven CFL solver when its work
     budget runs out; callers catch it and fall back to a sound

@@ -36,13 +36,16 @@ class PointsTo:
     def __init__(self, program, callgraph, demand_driven=False, budget=100_000):
         self.program = program
         self.callgraph = callgraph
-        self.pag = PAG(program, callgraph)
         self.demand_driven = demand_driven
+        self.budget = budget
+        self._pag = None
         self._andersen = None
-        self._cfl = CFLPointsTo(self.pag, budget=budget) if demand_driven else None
+        self._cfl = None
         #: facade-lifetime query counters (informational)
         self.totals = {}
-        self._solve_lock = threading.Lock()
+        # Reentrant: the andersen property holds the lock while touching
+        # the (equally lazy, equally locked) pag property.
+        self._solve_lock = threading.RLock()
         self._active = threading.local()
 
     # -- counters -----------------------------------------------------------
@@ -67,6 +70,33 @@ class PointsTo:
     # -- queries ------------------------------------------------------------
 
     @property
+    def pag(self):
+        """The pointer-assignment graph, built on first use.
+
+        Laziness matters for the persistent artifact cache: a session
+        hydrated from serialized artifacts (call graph, Andersen result,
+        library summaries) answers every query without ever paying the
+        PAG construction cost.
+        """
+        if self._pag is None:
+            with self._solve_lock:
+                if self._pag is None:
+                    self._pag = PAG(self.program, self.callgraph)
+        return self._pag
+
+    @property
+    def _demand_solver(self):
+        if not self.demand_driven:
+            return None
+        if self._cfl is None:
+            with self._solve_lock:
+                if self._cfl is None:
+                    self._cfl = CFLPointsTo(
+                        self.pag, budget=self.budget, fallback=self._andersen
+                    )
+        return self._cfl
+
+    @property
     def andersen(self):
         if self._andersen is None:
             with self._solve_lock:
@@ -79,19 +109,31 @@ class PointsTo:
                     self._andersen = result
         return self._andersen
 
+    def adopt_andersen(self, result):
+        """Install a precomputed whole-program solution (cache hydration).
+
+        The result must have been solved for the same program under the
+        same call graph; callers guarantee that via the cache digest key.
+        """
+        with self._solve_lock:
+            self._andersen = result
+            if self._cfl is not None and self._cfl._fallback is None:
+                self._cfl._fallback = result
+
     def pts(self, method_sig, var):
         """Allocation sites that ``var`` in ``method_sig`` may point to."""
         return self.pts_node(VarNode(method_sig, var))
 
     def pts_node(self, node):
         self._bump("var_queries")
-        if self._cfl is not None:
+        cfl = self._demand_solver
+        if cfl is not None:
             self._bump("cfl_queries")
-            if self._cfl.is_memoized(node):
+            if cfl.is_memoized(node):
                 self._bump("cfl_memo_hits")
-                return self._cfl.points_to_refined(node)
+                return cfl.points_to_refined(node)
             try:
-                return self._cfl.points_to_refined(node)
+                return cfl.points_to_refined(node)
             except BudgetExhausted:
                 self._bump("budget_exhaustions")
                 self._bump("andersen_fallbacks")

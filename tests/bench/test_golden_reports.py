@@ -1,0 +1,60 @@
+"""Golden-report regression tests: the eight bench apps' canonical
+analysis output must match the checked-in corpus byte for byte.
+
+A failure here means the analysis output changed.  If the change is
+intentional, regenerate the corpus and review the diff:
+
+    make golden-update
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.apps import app_names, build_app
+
+from tests.golden.update_golden import golden_path, golden_text
+
+_HINT = (
+    "golden report for %r differs from tests/golden/%s.json; if the "
+    "analysis change is intentional, run `make golden-update` and "
+    "review the diff"
+)
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_report_matches_golden_corpus(name):
+    path = golden_path(name)
+    assert os.path.exists(path), (
+        "missing golden file for %r; run `make golden-update`" % name
+    )
+    with open(path) as handle:
+        expected = handle.read()
+    assert golden_text(build_app(name)) == expected, _HINT % (name, name)
+
+
+def test_corpus_covers_every_app_exactly(name_list=None):
+    """No stale golden files for apps that no longer exist."""
+    names = set(name_list or app_names())
+    golden_dir = os.path.dirname(golden_path("x"))
+    on_disk = {
+        f[: -len(".json")]
+        for f in os.listdir(golden_dir)
+        if f.endswith(".json")
+    }
+    assert on_disk == names
+
+
+def test_golden_files_are_canonical_json():
+    """Corpus files carry no run-dependent content: timings are zeroed
+    and volatile counters absent."""
+    from repro.core.canonical import VOLATILE_COUNTERS
+
+    for name in app_names():
+        with open(golden_path(name)) as handle:
+            doc = json.load(handle)
+        stats = doc["check"]["stats"]
+        assert stats["time_seconds"] == 0.0
+        for counter in VOLATILE_COUNTERS:
+            assert counter not in stats["counters"]

@@ -1,0 +1,112 @@
+"""Tests for the process scan backend and parallel failure labelling."""
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.core.pipeline.parallel import check_regions_parallel
+from repro.core.pipeline.session import AnalysisSession
+from repro.core.regions import LoopSpec, candidate_loops
+from repro.core.scan import scan_all_loops
+from repro.errors import AnalysisError, RegionCheckError
+from repro.lang import parse_program
+
+_THREE_LOOPS = """
+entry Main.main;
+class Main {
+  static method main() {
+    h = new Holder @holder;
+    loop A (*) {
+      x = new Item @a_item;
+      h.slot = x;
+    }
+    loop B (*) {
+      y = new Item @b_item;
+    }
+    loop C (*) {
+      z = new Item @c_item;
+      h.slot = z;
+    }
+  }
+}
+class Holder { field slot; }
+class Item { }
+"""
+
+
+def _program():
+    return parse_program(_THREE_LOOPS)
+
+
+class TestProcessBackend:
+    def test_process_scan_matches_serial(self):
+        config = DetectorConfig()
+        serial = scan_all_loops(_program(), config)
+        processed = scan_all_loops(
+            _program(), config, parallel=True, backend="process", max_workers=2
+        )
+        assert processed.to_json(canonical=True) == serial.to_json(canonical=True)
+
+    def test_process_entries_in_submission_order(self):
+        result = scan_all_loops(
+            _program(), parallel=True, backend="process", max_workers=2
+        )
+        assert [spec.loop_label for spec, _ in result.entries] == ["A", "B", "C"]
+
+    def test_unknown_backend_rejected(self):
+        session = AnalysisSession(_program())
+        with pytest.raises(AnalysisError, match="backend"):
+            check_regions_parallel(
+                session, candidate_loops(session.program), backend="fibers"
+            )
+
+
+class TestWorkerValidation:
+    def test_zero_workers_rejected(self):
+        session = AnalysisSession(_program())
+        with pytest.raises(AnalysisError, match="--jobs"):
+            check_regions_parallel(
+                session, candidate_loops(session.program), max_workers=0
+            )
+
+    def test_negative_workers_rejected(self):
+        session = AnalysisSession(_program())
+        with pytest.raises(AnalysisError, match="-3"):
+            check_regions_parallel(
+                session, candidate_loops(session.program), max_workers=-3
+            )
+
+
+class TestFailureLabelling:
+    def test_failure_names_region_thread_backend(self):
+        session = AnalysisSession(_program())
+        bad = LoopSpec("Main.main", "NO_SUCH_LOOP")
+        specs = candidate_loops(session.program) + [bad]
+        with pytest.raises(RegionCheckError) as excinfo:
+            check_regions_parallel(session, specs, max_workers=2)
+        assert "NO_SUCH_LOOP" in str(excinfo.value)
+
+    def test_failure_names_region_process_backend(self):
+        session = AnalysisSession(_program())
+        bad = LoopSpec("Main.main", "NO_SUCH_LOOP")
+        specs = candidate_loops(session.program) + [bad]
+        with pytest.raises(RegionCheckError) as excinfo:
+            check_regions_parallel(
+                session, specs, max_workers=2, backend="process"
+            )
+        assert "NO_SUCH_LOOP" in str(excinfo.value)
+        assert "worker traceback" in str(excinfo.value)
+
+    def test_failure_names_region_serial_fallback(self):
+        session = AnalysisSession(_program())
+        bad = LoopSpec("Main.main", "NO_SUCH_LOOP")
+        with pytest.raises(RegionCheckError) as excinfo:
+            check_regions_parallel(session, [bad], max_workers=1)
+        assert "NO_SUCH_LOOP" in str(excinfo.value)
+
+    def test_region_check_error_pickles(self):
+        import pickle
+
+        err = RegionCheckError("Main.main:L", "ValueError: boom")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.region_desc == "Main.main:L"
+        assert "boom" in str(clone)

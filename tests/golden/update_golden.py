@@ -1,0 +1,60 @@
+"""Golden-report corpus for the eight bench apps.
+
+Each ``<app>.json`` stores the *canonical* analysis output for one
+bench app — the region check report and, where the app has labelled
+loops, the whole-program scan — with timings zeroed and run-dependent
+counters dropped (:mod:`repro.core.canonical`), so the files are
+byte-stable across machines and runs.
+
+``tests/bench/test_golden_reports.py`` recomputes these documents and
+diffs them against the checked-in files; any intentional change to
+analysis output must be accompanied by regenerating the corpus:
+
+    make golden-update        # or: PYTHONPATH=src python tests/golden/update_golden.py
+
+and reviewing the resulting diff like any other code change.
+"""
+
+import json
+import os
+
+from repro.bench.apps import app_names, build_app
+from repro.core.canonical import canonical_report_dict, canonical_scan_dict
+from repro.core.pipeline.session import AnalysisSession
+from repro.core.scan import scan_all_loops
+from repro.errors import ResolutionError
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def golden_doc(app):
+    """The canonical golden document for one bench app."""
+    session = AnalysisSession(app.program, app.config)
+    check = canonical_report_dict(session.check(app.region).as_dict())
+    try:
+        scan = canonical_scan_dict(
+            scan_all_loops(app.program, app.config, session=session).as_dict()
+        )
+    except ResolutionError:
+        scan = None  # app region is artificial; no labelled loops to sweep
+    return {"app": app.name, "check": check, "scan": scan}
+
+
+def golden_text(app):
+    return json.dumps(golden_doc(app), indent=2, sort_keys=True) + "\n"
+
+
+def golden_path(name):
+    return os.path.join(GOLDEN_DIR, name + ".json")
+
+
+def main():
+    for name in app_names():
+        path = golden_path(name)
+        with open(path, "w") as handle:
+            handle.write(golden_text(build_app(name)))
+        print("wrote %s" % path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Hypothesis profiles for the property suite.
+
+Example counts are profile-driven so one suite serves two budgets:
+
+* ``ci`` (default) — the tier-1 budget, a few dozen examples per
+  property;
+* ``nightly`` — an order of magnitude more examples, run by the
+  scheduled workflow (``.github/workflows/nightly.yml``).
+
+Select with ``HYPOTHESIS_PROFILE=nightly pytest tests/properties``.
+Individual tests may still pin their own ``max_examples`` when an
+example is intrinsically expensive (spawning a process pool, say) —
+an explicit setting beats the profile.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

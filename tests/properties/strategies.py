@@ -5,6 +5,13 @@ outside holder objects, then one labelled loop ``L`` whose body is a
 random mix of allocations, copies, heap reads/writes, destructive updates
 and nondeterministic branches.  All programs are valid by construction
 (variables are defined before use, flow-insensitively).
+
+Two optional extensions exercise the harder corners of the language:
+``allow_threads`` adds thread-start statements (a ``Worker extends
+Thread`` class whose ``run`` allocates and publishes through ``this``;
+the concrete interpreter runs ``start()`` bodies inline), and
+``allow_nested_loops`` nests additional labelled loops inside the
+``L`` body, so scans see more than one candidate region per program.
 """
 
 from hypothesis import strategies as st
@@ -13,29 +20,61 @@ FIELDS = ("f", "g")
 VARS = ("v0", "v1", "v2", "v3")
 HOLDERS = ("h0", "h1")
 
+_THREAD_CLASSES = """
+class Thread { method start() { call this.run() @t_sr; } method run() { return; } }
+class Worker extends Thread {
+  field f;
+  method run() { %s }
+}
+"""
+
 
 class _Gen:
     """Stateful source-text generator driven by hypothesis choices."""
 
-    def __init__(self, draw, allow_loads=True):
+    def __init__(
+        self,
+        draw,
+        allow_loads=True,
+        allow_threads=False,
+        allow_nested_loops=False,
+    ):
         self._draw = draw
         self._site = 0
+        self._loop = 0
         self.allow_loads = allow_loads
+        self.allow_threads = allow_threads
+        self.allow_nested_loops = allow_nested_loops
         self.defined = set(HOLDERS)
 
     def fresh_site(self, prefix):
         self._site += 1
         return "%s%d" % (prefix, self._site)
 
+    def fresh_loop_label(self):
+        self._loop += 1
+        return "N%d" % self._loop
+
     def pick_defined(self):
         return self._draw(st.sampled_from(sorted(self.defined)))
+
+    def worker_run_body(self):
+        """Body of ``Worker.run``: allocate, optionally publish via this."""
+        site = self.fresh_site("tr")
+        if self._draw(st.booleans()):
+            return "x = new C @%s; this.f = x;" % site
+        return "x = new C @%s;" % site
 
     def stmt(self, depth):
         choices = ["new", "copy", "store", "null", "store_null"]
         if self.allow_loads:
             choices.append("load")
+        if self.allow_threads:
+            choices.append("thread")
         if depth > 0:
             choices.append("if")
+            if self.allow_nested_loops:
+                choices.append("loop")
         kind = self._draw(st.sampled_from(choices))
         if kind == "new":
             var = self._draw(st.sampled_from(VARS))
@@ -65,6 +104,20 @@ class _Gen:
             field = self._draw(st.sampled_from(FIELDS))
             self.defined.add(var)
             return "%s = %s.%s;" % (var, base, field)
+        if kind == "thread":
+            var = self._draw(st.sampled_from(VARS))
+            self.defined.add(var)
+            return "%s = new Worker @%s; call %s.start() @%s;" % (
+                var,
+                self.fresh_site("ws"),
+                var,
+                self.fresh_site("wc"),
+            )
+        if kind == "loop":
+            return "loop %s (*) { %s }" % (
+                self.fresh_loop_label(),
+                self.block(depth - 1),
+            )
         # if
         then_stmts = self.block(depth - 1)
         else_stmts = self.block(depth - 1)
@@ -76,13 +129,34 @@ class _Gen:
 
 
 @st.composite
-def loop_programs(draw, max_body_stmts=8, allow_loads=True):
-    """Source of a random single-loop program with label ``L``."""
-    gen = _Gen(draw, allow_loads=allow_loads)
+def loop_programs(
+    draw,
+    max_body_stmts=8,
+    allow_loads=True,
+    allow_threads=False,
+    allow_nested_loops=False,
+):
+    """Source of a random program whose outermost loop has label ``L``.
+
+    With ``allow_threads`` the loop body may start ``Worker`` threads
+    (the interpreter runs their ``run`` bodies inline); with
+    ``allow_nested_loops`` further labelled loops (``N1``, ``N2``, ...)
+    nest inside ``L``, giving whole-program scans several candidate
+    regions.
+    """
+    gen = _Gen(
+        draw,
+        allow_loads=allow_loads,
+        allow_threads=allow_threads,
+        allow_nested_loops=allow_nested_loops,
+    )
     body = []
     count = draw(st.integers(min_value=1, max_value=max_body_stmts))
     for _ in range(count):
         body.append(gen.stmt(depth=2))
+    thread_classes = ""
+    if allow_threads:
+        thread_classes = _THREAD_CLASSES % gen.worker_run_body()
     source = """
 entry Main.main;
 class Main {
@@ -96,7 +170,7 @@ class Main {
   }
 }
 class C { field f; field g; }
-""" % "\n      ".join(body)
+%s""" % ("\n      ".join(body), thread_classes)
     return source
 
 
@@ -105,3 +179,16 @@ def store_only_programs(draw, max_body_stmts=6):
     """Programs whose loop bodies contain no heap reads: every escaping
     site must be reported (no flows-in can exist)."""
     return draw(loop_programs(max_body_stmts=max_body_stmts, allow_loads=False))
+
+
+@st.composite
+def rich_loop_programs(draw, max_body_stmts=8):
+    """Loop programs with every extension on — threads and nested
+    labelled loops — for differential-testing the scan backends."""
+    return draw(
+        loop_programs(
+            max_body_stmts=max_body_stmts,
+            allow_threads=True,
+            allow_nested_loops=True,
+        )
+    )

@@ -20,8 +20,8 @@ from repro.semantics.leaks import analyze_trace
 
 from tests.properties.strategies import loop_programs
 
+# Example count comes from the hypothesis profile (see conftest.py).
 _SETTINGS = settings(
-    max_examples=30,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )

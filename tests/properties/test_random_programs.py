@@ -20,8 +20,9 @@ from repro.semantics.leaks import analyze_trace
 
 from tests.properties.strategies import loop_programs, store_only_programs
 
+# Example count comes from the hypothesis profile (see conftest.py):
+# 40 under the default "ci" profile, far more under "nightly".
 _SETTINGS = settings(
-    max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )

@@ -191,6 +191,101 @@ class TestScanAndRank:
         assert main(["scan", two_loops_file, "--parallel", "--jobs", "2"]) == 1
         assert capsys.readouterr().out == serial
 
+    def test_scan_jobs_zero_rejected(self, two_loops_file, capsys):
+        code = main(["scan", two_loops_file, "--parallel", "--jobs", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "0" in err
+
+    def test_scan_jobs_negative_rejected(self, two_loops_file, capsys):
+        code = main(["scan", two_loops_file, "--parallel", "--jobs", "-2"])
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_scan_process_backend_matches_serial(self, two_loops_file, capsys):
+        assert main(["scan", two_loops_file, "--json", "--canonical"]) == 1
+        serial = capsys.readouterr().out
+        code = main(
+            [
+                "scan",
+                two_loops_file,
+                "--json",
+                "--canonical",
+                "--parallel",
+                "--backend",
+                "process",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 1
+        assert capsys.readouterr().out == serial
+
+    def test_scan_cache_dir_warm_hit(self, two_loops_file, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "artifacts")
+        args = ["scan", two_loops_file, "--json", "--cache-dir", cache_dir]
+        assert main(args) == 1
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["profile"]["counters"]["artifact_cache_saves"] == 1
+        assert main(args) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["profile"]["counters"]["artifact_cache_hits"] == 1
+
+    def test_check_cache_dir_warm_hit(self, two_loops_file, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "artifacts")
+        args = [
+            "check",
+            two_loops_file,
+            "--region",
+            "Main.main:LEAKY",
+            "--json",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert main(args) == 1
+        json.loads(capsys.readouterr().out)
+        assert main(args) == 1
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["stats"]["counters"]["artifact_cache_hits"] == 1
+
+    def test_canonical_json_byte_stable(self, two_loops_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "artifacts")
+        assert main(["scan", two_loops_file, "--json", "--canonical"]) == 1
+        first = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "scan",
+                    two_loops_file,
+                    "--json",
+                    "--canonical",
+                    "--cache-dir",
+                    cache_dir,
+                ]
+            )
+            == 1
+        )
+        assert capsys.readouterr().out == first
+        assert (
+            main(
+                [
+                    "scan",
+                    two_loops_file,
+                    "--json",
+                    "--canonical",
+                    "--cache-dir",
+                    cache_dir,
+                ]
+            )
+            == 1
+        )
+        assert capsys.readouterr().out == first
+
     def test_check_profile_output(self, two_loops_file, capsys):
         code = main(
             [
