@@ -15,7 +15,6 @@ import pytest
 
 from repro.core.cache.store import ArtifactCache
 from repro.core.scan import scan_all_loops
-from repro.errors import ResolutionError
 
 #: Apps with labelled loops (the eclipse subjects use artificial
 #: regions and have nothing to scan).
@@ -110,10 +109,5 @@ def test_all_apps_round_trip_through_cache(apps, tmp_path):
         assert warm.to_json(canonical=True) == cold.to_json(
             canonical=True
         ), app.name
-        try:
-            scannable = bool(
-                scan_all_loops(app.program, app.config).entries
-            )
-        except ResolutionError:
-            scannable = False
+        scannable = bool(scan_all_loops(app.program, app.config).entries)
         assert scannable == (app.name in SCANNABLE), app.name

@@ -13,7 +13,7 @@ from repro.ir.stmts import Block, IfStmt, LoopStmt, ReturnStmt
 class BasicBlock:
     """A maximal straight-line sequence of simple statements."""
 
-    __slots__ = ("index", "stmts", "succs", "preds", "loop_header_of")
+    __slots__ = ("index", "stmts", "succs", "preds", "loop_header_of", "terminator")
 
     def __init__(self, index):
         self.index = index
@@ -22,6 +22,10 @@ class BasicBlock:
         self.preds = []
         #: label of the LoopStmt this block is the header of, if any
         self.loop_header_of = None
+        #: the IfStmt/LoopStmt whose condition is evaluated when control
+        #: leaves this block (branch source / loop header), if any.  Flow
+        #: analyses (e.g. definite assignment) read condition uses here.
+        self.terminator = None
 
     def __repr__(self):
         return "BB%d(%d stmts)" % (self.index, len(self.stmts))
@@ -62,6 +66,7 @@ class CFG:
             then_entry = self._new_block()
             else_entry = self._new_block()
             join = self._new_block()
+            current.terminator = stmt
             self._link(current, then_entry)
             self._link(current, else_entry)
             then_exit = self._build_block(stmt.then_block, then_entry)
@@ -72,6 +77,7 @@ class CFG:
         if isinstance(stmt, LoopStmt):
             header = self._new_block()
             header.loop_header_of = stmt.label
+            header.terminator = stmt
             body_entry = self._new_block()
             after = self._new_block()
             self._link(current, header)

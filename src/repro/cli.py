@@ -4,6 +4,10 @@ Subcommands:
 
 * ``check FILE --region Class.method[:LOOP]`` — run the detector on a
   while-language program and print the leak report;
+* ``scan FILE [--auto-regions [--top K]] [--baseline FILE]`` — check
+  many regions at once, triage findings by severity, gate on a
+  suppression baseline;
+* ``regions FILE`` — print the inferred candidate-region catalog;
 * ``loops FILE`` — list the labelled loops a user could check;
 * ``table1`` — run the full eight-application evaluation;
 * ``run FILE`` — execute a program concretely and print Definition-1
@@ -82,11 +86,33 @@ def _cache_from(args):
     return ArtifactCache(args.cache_dir)
 
 
+def _resolve_region_or_suggest(program, spec_text):
+    """Resolve a ``--region`` spec; on failure, print the error plus the
+    nearest-match candidate regions from the inference catalog and
+    return ``None`` (the caller exits 2)."""
+    from repro.errors import ResolutionError
+
+    try:
+        return resolve_region(program, spec_text)
+    except ResolutionError as exc:
+        from repro.core.infer import suggest_regions
+
+        print("error: %s" % exc, file=sys.stderr)
+        matches = suggest_regions(program, spec_text)
+        if matches:
+            print("did you mean one of these regions?", file=sys.stderr)
+            for match in matches:
+                print("  --region %s" % match, file=sys.stderr)
+        return None
+
+
 def _cmd_check(args):
     from repro.core.pipeline import AnalysisSession
 
     program = _load_program(args.file, args.javalib)
-    region = resolve_region(program, args.region)
+    region = _resolve_region_or_suggest(program, args.region)
+    if region is None:
+        return 2
     cache = _cache_from(args)
     session = AnalysisSession(program, _config_from(args), cache=cache)
     report = session.check(region)
@@ -104,6 +130,12 @@ def _cmd_check(args):
 
 
 def _cmd_scan(args):
+    from repro.core.infer import (
+        load_baseline,
+        partition_new,
+        should_fail,
+        write_baseline,
+    )
     from repro.core.scan import scan_all_loops
 
     if args.jobs is not None and args.jobs < 1:
@@ -113,7 +145,32 @@ def _cmd_scan(args):
             file=sys.stderr,
         )
         return 2
+    if args.auto_regions and (args.ranked or args.region):
+        print(
+            "error: --auto-regions replaces --ranked/--region "
+            "(the inference pass picks the regions)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.write_baseline and not args.baseline:
+        print(
+            "error: --write-baseline needs --baseline FILE to name the "
+            "file to write",
+            file=sys.stderr,
+        )
+        return 2
     program = _load_program(args.file, args.javalib)
+    specs = None
+    if args.region:
+        specs = []
+        for text in args.region:
+            spec = _resolve_region_or_suggest(program, text)
+            if spec is None:
+                return 2
+            specs.append(spec)
+    baseline_fps = None
+    if args.baseline and not args.write_baseline:
+        baseline_fps = load_baseline(args.baseline)
     result = scan_all_loops(
         program,
         config=_config_from(args),
@@ -123,16 +180,36 @@ def _cmd_scan(args):
         max_workers=args.jobs,
         backend=args.backend,
         cache=_cache_from(args),
+        specs=specs,
+        auto_regions=args.auto_regions,
+        top=args.top,
     )
+    if args.auto_regions and not result.entries and not args.json:
+        print("0 candidate regions (program has no checkable loops "
+              "or component entries)")
+        return 0
     if args.json:
         print(result.to_json(canonical=args.canonical))
     else:
         print(result.format())
         if args.profile:
             print()
-            print("-- pipeline profile (all loops) --")
+            print("-- pipeline profile (all regions) --")
             print(result.aggregate_stats().format())
-    return 1 if result.total_findings() else 0
+    if args.write_baseline:
+        count = write_baseline(args.baseline, result.triage())
+        print(
+            "wrote baseline %s (%d suppressions)" % (args.baseline, count),
+            file=sys.stderr,
+        )
+        return 0
+    new, suppressed = partition_new(result.triage(), baseline_fps)
+    if suppressed and not args.json:
+        print(
+            "baseline %s suppressed %d known findings (%d new)"
+            % (args.baseline, len(suppressed), len(new))
+        )
+    return 1 if should_fail(new, args.fail_on_severity) else 0
 
 
 def _cmd_rank(args):
@@ -149,8 +226,27 @@ def _cmd_rank(args):
 
 def _cmd_loops(args):
     program = _load_program(args.file, args.javalib)
-    for spec in candidate_loops(program):
+    specs = candidate_loops(program)
+    if not specs:
+        print("(no labelled loops)", file=sys.stderr)
+        return 0
+    for spec in specs:
         print("%s:%s" % (spec.method_sig, spec.loop_label))
+    return 0
+
+
+def _cmd_regions(args):
+    from repro.core.pipeline import AnalysisSession
+
+    program = _load_program(args.file, args.javalib)
+    session = AnalysisSession(program, _config_from(args))
+    catalog = session.infer_catalog()
+    if args.json:
+        import json
+
+        print(json.dumps(catalog.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(catalog.format())
     return 0
 
 
@@ -304,10 +400,50 @@ def build_parser():
     add_detector_flags(component)
     component.set_defaults(func=_cmd_component)
 
-    scan = sub.add_parser("scan", help="check every labelled loop")
+    scan = sub.add_parser(
+        "scan", help="check every labelled loop (or inferred regions)"
+    )
     scan.add_argument("file")
     scan.add_argument("--ranked", action="store_true", help="most suspicious first")
     scan.add_argument("--limit", type=int, default=None)
+    scan.add_argument(
+        "--region",
+        action="append",
+        default=None,
+        help="check only this region (repeatable); unresolvable specs "
+        "list the nearest candidate regions",
+    )
+    scan.add_argument(
+        "--auto-regions",
+        action="store_true",
+        help="let static region inference pick the regions to check "
+        "(no --region needed): every labelled loop plus the best "
+        "component entry methods, ranked by suspicion",
+    )
+    scan.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="with --auto-regions, check only the K best-scored candidates",
+    )
+    scan.add_argument(
+        "--baseline",
+        default=None,
+        help="suppression-baseline file: findings recorded there are "
+        "suppressed, so the exit code gates on new leaks only",
+    )
+    scan.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    scan.add_argument(
+        "--fail-on-severity",
+        choices=["low", "medium", "high"],
+        default="low",
+        help="minimum severity of a new finding that fails the scan "
+        "(default: low, i.e. any new finding)",
+    )
     scan.add_argument("--json", action="store_true", help="emit JSON")
     scan.add_argument(
         "--parallel",
@@ -336,6 +472,16 @@ def build_parser():
     rank.add_argument("file")
     rank.add_argument("--javalib", action="store_true")
     rank.set_defaults(func=_cmd_rank)
+
+    regions = sub.add_parser(
+        "regions",
+        help="print the inferred candidate-region catalog (loops "
+        "classified and scored, plus component entry methods)",
+    )
+    regions.add_argument("file")
+    regions.add_argument("--json", action="store_true", help="emit JSON")
+    add_detector_flags(regions)
+    regions.set_defaults(func=_cmd_regions)
 
     compile_ = sub.add_parser(
         "compile", help="assemble a program to a .jbc bytecode container"

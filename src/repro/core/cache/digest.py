@@ -26,7 +26,7 @@ import hashlib
 from repro.ir.printer import program_to_text
 
 #: Bump on any change to the snapshot payload layout (see serialize.py).
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 
 def program_digest(program):

@@ -76,7 +76,53 @@ def snapshot_shared(shared, program_dig=None):
         "size_counts": None
         if shared._size_counts is None
         else list(shared._size_counts),
+        "infer_catalog": _snapshot_catalog(shared._infer_catalog),
     }
+
+
+def _snapshot_catalog(catalog):
+    """Plain-data encoding of an inference catalog (or ``None``).
+
+    The catalog is a pure function of (program, call graph) — both
+    already pinned by the snapshot key — so persisting it lets a warm
+    ``scan --auto-regions`` skip the inference sweep entirely.
+    """
+    if catalog is None:
+        return None
+    return {
+        "candidates": [
+            (
+                cand.kind,
+                cand.spec.method_sig,
+                getattr(cand.spec, "loop_label", None),
+                cand.score,
+                sorted(cand.features.items()),
+            )
+            for cand in catalog.candidates
+        ],
+        "counters": sorted(catalog.counters.items()),
+    }
+
+
+def _hydrate_catalog(data):
+    """Rebuild an :class:`InferenceCatalog` from its snapshot encoding.
+
+    ``seconds`` is zero: a hydrated catalog cost no inference time in
+    this run (the timing is observability, not part of the result —
+    canonical output zeroes it anyway)."""
+    from repro.core.infer.candidates import CandidateRegion, InferenceCatalog
+    from repro.core.regions import LoopSpec, RegionSpec
+
+    candidates = [
+        CandidateRegion(
+            LoopSpec(sig, label) if kind == "loop" else RegionSpec(sig),
+            kind,
+            score,
+            dict(features),
+        )
+        for kind, sig, label, score, features in data["candidates"]
+    ]
+    return InferenceCatalog(candidates, dict(data["counters"]), 0.0)
 
 
 def hydrate_shared(program, config, snapshot, program_dig=None):
@@ -154,4 +200,6 @@ def hydrate_shared(program, config, snapshot, program_dig=None):
         shared._thread_subclasses = set(snapshot["thread_subclasses"])
     if snapshot["size_counts"] is not None:
         shared._size_counts = tuple(snapshot["size_counts"])
+    if snapshot["infer_catalog"] is not None:
+        shared._infer_catalog = _hydrate_catalog(snapshot["infer_catalog"])
     return shared

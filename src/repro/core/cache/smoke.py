@@ -19,13 +19,13 @@ import tempfile
 from repro.bench.apps import app_names, build_app
 from repro.core.cache.store import ArtifactCache
 from repro.core.pipeline.session import AnalysisSession
+from repro.core.regions import candidate_loops
 from repro.core.scan import scan_all_loops
-from repro.errors import ResolutionError
 
 
 def _canonical_pair(app, root):
     """(cold, warm) canonical JSON plus the warm session's counters."""
-    try:
+    if candidate_loops(app.program):
         cold = scan_all_loops(
             app.program, app.config, cache=ArtifactCache(root)
         )
@@ -37,7 +37,7 @@ def _canonical_pair(app, root):
             warm.to_json(canonical=True),
             warm.cache_counters,
         )
-    except ResolutionError:
+    else:
         # No labelled loops (artificial region): use the check path.
         cold_session = AnalysisSession(
             app.program, app.config, cache=ArtifactCache(root)

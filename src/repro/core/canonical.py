@@ -58,12 +58,20 @@ def canonical_report_dict(report_dict):
 
 
 def canonical_scan_dict(scan_dict):
-    """Run-independent form of ``ScanResult.as_dict()`` output."""
+    """Run-independent form of ``ScanResult.as_dict()`` output.
+
+    The severity triage and the region-inference counters
+    (``infer_*``) are pure functions of the program, deterministic
+    across runs, hash seeds, and scan backends — canonicalization keeps
+    them verbatim; only timings and cache-dependent counters go.
+    """
     out = dict(scan_dict)
     out["loops"] = [
         dict(entry, report=canonical_report_dict(entry["report"]))
         for entry in scan_dict.get("loops", ())
     ]
+    if "triage" in out:
+        out["triage"] = [dict(entry) for entry in out["triage"]]
     profile = out.get("profile")
     if isinstance(profile, dict):
         profile = dict(profile)

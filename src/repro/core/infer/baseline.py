@@ -1,0 +1,128 @@
+"""Suppression baselines: gate CI on *new* leaks only.
+
+A baseline file records the fingerprints of currently-known findings
+(``scan --auto-regions --baseline leaks.json --write-baseline``); later
+runs with ``--baseline leaks.json`` suppress exactly those findings and
+fail only on new ones, optionally filtered by ``--fail-on-severity``.
+
+The file format is versioned JSON, human-reviewable and diff-friendly::
+
+    {
+      "version": 1,
+      "tool": "leakchecker",
+      "suppressions": [
+        {"fingerprint": "...", "region": "...", "site": "...",
+         "severity": "high", "score": 42.5},
+        ...
+      ]
+    }
+
+Fingerprints come from :meth:`repro.core.report.LeakFinding.fingerprint`
+— region text, site label, and the sorted redundant-edge set — so a
+finding keeps its identity across unrelated code motion but a new
+escape path (or a new site) reads as a new leak.
+"""
+
+import json
+
+from repro.errors import AnalysisError
+
+BASELINE_VERSION = 1
+
+#: Severity bands in ascending order; ``--fail-on-severity medium``
+#: fails on medium and high findings but tolerates low ones.
+SEVERITY_ORDER = {"low": 0, "medium": 1, "high": 2}
+
+
+def write_baseline(path, triaged):
+    """Write a baseline suppressing every finding in ``triaged``
+    (:class:`~repro.core.infer.triage.TriagedFinding` list).  Returns
+    the number of suppressions written."""
+    suppressions = sorted(
+        (
+            {
+                "fingerprint": entry.fingerprint,
+                "region": entry.region,
+                "site": entry.site,
+                "severity": entry.severity,
+                "score": entry.score,
+            }
+            for entry in triaged
+        ),
+        key=lambda s: s["fingerprint"],
+    )
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "leakchecker",
+        "suppressions": suppressions,
+    }
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(suppressions)
+
+
+def load_baseline(path):
+    """Load a baseline file; returns the set of suppressed fingerprints.
+
+    Raises :class:`~repro.errors.AnalysisError` on malformed content or
+    an unsupported version — a CI gate must not silently pass because
+    its suppression file rotted.
+    """
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(
+            "baseline file %s is not valid JSON: %s" % (path, exc)
+        ) from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise AnalysisError(
+            "baseline file %s has unsupported version %r (expected %d)"
+            % (path, doc.get("version") if isinstance(doc, dict) else None,
+               BASELINE_VERSION)
+        )
+    suppressions = doc.get("suppressions")
+    if not isinstance(suppressions, list):
+        raise AnalysisError(
+            "baseline file %s is missing its suppressions list" % path
+        )
+    fingerprints = set()
+    for entry in suppressions:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise AnalysisError(
+                "baseline file %s contains a suppression without a "
+                "fingerprint" % path
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def partition_new(triaged, fingerprints):
+    """Split triaged findings into (new, suppressed) against a baseline
+    fingerprint set (``None`` means no baseline: everything is new)."""
+    if fingerprints is None:
+        return list(triaged), []
+    new, suppressed = [], []
+    for entry in triaged:
+        (suppressed if entry.fingerprint in fingerprints else new).append(
+            entry
+        )
+    return new, suppressed
+
+
+def should_fail(new_findings, threshold="low"):
+    """True when any *new* finding is at or above the severity
+    ``threshold`` (``low`` — the default — fails on any new finding)."""
+    try:
+        floor = SEVERITY_ORDER[threshold]
+    except KeyError:
+        raise AnalysisError(
+            "unknown severity threshold %r (choose from %s)"
+            % (threshold, ", ".join(sorted(SEVERITY_ORDER)))
+        ) from None
+    return any(
+        SEVERITY_ORDER[entry.severity] >= floor for entry in new_findings
+    )

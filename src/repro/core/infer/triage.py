@@ -1,0 +1,131 @@
+"""Leak triage: deterministic severity ranking of scan findings.
+
+A whole-program scan can surface many findings across many regions; the
+triage layer orders them so a developer (or a CI gate) reads the most
+damaging first.  The severity score of one finding is a weighted sum of
+
+* **context multiplicity** — the number of calling contexts under which
+  instances are created (Table 1's LS unit: more contexts, more leak
+  mass);
+* **escape-path length** — how many redundant reference edges and
+  sampled escaping stores realize the leak (longer evidence chains are
+  deeper structures);
+* **allocation density** — leaking sites relative to the size of the
+  enclosing region (a tight allocating loop grows faster);
+* **pivot-root status** — findings from a pivot-enabled run are roots
+  of leaking structures, not interior nodes, and rank above raw sites.
+
+Every input is a pure function of the report content, so the ranking is
+byte-identical across runs, hash seeds, and scan backends, and flows
+through the canonical JSON path untouched.
+"""
+
+from repro.core.regions import region_text
+
+#: Severity-score weights (see the module docstring for the rationale).
+SEVERITY_WEIGHTS = {
+    "contexts": 10.0,
+    "redundant_edges": 4.0,
+    "escape_stores": 2.0,
+    "alloc_density": 25.0,
+    "pivot_root": 5.0,
+}
+
+#: Band thresholds, checked best-first: ``score >= threshold`` wins.
+SEVERITY_BANDS = (("high", 25.0), ("medium", 12.0), ("low", 0.0))
+
+
+def severity_band(score):
+    """Map a severity score to its band name."""
+    for name, threshold in SEVERITY_BANDS:
+        if score >= threshold:
+            return name
+    return SEVERITY_BANDS[-1][0]
+
+
+class TriagedFinding:
+    """One finding with its severity score, band, and suppression key."""
+
+    __slots__ = ("region", "site", "score", "severity", "features", "fingerprint")
+
+    def __init__(self, region, site, score, features, fingerprint):
+        self.region = region
+        self.site = site
+        self.score = score
+        self.severity = severity_band(score)
+        self.features = dict(features)
+        self.fingerprint = fingerprint
+
+    def as_dict(self):
+        return {
+            "region": self.region,
+            "site": self.site,
+            "score": self.score,
+            "severity": self.severity,
+            "features": dict(self.features),
+            "fingerprint": self.fingerprint,
+        }
+
+    def __repr__(self):
+        return "TriagedFinding(%s @ %s, %s %.2f)" % (
+            self.site,
+            self.region,
+            self.severity,
+            self.score,
+        )
+
+
+def _triage_one(region, finding, report_stats):
+    counters = report_stats.get("counters") or {}
+    region_stmts = counters.get("region_statements", 0)
+    density = report_stats.get("loop_alloc_sites", 0) / max(1, region_stmts)
+    pivot_root = 1 if report_stats.get("pivot") else 0
+    features = {
+        "contexts": finding.context_count,
+        "redundant_edges": len(finding.redundant_edges),
+        "escape_stores": len(finding.escape_stores),
+        "alloc_density": round(density, 4),
+        "pivot_root": pivot_root,
+    }
+    score = round(
+        SEVERITY_WEIGHTS["contexts"] * features["contexts"]
+        + SEVERITY_WEIGHTS["redundant_edges"] * features["redundant_edges"]
+        + SEVERITY_WEIGHTS["escape_stores"] * features["escape_stores"]
+        + SEVERITY_WEIGHTS["alloc_density"] * features["alloc_density"]
+        + SEVERITY_WEIGHTS["pivot_root"] * features["pivot_root"],
+        4,
+    )
+    return TriagedFinding(
+        region, finding.site.label, score, features, finding.fingerprint(region)
+    )
+
+
+def triage_entries(entries):
+    """Rank the findings of ``[(spec, LeakReport)]`` scan entries.
+
+    Returns :class:`TriagedFinding` objects, most severe first, with a
+    deterministic tie-break on (region text, site label).
+    """
+    triaged = []
+    for spec, report in entries:
+        region = region_text(spec)
+        for finding in report.findings:
+            triaged.append(_triage_one(region, finding, report.stats))
+    triaged.sort(key=lambda t: (-t.score, t.region, t.site))
+    return triaged
+
+
+def format_triage(triaged, limit=None):
+    """Human-readable triage block (``scan`` text output)."""
+    if not triaged:
+        return "triage: no findings"
+    shown = triaged if limit is None else triaged[:limit]
+    lines = ["triage (%d findings, most severe first):" % len(triaged)]
+    for entry in shown:
+        lines.append(
+            "  %-6s %8.2f  %s @ %s"
+            % (entry.severity, entry.score, entry.site, entry.region)
+        )
+    if limit is not None and len(triaged) > limit:
+        lines.append("  ... %d more" % (len(triaged) - limit))
+    return "\n".join(lines)

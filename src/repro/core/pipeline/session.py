@@ -89,6 +89,8 @@ class SharedArtifacts:
         self._thread_sites = None
         self._thread_subclasses = None
         self._size_counts = None
+        #: region-inference catalog (repro.core.infer), built on demand
+        self._infer_catalog = None
 
     def visible_values(self):
         if self._visible is None:
@@ -214,6 +216,25 @@ class AnalysisSession:
             reuse_artifacts=self.reuse_artifacts,
             cache=self.cache,
         )
+
+    def infer_catalog(self):
+        """The region-inference candidate catalog of this program
+        (:func:`repro.core.infer.infer_candidates`), memoized on the
+        shared substrate: the pass reuses the cached call graph and the
+        per-method statement index, and repeated ``--auto-regions``
+        scans on one session pay for inference once."""
+        shared = self.shared
+        if shared._infer_catalog is None:
+            from repro.core.infer import infer_candidates
+
+            with shared.lock:
+                if shared._infer_catalog is None:
+                    shared._infer_catalog = infer_candidates(
+                        self.program,
+                        self.callgraph,
+                        statements=self.method_statements,
+                    )
+        return shared._infer_catalog
 
     def method_statements(self, sig):
         """Cached ``tuple(program.method(sig).statements())``."""

@@ -44,6 +44,18 @@ BASE_COUNTERS = (
     "artifact_cache_evictions",
 )
 
+#: Region-inference work counters (scan-level bookkeeping, folded into
+#: the scan profile by ``ScanResult.aggregate_stats`` on ``scan
+#: --auto-regions`` runs).  They are pure functions of the program +
+#: call graph — deterministic across runs and backends — so canonical
+#: JSON keeps them, unlike the volatile cache counters.
+INFER_COUNTERS = (
+    "infer_methods_analyzed",
+    "infer_loops_classified",
+    "infer_method_candidates",
+    "infer_candidates_selected",
+)
+
 
 class PipelineStats:
     """Timings and counters for one pipeline run (or an aggregate)."""

@@ -13,7 +13,6 @@ Both expose the same interface to the detector: the statements that
 constitute one "iteration".
 """
 
-from repro.errors import ResolutionError
 from repro.ir.stmts import InvokeStmt, NewStmt, walk
 
 
@@ -102,14 +101,23 @@ def resolve_region(program, spec_text):
     return region
 
 
+def region_text(region):
+    """The CLI spec string of a region: ``Class.method:LOOP`` for a
+    loop, ``Class.method`` for an artificial method region — the inverse
+    of :func:`resolve_region` and the key triage and baselines use."""
+    if isinstance(region, LoopSpec):
+        return "%s:%s" % (region.method_sig, region.loop_label)
+    return region.method_sig
+
+
 def candidate_loops(program):
     """All labelled loops in the program — a catalog helping users pick a
     region, in the spirit of the paper's future-work note on identifying
-    suspicious loops."""
+    suspicious loops.  Loop-free programs yield an empty catalog (a scan
+    of such a program reports zero candidate regions rather than
+    failing)."""
     specs = []
     for method in program.all_methods():
         for loop in method.loops():
             specs.append(LoopSpec(method.sig, loop.label))
-    if not specs:
-        raise ResolutionError("program has no loops to check")
     return specs

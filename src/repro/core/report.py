@@ -46,6 +46,20 @@ class LeakFinding:
         (the unit of Table 1's LS column)."""
         return max(1, len(self.creation_contexts))
 
+    def fingerprint(self, region):
+        """Stable identity of this finding for suppression baselines.
+
+        Combines the region spec text, the allocation-site label, and
+        the sorted redundant-edge set — invariant under unrelated code
+        motion and run order, but a new escape path or site reads as a
+        new finding.  ``region`` is the region spec string (see
+        :func:`repro.core.regions.region_text`).
+        """
+        edges = ";".join(
+            sorted("%s.%s" % (base, field) for base, field in self.redundant_edges)
+        )
+        return "%s|%s|%s" % (region, self.site.label, edges)
+
     def format(self):
         lines = ["leaking allocation site: %s (ERA %s)" % (self.site.label, self.era)]
         lines.append("  allocated in: %s" % self.site.method_sig)

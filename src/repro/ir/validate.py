@@ -4,6 +4,12 @@
 raises :class:`repro.errors.IRError` on the first issue.  Benchmarks and the
 frontend run validation so that analysis failures are caught as malformed
 input rather than deep inside a solver.
+
+The def/use check is a definite-assignment analysis over the per-method
+CFG (:mod:`repro.cfg.graph`): a variable use is clean only when every
+path from the entry assigns it first, so an assignment on one branch
+arm or inside a possibly zero-trip loop body does not excuse a use
+after the join.
 """
 
 from repro.errors import IRError, ResolutionError
@@ -24,71 +30,165 @@ from repro.ir.stmts import (
 )
 
 
+def _stmt_def(stmt):
+    """The variable ``stmt`` assigns, or ``None``."""
+    if isinstance(stmt, (NewStmt, CopyStmt, NullStmt, LoadStmt)):
+        return stmt.target
+    if isinstance(stmt, InvokeStmt) and stmt.target:
+        return stmt.target
+    return None
+
+
+def _stmt_uses(stmt):
+    """Yield ``(var, role)`` for every variable ``stmt`` reads."""
+    if isinstance(stmt, CopyStmt):
+        yield stmt.source, "source"
+    elif isinstance(stmt, LoadStmt):
+        yield stmt.base, "base"
+    elif isinstance(stmt, StoreStmt):
+        yield stmt.base, "base"
+        yield stmt.source, "source"
+    elif isinstance(stmt, StoreNullStmt):
+        yield stmt.base, "base"
+    elif isinstance(stmt, InvokeStmt):
+        for arg in stmt.args:
+            yield arg, "argument"
+        if not stmt.is_static:
+            yield stmt.base, "receiver"
+    elif isinstance(stmt, ReturnStmt):
+        if stmt.value:
+            yield stmt.value, "return value"
+    elif isinstance(stmt, (IfStmt, LoopStmt)):
+        if stmt.cond.kind != Cond.NONDET:
+            yield stmt.cond.var, "condition variable"
+
+
+def _definite_assignment_issues(method, initial, all_defs):
+    """Definite-assignment (must-reach) def/use check over the CFG.
+
+    A use is clean only when every path from the method entry assigns
+    the variable first: IN[b] is the *intersection* of the predecessors'
+    OUT sets, so an assignment on one arm of a branch, or inside a
+    (possibly zero-trip) loop body, does not count after the join.
+    Branch/loop conditions are checked at the block whose terminator
+    evaluates them.  Statements in unreachable blocks (e.g. after a
+    ``return``) keep the flow-insensitive check: a variable merely has
+    to be assigned *somewhere* in the method.
+    """
+    from repro.cfg.graph import build_cfg
+
+    issues = []
+    cfg = build_cfg(method)
+    reachable = cfg.reachable_blocks()  # reverse post-order
+    reachable_ids = {block.index for block in reachable}
+    block_defs = {}
+    for block in cfg.blocks:
+        defs = set()
+        for stmt in block.stmts:
+            target = _stmt_def(stmt)
+            if target:
+                defs.add(target)
+        block_defs[block.index] = defs
+
+    # Must-analysis fixpoint: OUT starts at the universe (top) so loop
+    # back-edges do not spuriously kill the entry path's assignments on
+    # the first visit; iteration only shrinks the sets.
+    universe = set(all_defs) | set(initial)
+    out_sets = {block.index: set(universe) for block in reachable}
+
+    def in_set(block):
+        if block is cfg.entry:
+            return set(initial)
+        preds = [p for p in block.preds if p.index in reachable_ids]
+        live = set(out_sets[preds[0].index])
+        for pred in preds[1:]:
+            live &= out_sets[pred.index]
+        return live
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reachable:
+            new_out = in_set(block) | block_defs[block.index]
+            if new_out != out_sets[block.index]:
+                out_sets[block.index] = new_out
+                changed = True
+
+    def check_block(block, live):
+        for stmt in block.stmts:
+            for var, role in _stmt_uses(stmt):
+                if var not in all_defs:
+                    issues.append(
+                        "%s: %s %r used but never defined (stmt %r)"
+                        % (method.sig, role, var, stmt)
+                    )
+                elif live is not None and var not in live:
+                    issues.append(
+                        "%s: %s %r may be unassigned on some path (stmt %r)"
+                        % (method.sig, role, var, stmt)
+                    )
+            target = _stmt_def(stmt)
+            if target and live is not None:
+                live.add(target)
+        # The branch/loop condition is evaluated after the block's
+        # straight-line statements, when control leaves the block.
+        if block.terminator is not None:
+            for var, role in _stmt_uses(block.terminator):
+                if var not in all_defs:
+                    issues.append(
+                        "%s: %s %r used but never defined (stmt %r)"
+                        % (method.sig, role, var, block.terminator)
+                    )
+                elif live is not None and var not in live:
+                    issues.append(
+                        "%s: %s %r may be unassigned on some path (stmt %r)"
+                        % (method.sig, role, var, block.terminator)
+                    )
+
+    for block in reachable:
+        check_block(block, in_set(block))
+    for block in cfg.blocks:
+        if block.index not in reachable_ids:
+            check_block(block, None)
+    return issues
+
+
 def _method_issues(program, method):
     issues = []
-    defined = set(method.params)
+    initial = set(method.params)
     if not method.is_static:
-        defined.add(THIS_VAR)
+        initial.add(THIS_VAR)
 
-    def use(var, stmt, role):
-        # Flow-insensitive def/use check: a variable must be assigned
-        # somewhere in the method (or be a parameter) to be used.
-        if var not in all_defs:
-            issues.append(
-                "%s: %s %r used but never defined (stmt %r)"
-                % (method.sig, role, var, stmt)
-            )
-
-    all_defs = set(defined)
+    all_defs = set(initial)
     for stmt in method.statements():
-        if isinstance(stmt, (NewStmt, CopyStmt, NullStmt, LoadStmt)):
-            all_defs.add(stmt.target)
-        elif isinstance(stmt, InvokeStmt) and stmt.target:
-            all_defs.add(stmt.target)
+        target = _stmt_def(stmt)
+        if target:
+            all_defs.add(target)
+
+    issues.extend(_definite_assignment_issues(method, initial, all_defs))
 
     for stmt in method.statements():
-        if isinstance(stmt, CopyStmt):
-            use(stmt.source, stmt, "source")
-        elif isinstance(stmt, LoadStmt):
-            use(stmt.base, stmt, "base")
-        elif isinstance(stmt, StoreStmt):
-            use(stmt.base, stmt, "base")
-            use(stmt.source, stmt, "source")
-        elif isinstance(stmt, StoreNullStmt):
-            use(stmt.base, stmt, "base")
-        elif isinstance(stmt, NewStmt):
+        if isinstance(stmt, NewStmt):
             if stmt.type.class_name not in program.classes:
                 issues.append(
                     "%s: allocation of unknown class %s"
                     % (method.sig, stmt.type.class_name)
                 )
-        elif isinstance(stmt, InvokeStmt):
-            for arg in stmt.args:
-                use(arg, stmt, "argument")
-            if stmt.is_static:
-                try:
-                    callee = program.method(
-                        "%s.%s" % (stmt.static_class, stmt.method_name)
-                    )
-                    if not callee.is_static:
-                        issues.append(
-                            "%s: static call to instance method %s"
-                            % (method.sig, callee.sig)
-                        )
-                except ResolutionError:
+        elif isinstance(stmt, InvokeStmt) and stmt.is_static:
+            try:
+                callee = program.method(
+                    "%s.%s" % (stmt.static_class, stmt.method_name)
+                )
+                if not callee.is_static:
                     issues.append(
-                        "%s: static call to unknown method %s.%s"
-                        % (method.sig, stmt.static_class, stmt.method_name)
+                        "%s: static call to instance method %s"
+                        % (method.sig, callee.sig)
                     )
-            else:
-                use(stmt.base, stmt, "receiver")
-        elif isinstance(stmt, ReturnStmt):
-            if stmt.value:
-                use(stmt.value, stmt, "return value")
-        elif isinstance(stmt, (IfStmt, LoopStmt)):
-            cond = stmt.cond
-            if cond.kind != Cond.NONDET:
-                use(cond.var, stmt, "condition variable")
+            except ResolutionError:
+                issues.append(
+                    "%s: static call to unknown method %s.%s"
+                    % (method.sig, stmt.static_class, stmt.method_name)
+                )
     return issues
 
 

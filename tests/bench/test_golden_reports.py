@@ -58,3 +58,42 @@ def test_golden_files_are_canonical_json():
         assert stats["time_seconds"] == 0.0
         for counter in VOLATILE_COUNTERS:
             assert counter not in stats["counters"]
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_auto_regions_discovers_golden_region(name):
+    """Acceptance: the checked-in auto-regions scan covers the app's
+    hand-labelled golden region."""
+    from repro.core.regions import region_text
+
+    with open(golden_path(name)) as handle:
+        doc = json.load(handle)
+    assert doc["auto"] is not None
+    scanned = {
+        entry["method"]
+        if entry["loop"] is None
+        else "%s:%s" % (entry["method"], entry["loop"])
+        for entry in doc["auto"]["loops"]
+    }
+    app = build_app(name)
+    assert region_text(app.region) in scanned
+
+
+@pytest.mark.parametrize("name", app_names())
+def test_auto_section_carries_triage(name):
+    with open(golden_path(name)) as handle:
+        doc = json.load(handle)
+    triage = doc["auto"]["triage"]
+    scores = [t["score"] for t in triage]
+    assert scores == sorted(scores, reverse=True)
+    for entry in triage:
+        assert entry["severity"] in ("low", "medium", "high")
+        assert entry["fingerprint"]
+
+
+def test_golden_check_mode_passes():
+    """`update_golden.py --check` (the nightly gate) agrees with the
+    checked-in corpus."""
+    from tests.golden.update_golden import check_corpus
+
+    assert check_corpus(app_names()) == 0

@@ -77,3 +77,34 @@ class TestLoops:
         cfg = _cfg("x = p;")
         stmt = next(s for s in cfg.method.statements() if s.is_simple)
         assert cfg.block_of(stmt).stmts[0] is stmt
+
+
+class TestTerminators:
+    def test_branch_source_carries_if_stmt(self):
+        from repro.ir.stmts import IfStmt
+
+        cfg = _cfg("x = p; if (nonnull x) { y = p; } else { } z = p;")
+        sources = [b for b in cfg.blocks if b.terminator is not None]
+        assert len(sources) == 1
+        assert isinstance(sources[0].terminator, IfStmt)
+        assert len(sources[0].succs) == 2
+
+    def test_loop_header_carries_loop_stmt(self):
+        from repro.ir.stmts import LoopStmt
+
+        cfg = _cfg("loop L (nonnull p) { x = p; }")
+        headers = [b for b in cfg.blocks if b.loop_header_of == "L"]
+        assert len(headers) == 1
+        assert isinstance(headers[0].terminator, LoopStmt)
+        assert headers[0].terminator.label == "L"
+
+    def test_straight_line_has_no_terminators(self):
+        cfg = _cfg("x = p; y = x;")
+        assert all(b.terminator is None for b in cfg.blocks)
+
+    def test_nested_structures_each_get_one(self):
+        cfg = _cfg(
+            "loop L (*) { if (*) { x = p; } else { y = p; } }"
+        )
+        terminated = [b for b in cfg.blocks if b.terminator is not None]
+        assert len(terminated) == 2

@@ -84,6 +84,32 @@ class TestSnapshotRoundTrip:
             REGION
         ).to_json(canonical=True)
 
+    def test_infer_catalog_round_trips(self):
+        config = DetectorConfig()
+        warm = AnalysisSession(_program(), config)
+        computed = warm.infer_catalog()
+        snapshot = pickle.loads(pickle.dumps(snapshot_shared(warm.shared)))
+        fresh_program = _program()
+        shared = hydrate_shared(fresh_program, config, snapshot)
+        hydrated = AnalysisSession(fresh_program, config, shared=shared)
+        # The catalog hydrates instead of recomputing: same candidates,
+        # same scores/features/counters, zero inference time this run.
+        assert shared._infer_catalog is not None
+        catalog = hydrated.infer_catalog()
+        assert catalog.seconds == 0.0
+        assert [c.as_dict() for c in catalog.candidates] == [
+            c.as_dict() for c in computed.candidates
+        ]
+        assert catalog.counters == computed.counters
+
+    def test_uncomputed_catalog_stays_lazy(self):
+        config = DetectorConfig()
+        warm = AnalysisSession(_program(), config).warm()
+        snapshot = snapshot_shared(warm.shared)
+        assert snapshot["infer_catalog"] is None
+        shared = hydrate_shared(_program(), config, snapshot)
+        assert shared._infer_catalog is None
+
     def test_hydrate_rejects_schema_mismatch(self):
         config = DetectorConfig()
         snapshot = snapshot_shared(AnalysisSession(_program(), config).warm().shared)

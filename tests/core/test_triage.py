@@ -1,0 +1,139 @@
+"""Tests for repro.core.infer.triage and the suppression baselines."""
+
+import json
+
+import pytest
+
+from repro.core.infer import (
+    SEVERITY_ORDER,
+    load_baseline,
+    partition_new,
+    severity_band,
+    should_fail,
+    triage_entries,
+    write_baseline,
+)
+from repro.core.infer.triage import SEVERITY_BANDS, format_triage
+from repro.core.scan import scan_all_loops
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def figure1_scan(figure1):
+    return scan_all_loops(figure1)
+
+
+class TestSeverityBands:
+    def test_band_edges(self):
+        assert severity_band(0.0) == "low"
+        assert severity_band(12.0) == "medium"
+        assert severity_band(25.0) == "high"
+        assert severity_band(1000.0) == "high"
+
+    def test_bands_cover_order(self):
+        names = [name for name, _ in SEVERITY_BANDS]
+        assert sorted(names, key=SEVERITY_ORDER.get, reverse=True) == names
+
+
+class TestTriage:
+    def test_sorted_most_severe_first(self, figure1_scan):
+        triaged = triage_entries(figure1_scan.entries)
+        assert triaged, "figure1 scan should surface findings"
+        scores = [t.score for t in triaged]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_deterministic(self, figure1_scan):
+        first = [t.as_dict() for t in triage_entries(figure1_scan.entries)]
+        second = [t.as_dict() for t in triage_entries(figure1_scan.entries)]
+        assert first == second
+
+    def test_fingerprints_unique(self, figure1_scan):
+        triaged = triage_entries(figure1_scan.entries)
+        fingerprints = [t.fingerprint for t in triaged]
+        assert len(fingerprints) == len(set(fingerprints))
+
+    def test_scan_result_memoizes_and_serializes(self, figure1_scan):
+        assert figure1_scan.triage() is figure1_scan.triage()
+        doc = figure1_scan.as_dict()
+        assert [t["site"] for t in doc["triage"]] == [
+            t.site for t in figure1_scan.triage()
+        ]
+
+    def test_format_limit(self, figure1_scan):
+        triaged = figure1_scan.triage()
+        text = format_triage(triaged, limit=1)
+        assert "more" in text or len(triaged) <= 1
+        assert format_triage([]) == "triage: no findings"
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path, figure1_scan):
+        path = str(tmp_path / "baseline.json")
+        triaged = figure1_scan.triage()
+        count = write_baseline(path, triaged)
+        assert count == len(triaged)
+        fingerprints = load_baseline(path)
+        assert fingerprints == {t.fingerprint for t in triaged}
+        new, suppressed = partition_new(triaged, fingerprints)
+        assert new == []
+        assert len(suppressed) == len(triaged)
+
+    def test_baseline_file_is_versioned_and_sorted(self, tmp_path, figure1_scan):
+        path = str(tmp_path / "baseline.json")
+        write_baseline(path, figure1_scan.triage())
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["version"] == 1
+        assert doc["tool"] == "leakchecker"
+        keys = [s["fingerprint"] for s in doc["suppressions"]]
+        assert keys == sorted(keys)
+
+    def test_no_baseline_means_everything_new(self, figure1_scan):
+        triaged = figure1_scan.triage()
+        new, suppressed = partition_new(triaged, None)
+        assert len(new) == len(triaged)
+        assert suppressed == []
+
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(AnalysisError):
+            load_baseline(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 99, "suppressions": []}))
+        with pytest.raises(AnalysisError):
+            load_baseline(str(path))
+
+    def test_missing_fingerprint_raises(self, tmp_path):
+        path = tmp_path / "hole.json"
+        path.write_text(
+            json.dumps({"version": 1, "suppressions": [{"region": "x"}]})
+        )
+        with pytest.raises(AnalysisError):
+            load_baseline(str(path))
+
+
+class TestShouldFail:
+    def _fake(self, severity):
+        class Entry:
+            pass
+
+        entry = Entry()
+        entry.severity = severity
+        return entry
+
+    def test_low_threshold_fails_on_anything(self):
+        assert should_fail([self._fake("low")], "low")
+
+    def test_high_threshold_tolerates_medium(self):
+        assert not should_fail([self._fake("medium")], "high")
+        assert should_fail([self._fake("high")], "high")
+
+    def test_empty_never_fails(self):
+        assert not should_fail([], "low")
+
+    def test_unknown_threshold_raises(self):
+        with pytest.raises(AnalysisError):
+            should_fail([], "catastrophic")

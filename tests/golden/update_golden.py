@@ -1,10 +1,13 @@
 """Golden-report corpus for the eight bench apps.
 
 Each ``<app>.json`` stores the *canonical* analysis output for one
-bench app — the region check report and, where the app has labelled
-loops, the whole-program scan — with timings zeroed and run-dependent
-counters dropped (:mod:`repro.core.canonical`), so the files are
-byte-stable across machines and runs.
+bench app — the region check report, the whole-program scan of its
+labelled loops (``null`` where the app has none), and the
+``--auto-regions`` scan over the statically inferred candidate regions
+(:mod:`repro.core.infer`) with its severity triage — with timings
+zeroed and run-dependent counters dropped
+(:mod:`repro.core.canonical`), so the files are byte-stable across
+machines, runs, hash seeds and scan backends.
 
 ``tests/bench/test_golden_reports.py`` recomputes these documents and
 diffs them against the checked-in files; any intentional change to
@@ -12,17 +15,22 @@ analysis output must be accompanied by regenerating the corpus:
 
     make golden-update        # or: PYTHONPATH=src python tests/golden/update_golden.py
 
-and reviewing the resulting diff like any other code change.
+and reviewing the resulting diff like any other code change.  The
+nightly workflow runs ``update_golden.py --check``, which recomputes
+every document and exits nonzero on the first divergence without
+touching the files.
 """
 
+import difflib
 import json
 import os
+import sys
 
 from repro.bench.apps import app_names, build_app
 from repro.core.canonical import canonical_report_dict, canonical_scan_dict
 from repro.core.pipeline.session import AnalysisSession
+from repro.core.regions import candidate_loops
 from repro.core.scan import scan_all_loops
-from repro.errors import ResolutionError
 
 GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
 
@@ -31,13 +39,17 @@ def golden_doc(app):
     """The canonical golden document for one bench app."""
     session = AnalysisSession(app.program, app.config)
     check = canonical_report_dict(session.check(app.region).as_dict())
-    try:
+    scan = None
+    if candidate_loops(app.program):
         scan = canonical_scan_dict(
             scan_all_loops(app.program, app.config, session=session).as_dict()
         )
-    except ResolutionError:
-        scan = None  # app region is artificial; no labelled loops to sweep
-    return {"app": app.name, "check": check, "scan": scan}
+    auto = canonical_scan_dict(
+        scan_all_loops(
+            app.program, app.config, session=session, auto_regions=True
+        ).as_dict()
+    )
+    return {"app": app.name, "check": check, "scan": scan, "auto": auto}
 
 
 def golden_text(app):
@@ -48,13 +60,53 @@ def golden_path(name):
     return os.path.join(GOLDEN_DIR, name + ".json")
 
 
-def main():
-    for name in app_names():
+def check_corpus(names):
+    """Recompute every golden document and diff it against the checked-in
+    file; return the number of divergent apps (0 = corpus is current)."""
+    failures = 0
+    for name in names:
+        path = golden_path(name)
+        fresh = golden_text(build_app(name))
+        if not os.path.exists(path):
+            failures += 1
+            print("MISSING %-18s no %s" % (name, path))
+            continue
+        with open(path) as handle:
+            stored = handle.read()
+        if fresh != stored:
+            failures += 1
+            print("DIFFERS %-18s" % name)
+            diff = difflib.unified_diff(
+                stored.splitlines(True),
+                fresh.splitlines(True),
+                fromfile="golden/%s.json" % name,
+                tofile="recomputed/%s.json" % name,
+            )
+            sys.stdout.writelines(list(diff)[:60])
+        else:
+            print("ok      %-18s" % name)
+    return failures
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    check_only = "--check" in argv
+    names = [a for a in argv if not a.startswith("-")] or app_names()
+    if check_only:
+        failures = check_corpus(names)
+        if failures:
+            print(
+                "%d golden document(s) diverged; run `make golden-update` "
+                "if the change is intentional" % failures
+            )
+        return 1 if failures else 0
+    for name in names:
         path = golden_path(name)
         with open(path, "w") as handle:
             handle.write(golden_text(build_app(name)))
         print("wrote %s" % path)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -87,3 +87,74 @@ class TestValidation:
             lower(parse("entry A.ghost;\nclass A { }"))
         )
         assert any("entry method" in i for i in issues)
+
+
+class TestDefiniteAssignment:
+    def test_one_arm_definition_flagged_after_join(self):
+        issues = _issues(
+            "class A { method m() { if (*) { x = null; } else { } y = x; } }"
+        )
+        assert any("may be unassigned" in i for i in issues)
+
+    def test_both_arms_definition_clean(self):
+        issues = _issues(
+            "class A { method m() { if (*) { x = null; } "
+            "else { x = null; } y = x; } }"
+        )
+        assert issues == []
+
+    def test_loop_body_definition_not_definite_after_loop(self):
+        # The loop may run zero times.
+        issues = _issues(
+            "class A { method m() { loop L (*) { x = null; } y = x; } }"
+        )
+        assert any("may be unassigned" in i for i in issues)
+
+    def test_use_before_def_across_back_edge(self):
+        # First iteration reads x before any assignment.
+        issues = _issues(
+            "class A { method m() { loop L (*) { y = x; x = null; } } }"
+        )
+        assert any("may be unassigned" in i for i in issues)
+
+    def test_def_before_loop_survives_back_edge(self):
+        issues = _issues(
+            "class A { method m() { x = null; loop L (*) { y = x; x = y; } } }"
+        )
+        assert issues == []
+
+    def test_condition_variable_checked_at_branch(self):
+        issues = _issues(
+            "class A { method m() { if (*) { g = null; } else { } "
+            "if (nonnull g) { } } }"
+        )
+        assert any(
+            "condition variable" in i and "may be unassigned" in i
+            for i in issues
+        )
+
+    def test_loop_condition_checked_at_header(self):
+        issues = _issues(
+            "class A { method m() { loop L (nonnull x) { x = null; } } }"
+        )
+        assert any("condition variable" in i for i in issues)
+
+    def test_never_defined_keeps_original_message(self):
+        issues = _issues("class A { method m() { x = y; } }")
+        assert any("'y' used but never defined" in i for i in issues)
+        assert not any("may be unassigned" in i for i in issues)
+
+    def test_unreachable_code_stays_flow_insensitive(self):
+        # After return: 'x' is assigned *somewhere*, so the unreachable
+        # use is tolerated; a never-defined variable is still reported.
+        issues = _issues(
+            "class A { method m() { x = null; return; y = x; z = ghost; } }"
+        )
+        assert not any("may be unassigned" in i for i in issues)
+        assert any("'ghost' used but never defined" in i for i in issues)
+
+    def test_params_and_this_definitely_assigned(self):
+        issues = _issues(
+            "class A { field f; method m(p) { this.f = p; return this; } }"
+        )
+        assert issues == []

@@ -4,7 +4,10 @@ Programs have the canonical leak-detection shape: a preamble allocating
 outside holder objects, then one labelled loop ``L`` whose body is a
 random mix of allocations, copies, heap reads/writes, destructive updates
 and nondeterministic branches.  All programs are valid by construction
-(variables are defined before use, flow-insensitively).
+(every use is definitely assigned: branch arms only contribute
+variables assigned on both paths, loop-body definitions do not survive
+the loop — matching the definite-assignment check in
+:mod:`repro.ir.validate`).
 
 Two optional extensions exercise the harder corners of the language:
 ``allow_threads`` adds thread-start statements (a ``Worker extends
@@ -38,6 +41,7 @@ class _Gen:
         allow_loads=True,
         allow_threads=False,
         allow_nested_loops=False,
+        allow_unlabelled_loops=False,
     ):
         self._draw = draw
         self._site = 0
@@ -45,6 +49,7 @@ class _Gen:
         self.allow_loads = allow_loads
         self.allow_threads = allow_threads
         self.allow_nested_loops = allow_nested_loops
+        self.allow_unlabelled_loops = allow_unlabelled_loops
         self.defined = set(HOLDERS)
 
     def fresh_site(self, prefix):
@@ -75,6 +80,8 @@ class _Gen:
             choices.append("if")
             if self.allow_nested_loops:
                 choices.append("loop")
+            if self.allow_unlabelled_loops:
+                choices.append("while")
         kind = self._draw(st.sampled_from(choices))
         if kind == "new":
             var = self._draw(st.sampled_from(VARS))
@@ -113,14 +120,25 @@ class _Gen:
                 var,
                 self.fresh_site("wc"),
             )
-        if kind == "loop":
-            return "loop %s (*) { %s }" % (
-                self.fresh_loop_label(),
-                self.block(depth - 1),
-            )
-        # if
+        if kind in ("loop", "while"):
+            # A loop body may run zero times: whatever it defines is not
+            # definitely assigned after the loop, so restore the outer
+            # defined-set (definite assignment, repro.ir.validate).
+            before = set(self.defined)
+            body = self.block(depth - 1)
+            self.defined = before
+            if kind == "while":
+                # Unlabelled loop; lowering synthesizes its label.
+                return "while (*) { %s }" % body
+            return "loop %s (*) { %s }" % (self.fresh_loop_label(), body)
+        # if: only variables assigned on *both* arms are definitely
+        # assigned after the join.
+        before = set(self.defined)
         then_stmts = self.block(depth - 1)
+        then_defined = self.defined
+        self.defined = set(before)
         else_stmts = self.block(depth - 1)
+        self.defined = then_defined & self.defined
         return "if (*) { %s } else { %s }" % (then_stmts, else_stmts)
 
     def block(self, depth):
@@ -179,6 +197,61 @@ def store_only_programs(draw, max_body_stmts=6):
     """Programs whose loop bodies contain no heap reads: every escaping
     site must be reported (no flows-in can exist)."""
     return draw(loop_programs(max_body_stmts=max_body_stmts, allow_loads=False))
+
+
+@st.composite
+def inference_programs(draw, max_body_stmts=6):
+    """Programs exercising the region-inference pass: nested labelled
+    and unlabelled (``while``) loops, with entry-point variation.
+
+    Three axes vary: whether the main loop lives directly in ``main``
+    or in a ``Driver.run`` helper invoked from it (the component-entry
+    shape), whether an uncalled allocation-bearing ``Spare.stock``
+    method exists (an entry the harness would drive), and the random
+    loop-body mix.  Every labelled loop the program contains must show
+    up in the inferred candidate catalog.
+    """
+    gen = _Gen(
+        draw,
+        allow_loads=True,
+        allow_nested_loops=True,
+        allow_unlabelled_loops=True,
+    )
+    body = []
+    count = draw(st.integers(min_value=1, max_value=max_body_stmts))
+    for _ in range(count):
+        body.append(gen.stmt(depth=2))
+    loop_text = "loop L (*) {\n      %s\n    }" % "\n      ".join(body)
+    in_helper = draw(st.booleans())
+    if in_helper:
+        main_body = (
+            "h0 = new C @out0; h1 = new C @out1; h0.f = h1; "
+            "d = new Driver @drv; call d.run(h0, h1) @dc;"
+        )
+        helper = (
+            "class Driver { method run(h0, h1) { %s } }" % loop_text
+        )
+    else:
+        main_body = (
+            "h0 = new C @out0; h1 = new C @out1; h0.f = h1; %s" % loop_text
+        )
+        helper = ""
+    spare = ""
+    if draw(st.booleans()):
+        spare = (
+            "class Spare { method stock() "
+            "{ s = new C @sp1; t = new C @sp2; s.f = t; } }"
+        )
+    return """
+entry Main.main;
+class Main {
+  static method main() {
+    %s
+  }
+}
+class C { field f; field g; }
+%s
+%s""" % (main_body, helper, spare)
 
 
 @st.composite

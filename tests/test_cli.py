@@ -443,3 +443,186 @@ class TestJavalibFlag:
         code = main(["check", str(path), "--region", "Main.main:L", "--javalib"])
         assert code == 1
         assert "item" in capsys.readouterr().out
+
+
+LOOP_FREE_SOURCE = """entry Main.main;
+class Main { static method main() { x = new Main @only; return; } }
+"""
+
+
+class TestRegionsCommand:
+    def test_lists_scored_candidates(self, figure1_file, capsys):
+        assert main(["regions", figure1_file]) == 0
+        out = capsys.readouterr().out
+        assert "candidate regions" in out
+        assert "Main.main:L1" in out
+        assert "Transaction.txInit:LC" in out
+
+    def test_json_output(self, figure1_file, capsys):
+        import json
+
+        assert main(["regions", figure1_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        texts = [c["region"] for c in doc["candidates"]]
+        assert "Main.main:L1" in texts
+        scores = [c["score"] for c in doc["candidates"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_loop_free_program(self, tmp_path, capsys):
+        path = tmp_path / "flat.wl"
+        path.write_text(LOOP_FREE_SOURCE)
+        assert main(["regions", str(path)]) == 0
+        assert "0 candidate regions" in capsys.readouterr().out
+
+
+class TestAutoRegions:
+    def test_scan_auto_regions_finds_leaks(self, figure1_file, capsys):
+        code = main(["scan", figure1_file, "--auto-regions"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Main.main:L1" in out
+        assert "triage" in out
+
+    def test_auto_regions_loop_free_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "flat.wl"
+        path.write_text(LOOP_FREE_SOURCE)
+        assert main(["scan", str(path), "--auto-regions"]) == 0
+        assert "0 candidate regions" in capsys.readouterr().out
+
+    def test_auto_regions_loop_free_json_empty(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "flat.wl"
+        path.write_text(LOOP_FREE_SOURCE)
+        code = main(
+            ["scan", str(path), "--auto-regions", "--json", "--canonical"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["loops"] == []
+        assert doc["triage"] == []
+        assert doc["total_findings"] == 0
+
+    def test_top_limits_candidates(self, figure1_file, capsys):
+        code = main(["scan", figure1_file, "--auto-regions", "--top", "1"])
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "scanned 1 regions" in out
+
+    def test_auto_regions_rejects_region_flag(self, figure1_file, capsys):
+        code = main(
+            ["scan", figure1_file, "--auto-regions", "--region", "Main.main:L1"]
+        )
+        assert code == 2
+        assert "--auto-regions" in capsys.readouterr().err
+
+    def test_explicit_region_scan(self, figure1_file, capsys):
+        code = main(["scan", figure1_file, "--region", "Main.main:L1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "scanned 1 regions" in out
+
+    def test_auto_regions_canonical_matches_backends(self, figure1_file, capsys):
+        outputs = []
+        for extra in ([], ["--parallel"], ["--parallel", "--backend", "process"]):
+            main(
+                ["scan", figure1_file, "--auto-regions", "--json", "--canonical"]
+                + extra
+            )
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestRegionSuggestions:
+    def test_check_bad_region_suggests(self, figure1_file, capsys):
+        assert main(["check", figure1_file, "--region", "Main.main:L9"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "--region Main.main:L1" in err
+
+    def test_scan_bad_region_suggests(self, figure1_file, capsys):
+        assert main(["scan", figure1_file, "--region", "Main.mian"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "Main.main" in err
+
+
+class TestBaselineGate:
+    def test_write_baseline_requires_baseline(self, figure1_file, capsys):
+        assert main(["scan", figure1_file, "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_baseline_round_trip(self, figure1_file, tmp_path, capsys):
+        baseline = str(tmp_path / "leaks.json")
+        # Writing the baseline from the current findings exits 0.
+        code = main(
+            [
+                "scan",
+                figure1_file,
+                "--auto-regions",
+                "--baseline",
+                baseline,
+                "--write-baseline",
+            ]
+        )
+        assert code == 0
+        assert "wrote baseline" in capsys.readouterr().err
+        # A repeat run against the baseline suppresses everything.
+        code = main(
+            ["scan", figure1_file, "--auto-regions", "--baseline", baseline]
+        )
+        assert code == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_new_leak_fails_against_baseline(self, tmp_path, capsys):
+        source = """entry Main.main;
+        class Main {
+          static method main() {
+            h = new Holder @holder;
+            loop L (*) { x = new Item @item; h.slot = x; %s }
+          }
+        }
+        class Holder { field slot; field extra; }
+        class Item { }"""
+        before = tmp_path / "before.wl"
+        before.write_text(source % "")
+        baseline = str(tmp_path / "leaks.json")
+        assert (
+            main(
+                [
+                    "scan",
+                    str(before),
+                    "--baseline",
+                    baseline,
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # The baselined program still gates green...
+        assert main(["scan", str(before), "--baseline", baseline]) == 0
+        capsys.readouterr()
+        # ...but injecting a new leaking site flips the gate red.
+        after = tmp_path / "after.wl"
+        after.write_text(source % "y = new Item @fresh; h.extra = y;")
+        assert main(["scan", str(after), "--baseline", baseline]) == 1
+        assert "fresh" in capsys.readouterr().out
+
+    def test_fail_on_severity_threshold(self, figure1_file, tmp_path, capsys):
+        # figure1's findings are not all high-severity; a high threshold
+        # with an empty baseline still fails only if a high finding exists.
+        code_low = main(["scan", figure1_file, "--auto-regions"])
+        capsys.readouterr()
+        code_high = main(
+            [
+                "scan",
+                figure1_file,
+                "--auto-regions",
+                "--fail-on-severity",
+                "high",
+            ]
+        )
+        capsys.readouterr()
+        assert code_low == 1
+        assert code_high in (0, 1)
