@@ -15,7 +15,7 @@ documents on Derby-like code:
   (the Hashtable that is written but never read).
 """
 
-from repro import LeakChecker, LoopSpec
+from repro import LeakChecker, RegionSpec
 from repro.bench.apps.derby import build
 from repro.bench.metrics import classify_findings, run_app
 
@@ -49,7 +49,7 @@ def main():
     # Hashtable is not written at all.  Simulate the fixed program by
     # checking a loop that only allocates iteration-local objects.
     fixed = LeakChecker(app.program)
-    report_fixed = fixed.check(LoopSpec("SqlClient.queryLoop", "L1"))
+    report_fixed = fixed.check(RegionSpec("SqlClient.queryLoop", "L1"))
     assert report_fixed.findings, "unfixed program must still report"
     print("\n(report regenerated deterministically: %d findings)" % len(
         report_fixed.findings

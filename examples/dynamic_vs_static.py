@@ -14,7 +14,7 @@ never purged — and how they corroborate each other:
 4. report diffing verifies the fix.
 """
 
-from repro import FixedSchedule, LeakChecker, LoopSpec, parse_program
+from repro import FixedSchedule, LeakChecker, RegionSpec, parse_program
 from repro.core import diff_reports
 from repro.semantics import growth_profile, snapshot
 from repro.semantics.interp import Interpreter
@@ -63,7 +63,7 @@ FIXED = BUGGY.replace(
 
 def main():
     program = parse_program(BUGGY)
-    region = LoopSpec("Main.main", "PUMP")
+    region = RegionSpec("Main.main", "PUMP")
 
     print("=== 1. static detection ===")
     report = LeakChecker(program).check(region)

@@ -18,14 +18,13 @@ Running this script shows the full LeakChecker pipeline:
 
 from repro import (
     FixedSchedule,
-    LeakChecker,
-    LoopSpec,
-    analyze_loop,
+    analyze,
     analyze_trace,
     execute,
     inline_calls,
     parse_program,
 )
+from repro.core.typestate import analyze_loop
 
 FIGURE1 = """
 entry Main.main;
@@ -88,7 +87,7 @@ def main():
     program = parse_program(FIGURE1)
 
     print("=== static leak report (interprocedural detector) ===")
-    report = LeakChecker(program).check(LoopSpec("Main.main", "L1"))
+    report = analyze(program, "Main.main:L1")
     print(report.format())
 
     print("=== concrete ground truth (Definition 1) ===")

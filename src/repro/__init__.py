@@ -3,11 +3,32 @@ managed languages (CGO 2014).
 
 Quickstart::
 
-    from repro import parse_program, LeakChecker, LoopSpec
+    from repro import analyze, parse_program
 
     program = parse_program(source_text)
-    report = LeakChecker(program).check(LoopSpec("Main.main", "L1"))
+
+    # Check one region: a labelled loop ("Class.method:LABEL") or a
+    # whole method treated as an artificial loop ("Class.method").
+    report = analyze(program, "Main.main:L1")
     print(report.format())
+
+    # Or scan every candidate region in one pass.
+    result = analyze(program)
+    print(result.format())
+
+For repeated analyses of one program, keep an :class:`Analyzer` — it
+memoizes the program-level artifacts (call graph, points-to) across
+regions::
+
+    from repro import Analyzer
+
+    analyzer = Analyzer(program)
+    report = analyzer.analyze("Main.main:L1")
+    scan = analyzer.analyze(auto_regions=True)
+
+The historical entry points (``check_program``, ``analyze_loop``,
+``detect_leaks``, ``LoopSpec``) remain importable but are deprecated
+shims that forward to the surface above.
 
 Public surface:
 
@@ -24,10 +45,12 @@ Public surface:
 """
 
 from repro.core import (
+    Analyzer,
     DetectorConfig,
     LeakChecker,
     LoopSpec,
     RegionSpec,
+    analyze,
     analyze_loop,
     candidate_loops,
     check_program,
@@ -41,12 +64,14 @@ from repro.semantics import FixedSchedule, Interpreter, analyze_trace, execute
 __version__ = "1.0.0"
 
 __all__ = [
+    "Analyzer",
     "DetectorConfig",
     "FixedSchedule",
     "Interpreter",
     "LeakChecker",
     "LoopSpec",
     "RegionSpec",
+    "analyze",
     "analyze_loop",
     "analyze_trace",
     "candidate_loops",

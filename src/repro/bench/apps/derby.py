@@ -14,7 +14,7 @@ Case-study shape: 8 reported sites, 4 false positives (50% FPR).
 from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import Truth
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -152,7 +152,7 @@ def build():
     return AppModel(
         name="derby",
         source=source,
-        region=LoopSpec("SqlClient.queryLoop", "L1"),
+        region=RegionSpec("SqlClient.queryLoop", "L1"),
         truth=truth,
         paper={"ls": 8, "fp": 4, "sites": 8},
         description=(

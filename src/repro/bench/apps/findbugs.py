@@ -14,7 +14,7 @@ Case-study shape: 9 reported sites, 5 false positives (55.6% FPR).
 from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import Truth
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -142,7 +142,7 @@ def build():
     return AppModel(
         name="findbugs",
         source=source,
-        region=LoopSpec("Engine.mainLoop", "L1"),
+        region=RegionSpec("Engine.mainLoop", "L1"),
         truth=truth,
         paper={"ls": 9, "fp": 5, "sites": 9},
         description=(

@@ -15,7 +15,7 @@ not reported.
 from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import Truth
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -113,7 +113,7 @@ def build():
     return AppModel(
         name="log4j",
         source=source,
-        region=LoopSpec("Driver.logLoop", "L1"),
+        region=RegionSpec("Driver.logLoop", "L1"),
         truth=truth,
         paper={"ls": 4, "fp": 0, "lo": 7, "sites": 4},
         description=(

@@ -26,7 +26,7 @@ from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import Truth
 from repro.core.detector import DetectorConfig
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -163,7 +163,7 @@ def build(model_threads=True):
     return AppModel(
         name="mikou",
         source=source,
-        region=LoopSpec("DbClient.connectLoop", "L1"),
+        region=RegionSpec("DbClient.connectLoop", "L1"),
         truth=truth,
         config=DetectorConfig(model_threads=model_threads),
         paper={"ls": 18, "fp": 17, "sites": 7, "ls_without_threads": 1},

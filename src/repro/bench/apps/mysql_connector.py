@@ -14,7 +14,7 @@ Table 1 shape: LS = 15 context-sensitive sites, FP = 9, FPR = 60%.
 from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import Truth
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -199,7 +199,7 @@ def build():
     return AppModel(
         name="mysql-connector-j",
         source=source,
-        region=LoopSpec("Client.workload", "L1"),
+        region=RegionSpec("Client.workload", "L1"),
         truth=truth,
         paper={"ls": 15, "fp": 9, "sites": 6},
         description=(

@@ -26,7 +26,7 @@ false (6 overwritten-field contexts + 2 payment contexts), FPR 38.1%.
 from repro.bench.apps.base import AppModel
 from repro.bench.filler import filler_source
 from repro.bench.groundtruth import ContextRule, Truth
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.javalib import library_source
 
 _APP = """
@@ -222,7 +222,7 @@ def build():
     return AppModel(
         name="specjbb2000",
         source=source,
-        region=LoopSpec("TransactionManager.go", "L1"),
+        region=RegionSpec("TransactionManager.go", "L1"),
         truth=truth,
         paper={"ls": 21, "fp": 8, "sites": 5},
         description=(

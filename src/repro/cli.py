@@ -6,12 +6,23 @@ Subcommands:
   while-language program and print the leak report;
 * ``scan FILE [--auto-regions [--top K]] [--baseline FILE]`` — check
   many regions at once, triage findings by severity, gate on a
-  suppression baseline;
+  suppression baseline; ``--write-snapshot PATH`` records the analysis
+  for later incremental runs and ``--changed-since PATH`` re-checks
+  only the regions an edit can affect, serving the rest from the
+  snapshot;
+* ``diff BEFORE AFTER`` — compare two analyses (source files or
+  ``scan --json`` output) by finding fingerprint: new/fixed/unchanged;
 * ``regions FILE`` — print the inferred candidate-region catalog;
 * ``loops FILE`` — list the labelled loops a user could check;
 * ``table1`` — run the full eight-application evaluation;
 * ``run FILE`` — execute a program concretely and print Definition-1
   ground truth for a loop (``--loop LABEL`` plus ``--trips N``).
+
+The output flags are uniform across ``check``/``scan``/``regions``/
+``diff`` (one shared parent parser): ``--json``, ``--canonical``,
+``--profile`` and ``--cache-dir``.  Exit codes are uniform too — 0
+clean, 1 findings, 2 usage or input error — and documented in every
+subcommand's ``--help``.
 """
 
 import argparse
@@ -136,8 +147,20 @@ def _cmd_scan(args):
         should_fail,
         write_baseline,
     )
+    from repro.core.pipeline import AnalysisSession
     from repro.core.scan import scan_all_loops
 
+    if args.changed_since and (
+        args.parallel or args.ranked or args.limit is not None
+    ):
+        print(
+            "error: --changed-since is incompatible with "
+            "--parallel/--ranked/--limit (incremental scans serve "
+            "stored per-region reports; region selection comes from "
+            "--region/--auto-regions or all labelled loops)",
+            file=sys.stderr,
+        )
+        return 2
     if args.jobs is not None and args.jobs < 1:
         print(
             "error: --jobs must be a positive worker count (got %d)"
@@ -171,19 +194,64 @@ def _cmd_scan(args):
     baseline_fps = None
     if args.baseline and not args.write_baseline:
         baseline_fps = load_baseline(args.baseline)
-    result = scan_all_loops(
-        program,
-        config=_config_from(args),
-        ranked=args.ranked,
-        limit=args.limit,
-        parallel=args.parallel,
-        max_workers=args.jobs,
-        backend=args.backend,
-        cache=_cache_from(args),
-        specs=specs,
-        auto_regions=args.auto_regions,
-        top=args.top,
-    )
+    config = _config_from(args)
+    cache = _cache_from(args)
+    session = None
+    if args.write_snapshot:
+        # Snapshot capture needs the session's region artifacts, so pin
+        # one session for the scan and the capture.
+        session = AnalysisSession(program, config, cache=cache)
+    snap = None
+    if args.changed_since:
+        from repro.core.incremental import load_snapshot
+        from repro.errors import CacheError
+
+        try:
+            snap = load_snapshot(args.changed_since)
+        except CacheError as exc:
+            print(
+                "warning: %s; running a cold scan" % exc, file=sys.stderr
+            )
+    if snap is not None:
+        from repro.core.incremental import changed_scan
+
+        result, outcome = changed_scan(
+            program,
+            snap,
+            config=config,
+            specs=specs,
+            auto_regions=args.auto_regions,
+            top=args.top,
+            session=session,
+            cache=cache,
+        )
+        if not args.json:
+            print(outcome.format(), file=sys.stderr)
+    else:
+        result = scan_all_loops(
+            program,
+            config=config,
+            ranked=args.ranked,
+            limit=args.limit,
+            parallel=args.parallel,
+            max_workers=args.jobs,
+            backend=args.backend,
+            cache=cache,
+            session=session,
+            specs=specs,
+            auto_regions=args.auto_regions,
+            top=args.top,
+        )
+    if args.write_snapshot:
+        from repro.core.incremental import save_snapshot, snapshot_scan
+
+        payload = snapshot_scan(program, session.config, result, session=session)
+        save_snapshot(args.write_snapshot, payload)
+        print(
+            "wrote snapshot %s (%d regions)"
+            % (args.write_snapshot, len(result.entries)),
+            file=sys.stderr,
+        )
     if args.auto_regions and not result.entries and not args.json:
         print("0 candidate regions (program has no checkable loops "
               "or component entries)")
@@ -239,15 +307,81 @@ def _cmd_regions(args):
     from repro.core.pipeline import AnalysisSession
 
     program = _load_program(args.file, args.javalib)
-    session = AnalysisSession(program, _config_from(args))
+    cache = _cache_from(args)
+    session = AnalysisSession(program, _config_from(args), cache=cache)
     catalog = session.infer_catalog()
+    if cache is not None and not session.hydrated_from_cache:
+        session.persist()
     if args.json:
         import json
 
+        # The catalog dict is content-only (no timings), so the
+        # canonical form coincides with the plain one.
         print(json.dumps(catalog.as_dict(), indent=2, sort_keys=True))
     else:
         print(catalog.format())
+        if args.profile:
+            print()
+            print(
+                "-- inference profile --\n%.3fs, %s"
+                % (
+                    catalog.seconds,
+                    ", ".join(
+                        "%s=%d" % item
+                        for item in sorted(catalog.counters.items())
+                    )
+                    or "no counters",
+                )
+            )
     return 0
+
+
+def _load_analysis(path, args):
+    """One ``diff`` operand: a parsed ``scan --json`` document when
+    ``path`` ends in ``.json``, otherwise a fresh scan of the
+    while-language source under the current detector flags.  Returns
+    ``(analysis, scan_result_or_None)``."""
+    if path.endswith(".json"):
+        import json
+
+        from repro.errors import ReproError
+
+        with open(path) as handle:
+            try:
+                return json.load(handle), None
+            except ValueError as exc:
+                raise ReproError(
+                    "%s is not a scan JSON document: %s" % (path, exc)
+                )
+    from repro.core.scan import scan_all_loops
+
+    program = _load_program(path, args.javalib)
+    result = scan_all_loops(
+        program, config=_config_from(args), cache=_cache_from(args)
+    )
+    return result, result
+
+
+def _cmd_diff(args):
+    from repro.core.incremental import diff_analyses
+
+    before, before_scan = _load_analysis(args.before, args)
+    after, after_scan = _load_analysis(args.after, args)
+    delta = diff_analyses(before, after)
+    if args.json:
+        print(delta.to_json(canonical=args.canonical))
+    else:
+        print(delta.format())
+        if args.profile:
+            for label, scanned in (
+                ("before", before_scan),
+                ("after", after_scan),
+            ):
+                if scanned is not None:
+                    print()
+                    print("-- pipeline profile (%s) --" % label)
+                    print(scanned.aggregate_stats().format())
+    return 1 if delta.is_regression else 0
 
 
 def _cmd_component(args):
@@ -313,13 +447,65 @@ def _cmd_run(args):
     return 0
 
 
+#: Uniform exit-code contract, shown in ``--help`` of every subcommand
+#: that reports findings.
+_EXIT_CODES = """\
+exit codes:
+  0  clean: no leak findings (check/scan after baseline gating),
+     no new findings (diff), or nothing to report
+  1  findings: leaks reported (check), new findings past the
+     baseline gate (scan), new findings (diff)
+  2  usage or input error: bad region spec, unreadable file,
+     malformed flags
+"""
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="leakchecker",
         description="Static memory leak detection for the while language "
         "(LeakChecker, CGO 2014 reproduction)",
+        epilog=_EXIT_CODES,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # One parent parser gives check/scan/regions/diff the same output
+    # and caching surface (argparse merges it into each subcommand).
+    common = argparse.ArgumentParser(add_help=False)
+    out_group = common.add_argument_group("output and caching")
+    out_group.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    out_group.add_argument(
+        "--canonical",
+        action="store_true",
+        help="with --json, emit canonical run-independent JSON "
+        "(timings zeroed, cache counters dropped) — byte-stable "
+        "across repeated, parallel and incremental runs",
+    )
+    out_group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and work counters",
+    )
+    out_group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact-cache directory: program-level "
+        "artifacts are hydrated from (and saved to) this directory, "
+        "so repeated runs skip the analysis warm-up",
+    )
+
+    def add_sub(name, help_text, **kwargs):
+        return sub.add_parser(
+            name,
+            help=help_text,
+            parents=[common],
+            epilog=_EXIT_CODES,
+            formatter_class=argparse.RawDescriptionHelpFormatter,
+            **kwargs,
+        )
 
     def add_detector_flags(p):
         p.add_argument("--callgraph", choices=["rta", "cha", "otf"], default="rta")
@@ -341,11 +527,6 @@ def build_parser():
         p.add_argument("--model-threads", action="store_true")
         p.add_argument("--no-pivot", action="store_true")
         p.add_argument(
-            "--profile",
-            action="store_true",
-            help="print per-stage timings and work counters",
-        )
-        p.add_argument(
             "--strong-updates",
             action="store_true",
             help="model destructive updates (x.f = null); see DetectorConfig",
@@ -356,31 +537,13 @@ def build_parser():
             help="prepend the standard-library models to the program",
         )
 
-    def add_cache_flags(p):
-        p.add_argument(
-            "--cache-dir",
-            default=None,
-            help="persistent artifact-cache directory: program-level "
-            "artifacts are hydrated from (and saved to) this directory, "
-            "so repeated runs skip the analysis warm-up",
-        )
-        p.add_argument(
-            "--canonical",
-            action="store_true",
-            help="with --json, emit canonical run-independent JSON "
-            "(timings zeroed, cache counters dropped) — byte-stable "
-            "across repeated and parallel runs",
-        )
-
-    check = sub.add_parser("check", help="run the leak detector")
+    check = add_sub("check", "run the leak detector")
     check.add_argument("file", help="while-language source file")
     check.add_argument(
         "--region",
         required=True,
         help="Class.method:LOOP for a loop, Class.method for a region",
     )
-    check.add_argument("--json", action="store_true", help="emit JSON")
-    add_cache_flags(check)
     add_detector_flags(check)
     check.set_defaults(func=_cmd_check)
 
@@ -397,12 +560,15 @@ def build_parser():
         help="file with harness setup statements (uses recv/arg0..argN)",
     )
     component.add_argument("--json", action="store_true")
+    component.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and work counters",
+    )
     add_detector_flags(component)
     component.set_defaults(func=_cmd_component)
 
-    scan = sub.add_parser(
-        "scan", help="check every labelled loop (or inferred regions)"
-    )
+    scan = add_sub("scan", "check every labelled loop (or inferred regions)")
     scan.add_argument("file")
     scan.add_argument("--ranked", action="store_true", help="most suspicious first")
     scan.add_argument("--limit", type=int, default=None)
@@ -444,7 +610,23 @@ def build_parser():
         help="minimum severity of a new finding that fails the scan "
         "(default: low, i.e. any new finding)",
     )
-    scan.add_argument("--json", action="store_true", help="emit JSON")
+    scan.add_argument(
+        "--changed-since",
+        metavar="SNAPSHOT",
+        default=None,
+        help="incremental scan: re-check only the regions the edits "
+        "since SNAPSHOT (written by --write-snapshot) can affect, "
+        "serving every other region's stored report; canonically "
+        "byte-identical to a cold scan",
+    )
+    scan.add_argument(
+        "--write-snapshot",
+        metavar="SNAPSHOT",
+        default=None,
+        help="after scanning, record the analysis (per-method digests, "
+        "value-flow graph, per-region reports) for later "
+        "--changed-since runs",
+    )
     scan.add_argument(
         "--parallel",
         action="store_true",
@@ -464,22 +646,36 @@ def build_parser():
         "under the GIL; 'process' fans out over a process pool whose "
         "workers hydrate the substrate from a snapshot (true parallelism)",
     )
-    add_cache_flags(scan)
     add_detector_flags(scan)
     scan.set_defaults(func=_cmd_scan)
+
+    diff = add_sub(
+        "diff",
+        "compare two analyses by finding fingerprint (new/fixed/unchanged)",
+    )
+    diff.add_argument(
+        "before",
+        help="baseline analysis: a 'scan --json' output file (*.json) "
+        "or a while-language source to scan now",
+    )
+    diff.add_argument(
+        "after",
+        help="candidate analysis: same forms as BEFORE",
+    )
+    add_detector_flags(diff)
+    diff.set_defaults(func=_cmd_diff)
 
     rank = sub.add_parser("rank", help="rank loops by structural suspicion")
     rank.add_argument("file")
     rank.add_argument("--javalib", action="store_true")
     rank.set_defaults(func=_cmd_rank)
 
-    regions = sub.add_parser(
+    regions = add_sub(
         "regions",
-        help="print the inferred candidate-region catalog (loops "
+        "print the inferred candidate-region catalog (loops "
         "classified and scored, plus component entry methods)",
     )
     regions.add_argument("file")
-    regions.add_argument("--json", action="store_true", help="emit JSON")
     add_detector_flags(regions)
     regions.set_defaults(func=_cmd_regions)
 

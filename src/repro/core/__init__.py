@@ -1,7 +1,14 @@
 """LeakChecker core: ERA abstraction, type and effect system, flow
 relations, and the interprocedural leak detector."""
 
-from repro.core.detector import DetectorConfig, LeakChecker, check_program
+from repro.core.api import (
+    Analyzer,
+    analyze,
+    analyze_loop,
+    check_program,
+    detect_leaks,
+)
+from repro.core.detector import DetectorConfig, LeakChecker
 from repro.core.effects import EffectLog, LoadEffect, StoreEffect
 from repro.core.pipeline import (
     AnalysisSession,
@@ -12,7 +19,6 @@ from repro.core.era import BOT, CUR, FUT, TOP, ZERO, Type, bump_era, join_era
 from repro.core.flows import (
     FlowPair,
     LeakVerdict,
-    detect_leaks,
     flows_in_pairs,
     flows_out_pairs,
     match_flows,
@@ -35,12 +41,12 @@ from repro.core.typestate import (
     AbstractState,
     TypeEffectAnalysis,
     TypeEffectResult,
-    analyze_loop,
 )
 
 __all__ = [
     "AbstractState",
     "AnalysisSession",
+    "Analyzer",
     "BOT",
     "CUR",
     "DetectorConfig",
@@ -65,6 +71,7 @@ __all__ = [
     "TypeEffectAnalysis",
     "TypeEffectResult",
     "ZERO",
+    "analyze",
     "analyze_loop",
     "apply_pivot",
     "bump_era",

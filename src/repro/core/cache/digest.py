@@ -25,8 +25,10 @@ import hashlib
 
 from repro.ir.printer import program_to_text
 
-#: Bump on any change to the snapshot payload layout (see serialize.py).
-CACHE_SCHEMA_VERSION = 2
+#: Bump on any change to the snapshot payload layout (see serialize.py
+#: and repro.core.incremental.snapshot).  v3: incremental-analysis
+#: snapshots (per-method digests, flow graph, per-region reports).
+CACHE_SCHEMA_VERSION = 3
 
 
 def program_digest(program):

@@ -111,11 +111,11 @@ def _hydrate_catalog(data):
     this run (the timing is observability, not part of the result —
     canonical output zeroes it anyway)."""
     from repro.core.infer.candidates import CandidateRegion, InferenceCatalog
-    from repro.core.regions import LoopSpec, RegionSpec
+    from repro.core.regions import RegionSpec
 
     candidates = [
         CandidateRegion(
-            LoopSpec(sig, label) if kind == "loop" else RegionSpec(sig),
+            RegionSpec(sig, label) if kind == "loop" else RegionSpec(sig),
             kind,
             score,
             dict(features),

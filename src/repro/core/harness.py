@@ -12,7 +12,7 @@ component's entry method, it synthesizes a harness program with
 * a labelled loop (``HARNESS``) invoking the entry method once per
   iteration,
 
-then returns the combined program plus the :class:`LoopSpec` to check.
+then returns the combined program plus the :class:`RegionSpec` to check.
 Objects the component parks in its own long-lived state *or in its
 parameters* (the unknown environment) are then found exactly as in a
 whole program.
@@ -21,7 +21,7 @@ Synthesis happens at source level (print, extend, re-parse), so it works
 for programs loaded from bytecode too.
 """
 
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.errors import AnalysisError
 from repro.ir.printer import program_to_text
 from repro.lang import parse_program
@@ -87,7 +87,7 @@ def synthesize_harness(program, method_sig, setup_source=""):
     source = component_text + "\n\n" + "\n".join(lines)
     harness_program = parse_program(source)
     harness_program.entry = "%s.main" % HARNESS_CLASS
-    return harness_program, LoopSpec("%s.main" % HARNESS_CLASS, HARNESS_LOOP)
+    return harness_program, RegionSpec("%s.main" % HARNESS_CLASS, HARNESS_LOOP)
 
 
 def check_component(program, method_sig, config=None, setup_source=""):

@@ -1,0 +1,53 @@
+"""Incremental analysis: method-granular invalidation + leak diffing.
+
+``scan --changed-since <snapshot>`` re-checks only the regions an edit
+can actually affect and serves everything else from the prior
+snapshot; ``diff`` compares two analyses by finding fingerprint.  See
+:mod:`~repro.core.incremental.engine` for the invalidation story and
+:mod:`~repro.core.incremental.snapshot` for the snapshot format.
+"""
+
+from repro.core.incremental.diffing import (
+    LeakDelta,
+    diff_analyses,
+    scan_fingerprints,
+)
+from repro.core.incremental.digests import (
+    callsite_edges,
+    digest_dirty,
+    dispatch_signature,
+    dispatch_signatures,
+    method_digest,
+    method_digests,
+    structure_digest,
+)
+from repro.core.incremental.engine import (
+    IncrementalOutcome,
+    changed_scan,
+)
+from repro.core.incremental.flowgraph import FlowGraph, build_flowgraph
+from repro.core.incremental.snapshot import (
+    load_snapshot,
+    save_snapshot,
+    snapshot_scan,
+)
+
+__all__ = [
+    "FlowGraph",
+    "IncrementalOutcome",
+    "LeakDelta",
+    "build_flowgraph",
+    "callsite_edges",
+    "changed_scan",
+    "diff_analyses",
+    "digest_dirty",
+    "dispatch_signature",
+    "dispatch_signatures",
+    "load_snapshot",
+    "method_digest",
+    "method_digests",
+    "save_snapshot",
+    "scan_fingerprints",
+    "snapshot_scan",
+    "structure_digest",
+]

@@ -1,0 +1,129 @@
+"""Method-granular content digests and structural summaries.
+
+The cache layer (:mod:`repro.core.cache.digest`) keys whole snapshots
+by one program digest — any edit anywhere moves everything to a new
+key.  Incremental analysis needs to know *which methods* changed, so
+this module hashes each method's canonical printed IR separately
+(:func:`method_digests`) and summarizes the structures whose change
+cannot be localized to one method body:
+
+* :func:`structure_digest` — classes, supertypes, field declarations,
+  library flags, per-class method name sets and the entry point.  Any
+  structural change invalidates the whole snapshot: structure feeds the
+  class hierarchy, RTA dispatch and field resolution globally.
+* :func:`dispatch_signature` — the slice of one method's body that the
+  RTA call-graph construction consumes: its invokes (callsite label,
+  static class or virtual, method name) and its instantiated class
+  names.  RTA dispatch is a function of (method name, instantiated
+  set, hierarchy) — never of local dataflow — so when every dirty
+  method keeps its dispatch signature and the structure digest is
+  unchanged, the new program's call graph is *identical* to the old
+  one modulo statement uids, and the engine can skip rebuilding it
+  entirely (the fast path).
+* :func:`callsite_edges` — each method's outgoing call edges as
+  ``(callsite label, callee signature)`` sets, the uid-independent
+  call-graph view the slow path compares to catch dispatch changes in
+  textually unchanged methods (a new instantiated type anywhere can
+  retarget a virtual call whose own method never changed).
+"""
+
+import hashlib
+
+from repro.ir.printer import method_to_text
+from repro.ir.stmts import InvokeStmt, NewStmt
+
+
+def method_digest(method):
+    """Hex digest of one method's canonical printed IR."""
+    text = method_to_text(method)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def method_digests(program):
+    """``{method sig -> content digest}`` for every method."""
+    return {m.sig: method_digest(m) for m in program.all_methods()}
+
+
+def structure_digest(program):
+    """Digest of the program's class structure (everything that shapes
+    global analysis but lives outside method bodies)."""
+    parts = ["entry=%s" % (program.entry,)]
+    for name in sorted(program.classes):
+        decl = program.classes[name]
+        parts.append(
+            "class %s super=%s lib=%s fields=%s methods=%s"
+            % (
+                name,
+                decl.superclass,
+                bool(decl.is_library),
+                ",".join(sorted(decl.fields)),
+                ",".join(sorted(decl.methods)),
+            )
+        )
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def dispatch_signature(method):
+    """The RTA-relevant slice of one method body, as a sorted tuple.
+
+    Two method versions with equal dispatch signatures contribute
+    identically to call-graph construction: the same static targets,
+    the same virtual call sites (by name), and the same instantiated
+    classes.
+    """
+    entries = []
+    for stmt in method.statements():
+        if isinstance(stmt, InvokeStmt):
+            entries.append(
+                ("call", stmt.callsite, stmt.static_class, stmt.method_name)
+            )
+        elif isinstance(stmt, NewStmt):
+            entries.append(
+                ("new", stmt.type.class_name, bool(stmt.type.is_array))
+            )
+    return tuple(sorted(entries))
+
+
+def dispatch_signatures(program):
+    """``{method sig -> dispatch signature}`` for every method."""
+    return {m.sig: dispatch_signature(m) for m in program.all_methods()}
+
+
+def callsite_edges(program, callgraph):
+    """``{caller sig -> sorted [(callsite label, callee sig), ...]}``.
+
+    The uid-independent view of the call graph.  Callsite labels name
+    invokes stably across the uid shifts a textual edit causes; the
+    analysis itself (contexts, flows) consumes edges at exactly this
+    granularity, so two programs with equal edge maps have
+    analysis-equivalent call graphs.
+    """
+    out = {m.sig: [] for m in program.all_methods()}
+    for edge in callgraph.edges:
+        out[edge.caller.sig].append((edge.invoke.callsite, edge.callee.sig))
+    return {sig: sorted(edges) for sig, edges in out.items()}
+
+
+def digest_dirty(old_digests, new_digests):
+    """Per-method digest diff: ``(dirty sigs, deleted sigs)``.
+
+    Dirty = body changed or method added.  Deleted methods contribute
+    no seed (their callers necessarily changed too) but force the
+    engine off the fast path via the structure digest.
+    """
+    dirty = {
+        sig
+        for sig, digest in new_digests.items()
+        if old_digests.get(sig) != digest
+    }
+    deleted = set(old_digests) - set(new_digests)
+    return dirty, deleted
+
+
+def simple_statement_counts(program):
+    """``{method sig -> simple-statement count}`` (the unit of the
+    report's program-size ``statements`` stat)."""
+    return {
+        m.sig: sum(1 for s in m.statements() if s.is_simple)
+        for m in program.all_methods()
+    }

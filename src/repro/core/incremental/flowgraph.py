@@ -1,0 +1,221 @@
+"""The directed value-flow graph used for dirty-set closure.
+
+Method-level invalidation ("re-check every region whose footprint can
+call or be called by a changed method") is uselessly coarse: every
+method in a typical program is call-connected to ``main``, so one edit
+would dirty everything.  Instead, invalidation reasons about where
+*values* changed by an edit can flow.
+
+Nodes are local variables ``("v", method sig, var)`` and
+field-name summaries ``("f", field)`` (field-insensitive, matching the
+detector's flows-out/-in pairing on field names).  Edges follow
+assignments::
+
+    x = y        y -> x
+    x = y.f      ("f", f) -> x
+    x.f = y      y -> ("f", f)
+    r = call m() args -> m's params, base -> m's this,
+                 m's returned vars -> r      (callees per the call graph)
+
+A changed method seeds the closure with **all of its variables**.  The
+*forward* closure then over-approximates every value fact (points-to,
+store-edge resolution, flows-out chain) the edit can perturb; the
+*backward* closure over-approximates every value whose downstream
+visibility (the library flows-in condition: "is the loaded value
+returned to application code?") the edit can perturb.  A region whose
+footprint touches neither closure — and contains no dirty method —
+provably computes the same report as before, so its prior result can
+be served verbatim.
+
+Closures run over a *list* of graphs (:func:`closure_union`): serving
+must be sound against flows that exist in either program version
+(edits remove flows as well as add them), so the engine unions the
+snapshot's graph with a graph (or overlay) of the new program.
+"""
+
+from repro.ir.stmts import (
+    CopyStmt,
+    InvokeStmt,
+    LoadStmt,
+    ReturnStmt,
+    StoreStmt,
+)
+
+
+def _var(sig, name):
+    return ("v", sig, name)
+
+
+def _field(name):
+    return ("f", name)
+
+
+class FlowGraph:
+    """Forward and backward adjacency over value-flow nodes.
+
+    Adjacency values may be sets (graphs under construction) or tuples
+    (graphs hydrated from a snapshot — hydration is a straight dict
+    assignment, no per-edge work); traversal handles both.
+    """
+
+    def __init__(self):
+        self.forward = {}
+        self.backward = {}
+        #: method sig -> every variable node mentioned in the method
+        self.method_vars = {}
+
+    def _note_var(self, node):
+        if node[0] == "v":
+            vars_of = self.method_vars.setdefault(node[1], set())
+            if not isinstance(vars_of, set):
+                vars_of = set(vars_of)
+                self.method_vars[node[1]] = vars_of
+            vars_of.add(node)
+
+    @staticmethod
+    def _append(adjacency, src, dst):
+        dsts = adjacency.get(src)
+        if dsts is None:
+            adjacency[src] = {dst}
+        elif isinstance(dsts, set):
+            dsts.add(dst)
+        else:
+            adjacency[src] = set(dsts)
+            adjacency[src].add(dst)
+
+    def add_edge(self, src, dst):
+        self._append(self.forward, src, dst)
+        self._append(self.backward, dst, src)
+        self._note_var(src)
+        self._note_var(dst)
+
+    def note_var(self, sig, name):
+        """Register a variable node without any edge (parameters of
+        empty methods still seed the closure)."""
+        self._note_var(_var(sig, name))
+
+    def seeds_for(self, sigs):
+        """Every variable node of the given methods."""
+        seeds = set()
+        for sig in sigs:
+            seeds.update(self.method_vars.get(sig, ()))
+        return seeds
+
+    def closure(self, seeds, direction="forward"):
+        """Transitive closure of ``seeds`` along one direction."""
+        return closure_union([self], seeds, direction)
+
+    def to_plain(self):
+        """Plain-data encoding: dicts of node tuples, cheap to pickle
+        and cheap to hydrate (values stay tuples until mutated)."""
+        return {
+            "forward": {src: tuple(d) for src, d in self.forward.items()},
+            "backward": {dst: tuple(s) for dst, s in self.backward.items()},
+            "method_vars": {
+                sig: tuple(nodes) for sig, nodes in self.method_vars.items()
+            },
+        }
+
+    @classmethod
+    def from_plain(cls, data):
+        graph = cls()
+        graph.forward = dict(data["forward"])
+        graph.backward = dict(data["backward"])
+        graph.method_vars = dict(data["method_vars"])
+        return graph
+
+
+def closure_union(graphs, seeds, direction="forward"):
+    """Transitive closure of ``seeds`` over the union of ``graphs``."""
+    adjacencies = [
+        g.forward if direction == "forward" else g.backward for g in graphs
+    ]
+    seen = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for adjacency in adjacencies:
+            for succ in adjacency.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+    return seen
+
+
+def add_local_edges(graph, method):
+    """Add one method's intra-procedural flow edges to ``graph``;
+    returns the set of variables the method returns (call binding is
+    the caller's job — see :func:`bind_invoke`)."""
+    sig = method.sig
+    returned = set()
+    for param in method.params:
+        graph.note_var(sig, param)
+    if not method.is_static:
+        graph.note_var(sig, "this")
+    for stmt in method.statements():
+        if isinstance(stmt, CopyStmt):
+            graph.add_edge(_var(sig, stmt.source), _var(sig, stmt.target))
+        elif isinstance(stmt, LoadStmt):
+            graph.add_edge(_field(stmt.field), _var(sig, stmt.target))
+            graph.note_var(sig, stmt.base)
+        elif isinstance(stmt, StoreStmt):
+            graph.add_edge(_var(sig, stmt.source), _field(stmt.field))
+            graph.note_var(sig, stmt.base)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                returned.add(stmt.value)
+        elif isinstance(stmt, InvokeStmt):
+            if stmt.target is not None:
+                graph.note_var(sig, stmt.target)
+    return returned
+
+
+def bind_invoke(graph, caller_sig, stmt, callee, callee_returns):
+    """Add the inter-procedural edges of one resolved invoke."""
+    csig = callee.sig
+    for arg, param in zip(stmt.args, callee.params):
+        graph.add_edge(_var(caller_sig, arg), _var(csig, param))
+    if stmt.base is not None and not callee.is_static:
+        graph.add_edge(_var(caller_sig, stmt.base), _var(csig, "this"))
+    if stmt.target is not None:
+        for ret_var in callee_returns:
+            graph.add_edge(_var(csig, ret_var), _var(caller_sig, stmt.target))
+
+
+def method_returns(program):
+    """``{method sig -> sorted returned variables}`` (methods returning
+    nothing are omitted)."""
+    out = {}
+    for method in program.all_methods():
+        returned = {
+            s.value
+            for s in method.statements()
+            if isinstance(s, ReturnStmt) and s.value is not None
+        }
+        if returned:
+            out[method.sig] = tuple(sorted(returned))
+    return out
+
+
+def build_flowgraph(program, callgraph):
+    """Build the full value-flow graph of ``program`` under
+    ``callgraph``."""
+    graph = FlowGraph()
+    callees_by_uid = {}
+    for edge in callgraph.edges:
+        callees_by_uid.setdefault(edge.invoke.uid, []).append(edge.callee)
+
+    returns = {}
+    for method in program.all_methods():
+        returns[method.sig] = add_local_edges(graph, method)
+
+    for method in program.all_methods():
+        sig = method.sig
+        for stmt in method.statements():
+            if not isinstance(stmt, InvokeStmt):
+                continue
+            for callee in callees_by_uid.get(stmt.uid, ()):
+                bind_invoke(
+                    graph, sig, stmt, callee, returns.get(callee.sig, ())
+                )
+    return graph

@@ -1,0 +1,95 @@
+"""Plain-data codec for served region reports.
+
+A snapshot stores each scanned region's :class:`~repro.core.report.
+LeakReport` so an incremental run can serve clean regions without
+re-analysis.  The encoding must survive the *uid shift* a textual edit
+causes: statement uids are assigned in program seal order, so editing
+one method renumbers every statement after it.  Everything in a report
+is therefore encoded through edit-stable names:
+
+* allocation sites and redundant edges by site label / field name;
+* creation contexts by their call-site label tuples (plus the context
+  bound ``k``);
+* escape-store statements by ``(method sig, position in the method's
+  statement order)`` — valid whenever the owning method's body is
+  unchanged, which the engine guarantees for every served region
+  (escape stores live in the region's footprint).
+
+Decoding resolves the names against the *new* program; the one stat
+that reflects program-global size (``methods``/``statements`` counts)
+is patched by the engine from the new program, everything else in the
+stored stats is a pure function of the unchanged footprint.
+"""
+
+from repro.core.report import LeakFinding, LeakReport
+from repro.core.regions import RegionSpec
+from repro.pta.context import CallString
+
+
+def encode_report(report, statement_positions):
+    """Encode ``report`` as a plain-data dict.
+
+    ``statement_positions`` maps a statement to its ``(method sig,
+    position)`` — see :func:`statement_position_index`.
+    """
+    return {
+        "region": RegionSpec(
+            report.region.method_sig,
+            getattr(report.region, "loop_label", None),
+        ).text(),
+        "stats": dict(report.stats),
+        "findings": [
+            {
+                "site": f.site.label,
+                "era": f.era,
+                "redundant_edges": [list(edge) for edge in f.redundant_edges],
+                "contexts": [
+                    [list(ctx.sites), ctx.k] for ctx in f.creation_contexts
+                ],
+                "escape_stores": [
+                    list(statement_positions[stmt]) for stmt in f.escape_stores
+                ],
+                "notes": list(f.notes),
+            }
+            for f in report.findings
+        ],
+    }
+
+
+def decode_report(data, program, statements_of):
+    """Rebuild a :class:`LeakReport` against ``program``.
+
+    ``statements_of`` maps a method sig to its statement tuple (the
+    session's memoized index).  Raises a lookup error when the program
+    no longer has a referenced site/method — the engine treats that as
+    "cannot serve, re-check".
+    """
+    region = RegionSpec.parse(data["region"])
+    findings = []
+    for entry in data["findings"]:
+        findings.append(
+            LeakFinding(
+                program.site(entry["site"]),
+                entry["era"],
+                [tuple(edge) for edge in entry["redundant_edges"]],
+                [
+                    CallString(tuple(sites), k)
+                    for sites, k in entry["contexts"]
+                ],
+                escape_stores=[
+                    statements_of(sig)[position]
+                    for sig, position in entry["escape_stores"]
+                ],
+                notes=list(entry["notes"]),
+            )
+        )
+    return LeakReport(region, findings, dict(data["stats"]))
+
+
+def statement_position_index(program):
+    """``{statement -> (method sig, position)}`` over all methods."""
+    index = {}
+    for method in program.all_methods():
+        for position, stmt in enumerate(method.statements()):
+            index[stmt] = (method.sig, position)
+    return index

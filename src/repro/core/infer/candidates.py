@@ -28,7 +28,7 @@ from repro.core.infer.classify import (
     UNBOUNDED,
     classify_loops,
 )
-from repro.core.regions import LoopSpec, RegionSpec
+from repro.core.regions import RegionSpec, region_text
 
 #: Feature weights for loop candidates.  Allocation/publication mass
 #: dominates; outermost unbounded loops near the entry get the
@@ -77,9 +77,7 @@ class CandidateRegion:
     @property
     def text(self):
         """The CLI spec string (``Class.method:LOOP`` or ``Class.method``)."""
-        if isinstance(self.spec, LoopSpec):
-            return "%s:%s" % (self.spec.method_sig, self.spec.loop_label)
-        return self.spec.method_sig
+        return region_text(self.spec)
 
     def as_dict(self):
         return {
@@ -254,7 +252,7 @@ def infer_candidates(program, callgraph, statements=None):
     profiles = classify_loops(program, callgraph, index=index)
     candidates = [
         CandidateRegion(
-            LoopSpec(p.method_sig, p.label),
+            RegionSpec(p.method_sig, p.label),
             "loop",
             _score_loop(p),
             p.features(),

@@ -45,7 +45,7 @@ from repro.core.pipeline.postpasses import (
 from repro.core.pipeline.statements import collect_region_statements
 from repro.core.pipeline.stats import PipelineStats
 from repro.core.pipeline.store_edges import extract_store_edges
-from repro.core.regions import LoopSpec
+from repro.core.regions import RegionSpec
 from repro.core.report import LeakFinding, LeakReport
 from repro.core.threads import started_thread_sites
 from repro.errors import AnalysisError
@@ -466,9 +466,13 @@ class AnalysisSession:
 
 def _region_key(region):
     """Memoization key for a region spec (value-based, not identity)."""
-    if isinstance(region, LoopSpec):
-        return ("loop", region.method_sig, region.loop_label)
+    if isinstance(region, RegionSpec):
+        if region.is_loop:
+            return ("loop", region.method_sig, region.loop_label)
+        return ("region", "RegionSpec", region.method_sig)
     sig = getattr(region, "method_sig", None)
     if sig is None:
         return ("identity", id(region))
+    if getattr(region, "loop_label", None) is not None:
+        return ("loop", sig, region.loop_label)
     return ("region", type(region).__name__, sig)

@@ -21,7 +21,7 @@ the detector still checks exactly the region the user picks.
 """
 
 from repro.callgraph.rta import build_rta
-from repro.core.regions import LoopSpec, candidate_loops
+from repro.core.regions import candidate_loops
 from repro.ir.stmts import InvokeStmt, LoadStmt, NewStmt, StoreStmt, walk
 
 

@@ -29,7 +29,7 @@ from repro.core.pipeline.parallel import check_regions_parallel
 from repro.core.pipeline.session import AnalysisSession
 from repro.core.pipeline.stats import PipelineStats, stats_from_report
 from repro.core.ranking import rank_loops
-from repro.core.regions import LoopSpec, candidate_loops, region_text
+from repro.core.regions import candidate_loops, region_text
 
 
 class ScanResult:
@@ -126,7 +126,9 @@ class ScanResult:
                 {
                     "method": spec.method_sig,
                     "loop": getattr(spec, "loop_label", None),
-                    "kind": "loop" if isinstance(spec, LoopSpec) else "region",
+                    "kind": "loop"
+                    if getattr(spec, "loop_label", None) is not None
+                    else "region",
                     "report": report.as_dict(),
                 }
                 for spec, report in self.entries

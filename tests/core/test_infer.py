@@ -13,7 +13,7 @@ from repro.core.infer import (
     suggest_regions,
 )
 from repro.core.pipeline.session import AnalysisSession
-from repro.core.regions import LoopSpec, RegionSpec, candidate_loops, region_text
+from repro.core.regions import RegionSpec, candidate_loops, region_text
 from repro.lang import parse_program
 
 
@@ -122,7 +122,7 @@ class TestInferCandidates:
         assert catalog.selected_specs(top=0) == []
         # Default selection keeps every loop candidate.
         selected = catalog.selected_specs()
-        loop_specs = [s for s in selected if isinstance(s, LoopSpec)]
+        loop_specs = [s for s in selected if s.loop_label is not None]
         assert len(loop_specs) == len(catalog.loops())
 
     def test_loop_free_program_yields_empty_or_method_candidates(self):

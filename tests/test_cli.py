@@ -626,3 +626,171 @@ class TestBaselineGate:
         capsys.readouterr()
         assert code_low == 1
         assert code_high in (0, 1)
+
+
+class TestIncrementalCLI:
+    @pytest.fixture
+    def two_region_file(self, tmp_path):
+        path = tmp_path / "two.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              h = new Holder @holder;
+              loop L1 (*) { x = new Item @item; h.slot = x; }
+              loop L2 (*) { y = new Item @scratch; }
+            } }
+            class Holder { field slot; }
+            class Item { }"""
+        )
+        return str(path)
+
+    def test_write_then_changed_since_round_trip(
+        self, two_region_file, tmp_path, capsys
+    ):
+        snap = str(tmp_path / "scan.snap")
+        assert main(["scan", two_region_file, "--write-snapshot", snap]) == 1
+        first = capsys.readouterr()
+        assert "wrote snapshot" in first.err
+        code = main(["scan", two_region_file, "--changed-since", snap])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "incremental:" in captured.err
+        assert "0 re-checked" in captured.err
+
+    def test_changed_since_canonical_json_matches_cold(
+        self, two_region_file, tmp_path, capsys
+    ):
+        snap = str(tmp_path / "scan.snap")
+        main(["scan", two_region_file, "--write-snapshot", snap])
+        capsys.readouterr()
+        main(["scan", two_region_file, "--json", "--canonical"])
+        cold = capsys.readouterr().out
+        main(
+            [
+                "scan",
+                two_region_file,
+                "--changed-since",
+                snap,
+                "--json",
+                "--canonical",
+            ]
+        )
+        assert capsys.readouterr().out == cold
+
+    def test_changed_since_bad_snapshot_falls_back(
+        self, two_region_file, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.snap"
+        bad.write_bytes(b"garbage")
+        code = main(["scan", two_region_file, "--changed-since", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "warning" in captured.err
+        assert "scanned 2 regions" in captured.out
+
+    def test_changed_since_rejects_parallel(self, two_region_file, capsys):
+        code = main(
+            [
+                "scan",
+                two_region_file,
+                "--changed-since",
+                "x.snap",
+                "--parallel",
+            ]
+        )
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+
+class TestDiffCLI:
+    @pytest.fixture
+    def leaky_and_clean(self, tmp_path):
+        leaky = tmp_path / "leaky.wl"
+        leaky.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              h = new Holder @holder;
+              loop L (*) { x = new Item @item; h.slot = x; }
+            } }
+            class Holder { field slot; }
+            class Item { }"""
+        )
+        clean = tmp_path / "clean.wl"
+        clean.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              h = new Holder @holder;
+              loop L (*) { x = new Item @item; }
+            } }
+            class Holder { field slot; }
+            class Item { }"""
+        )
+        return str(leaky), str(clean)
+
+    def test_identical_inputs_exit_zero(self, leaky_and_clean, capsys):
+        leaky, _clean = leaky_and_clean
+        code = main(["diff", leaky, leaky])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 new, 0 fixed" in out
+
+    def test_fix_is_clean_regression_is_not(self, leaky_and_clean, capsys):
+        leaky, clean = leaky_and_clean
+        assert main(["diff", leaky, clean]) == 0
+        assert "1 fixed" in capsys.readouterr().out
+        assert main(["diff", clean, leaky]) == 1
+        assert "1 new" in capsys.readouterr().out
+
+    def test_diff_against_scan_json(self, leaky_and_clean, tmp_path, capsys):
+        leaky, _clean = leaky_and_clean
+        main(["scan", leaky, "--json", "--canonical"])
+        doc = capsys.readouterr().out
+        json_path = tmp_path / "before.json"
+        json_path.write_text(doc)
+        code = main(["diff", str(json_path), leaky])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 unchanged" in out
+
+    def test_diff_json_output(self, leaky_and_clean, capsys):
+        leaky, clean = leaky_and_clean
+        main(["diff", leaky, clean, "--json", "--canonical"])
+        import json as json_mod
+
+        doc = json_mod.loads(capsys.readouterr().out)
+        assert doc["counts"] == {"new": 0, "fixed": 1, "unchanged": 0}
+
+    def test_malformed_json_input_exits_two(
+        self, leaky_and_clean, tmp_path, capsys
+    ):
+        leaky, _clean = leaky_and_clean
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["diff", str(bad), leaky]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestUniformFlags:
+    def test_exit_codes_documented_in_help(self, capsys):
+        for cmd in ("check", "scan", "regions", "diff"):
+            with pytest.raises(SystemExit):
+                main([cmd, "--help"])
+            assert "exit codes:" in capsys.readouterr().out
+
+    def test_shared_flags_accepted_everywhere(self, tmp_path, capsys):
+        path = tmp_path / "p.wl"
+        path.write_text(
+            """entry Main.main;
+            class Main { static method main() {
+              loop L (*) { x = new Main @m; }
+            } }"""
+        )
+        cache = str(tmp_path / "cache")
+        common = ["--json", "--canonical", "--cache-dir", cache]
+        assert (
+            main(["check", str(path), "--region", "Main.main:L"] + common) == 0
+        )
+        assert main(["scan", str(path)] + common) == 0
+        assert main(["regions", str(path)] + common) == 0
+        assert main(["diff", str(path), str(path)] + common) == 0
+        capsys.readouterr()

@@ -63,3 +63,40 @@ def test_all_sorted_for_readability():
         module = importlib.import_module(name)
         exported = [n for n in module.__all__ if n != "__version__"]
         assert exported == sorted(exported), name
+
+
+def _current_surface():
+    lines = []
+    for name in ("repro", "repro.core"):
+        module = importlib.import_module(name)
+        for attr in sorted(module.__all__):
+            lines.append("%s.%s" % (name, attr))
+    return lines
+
+
+def test_api_surface_matches_manifest():
+    """The public surface is a contract: any addition or removal must
+    be deliberate.  When this fails, update tests/data/public_api.txt
+    in the same change that moves the API (and document the move in
+    docs/internals.md)."""
+    import pathlib
+
+    manifest_path = (
+        pathlib.Path(__file__).parent / "data" / "public_api.txt"
+    )
+    manifest = manifest_path.read_text().split()
+    current = _current_surface()
+    added = sorted(set(current) - set(manifest))
+    removed = sorted(set(manifest) - set(current))
+    assert current == manifest, (
+        "public API surface drifted (added: %s; removed: %s) — if "
+        "intentional, regenerate tests/data/public_api.txt"
+        % (", ".join(added) or "none", ", ".join(removed) or "none")
+    )
+
+
+def test_new_facade_exported_everywhere():
+    for name in ("repro", "repro.core"):
+        module = importlib.import_module(name)
+        assert "Analyzer" in module.__all__
+        assert "analyze" in module.__all__
