@@ -1,4 +1,4 @@
-.PHONY: install test bench table1 profile examples golden-update cache-smoke nightly all
+.PHONY: install test bench table1 profile examples golden-update cache-smoke serve-smoke nightly all
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +23,9 @@ golden-update:
 
 cache-smoke:
 	PYTHONPATH=src python -m repro.core.cache.smoke
+
+serve-smoke:
+	PYTHONPATH=src python -m repro.server.smoke
 
 nightly:
 	HYPOTHESIS_PROFILE=nightly PYTHONPATH=src python -m pytest tests/properties -q

@@ -447,6 +447,35 @@ def _cmd_run(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.server import create_server, run_server
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        config=_config_from(args),
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms,
+        cache=_cache_from(args),
+        max_sessions=args.max_sessions,
+    )
+    host, port = server.server_address[:2]
+    print(
+        "serving on http://%s:%d (jobs=%d, queue=%d, deadline=%s)"
+        % (
+            host,
+            port,
+            args.jobs,
+            args.max_queue,
+            "%dms" % args.deadline_ms if args.deadline_ms else "none",
+        ),
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
 #: Uniform exit-code contract, shown in ``--help`` of every subcommand
 #: that reports findings.
 _EXIT_CODES = """\
@@ -711,6 +740,52 @@ def build_parser():
     run.add_argument("--trips", type=int, default=3)
     run.add_argument("--javalib", action="store_true")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP analysis daemon",
+        description="Long-running analysis service: POST /analyze, "
+        "POST /diff, GET /healthz, GET /metrics.  Repeat requests for "
+        "an unchanged program are served from the warm session pool; "
+        "requests past --deadline-ms degrade to the sound fallback "
+        "answer instead of failing; a full queue answers 429 with "
+        "Retry-After.",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8421, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="concurrent analysis requests"
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        help="waiting requests beyond --jobs before answering 429",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="server-wide per-request analysis deadline; past it, "
+        "demand-driven queries degrade to the whole-program fallback "
+        "and the response is flagged degraded",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="distinct programs kept warm before LRU eviction",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent artifact-cache directory shared with the "
+        "check/scan subcommands",
+    )
+    add_detector_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -30,6 +30,7 @@ import warnings
 from repro.core.pipeline.session import AnalysisSession
 from repro.core.regions import Region, RegionSpec, resolve_region
 from repro.core.scan import scan_all_loops
+from repro.pta.queries import Deadline
 
 __all__ = [
     "Analyzer",
@@ -65,6 +66,7 @@ class Analyzer:
         parallel=False,
         max_workers=None,
         backend="thread",
+        deadline_ms=None,
     ):
         """Analyze one region, or scan the program's candidate regions.
 
@@ -79,9 +81,18 @@ class Analyzer:
         inference (``top`` capping how many).  ``parallel``,
         ``max_workers`` and ``backend`` fan the scan out over a worker
         pool exactly as :func:`repro.core.scan.scan_all_loops` does.
+
+        ``deadline_ms`` bounds the call's wall-clock analysis effort:
+        past the deadline, demand-driven points-to refinement stops and
+        queries answer from the sound whole-program fallback, so the
+        call completes (degraded, never truncated).  The report's
+        ``deadline_expiries`` counter records whether degradation
+        happened.  Ignored by the parallel scan backends.
         """
+        deadline = Deadline.after_ms(deadline_ms)
         if region is not None:
-            return self.session.check(self._resolve(region))
+            with self.session.points_to.deadline_scope(deadline):
+                return self.session.check(self._resolve(region))
         return scan_all_loops(
             self.program,
             session=self.session,
@@ -90,6 +101,7 @@ class Analyzer:
             parallel=parallel,
             max_workers=max_workers,
             backend=backend,
+            deadline=deadline,
         )
 
     def flow_relations(self, region):
@@ -116,14 +128,16 @@ class Analyzer:
         return "Analyzer(%d classes)" % len(self.program.classes)
 
 
-def analyze(program, region=None, *, config=None, cache=None):
+def analyze(program, region=None, *, config=None, cache=None, deadline_ms=None):
     """One-call analysis: ``analyze(program, region)`` → report.
 
     The module-level convenience over :class:`Analyzer` — see
-    :meth:`Analyzer.analyze` for the ``region`` forms and the
-    ``region=None`` scan behaviour.
+    :meth:`Analyzer.analyze` for the ``region`` forms, the
+    ``region=None`` scan behaviour and ``deadline_ms`` degradation.
     """
-    return Analyzer(program, config, cache=cache).analyze(region)
+    return Analyzer(program, config, cache=cache).analyze(
+        region, deadline_ms=deadline_ms
+    )
 
 
 def _deprecated(old, new):

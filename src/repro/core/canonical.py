@@ -23,6 +23,7 @@ VOLATILE_COUNTERS = (
     "cfl_queries",
     "cfl_memo_hits",
     "budget_exhaustions",
+    "deadline_expiries",
     "andersen_fallbacks",
     "store_edge_cache_hits",
     "store_edge_cache_misses",
@@ -38,6 +39,7 @@ VOLATILE_COUNTERS = (
     "incremental_rechecked",
     "incremental_dirty_methods",
     "incremental_full_fallback",
+    "incremental_fast_path",
 )
 
 

@@ -89,6 +89,7 @@ class IncrementalOutcome:
             "incremental_rechecked": len(self.rechecked),
             "incremental_dirty_methods": len(self.dirty_methods),
             "incremental_full_fallback": int(self.full_fallback),
+            "incremental_fast_path": int(self.fast_path),
         }
 
     def format(self):
@@ -120,12 +121,17 @@ def changed_scan(
     top=None,
     session=None,
     cache=None,
+    deadline=None,
 ):
     """Scan ``program``, serving unchanged regions from ``snapshot``.
 
     Returns ``(ScanResult, IncrementalOutcome)``.  The result is
     canonically byte-identical to ``scan_all_loops`` of the new program
     under the same region selection; only the work differs.
+
+    ``deadline`` (a :class:`repro.pta.queries.Deadline`) bounds the
+    demand-driven query work of any region that does need re-checking;
+    served regions cost no queries, so a warm scan never degrades.
     """
     from repro.core.config import DetectorConfig
     from repro.core.pipeline.session import AnalysisSession
@@ -147,7 +153,8 @@ def changed_scan(
         reason = "class structure changed (classes/fields/methods/entry)"
     if reason is not None:
         return _full(
-            outcome, reason, program, get_session(), specs, auto_regions, top
+            outcome, reason, program, get_session(), specs, auto_regions,
+            top, deadline,
         )
 
     new_digests = method_digests(program)
@@ -223,7 +230,11 @@ def changed_scan(
             report.stats["statements"] = size_counts[1]
             outcome.served.append(region_text(spec))
         else:
-            report = get_session().check(spec)
+            # The deadline scope restores itself, so a pooled session
+            # never carries a request's (possibly expired) deadline
+            # into later requests.
+            with get_session().points_to.deadline_scope(deadline):
+                report = session.check(spec)
             outcome.rechecked.append(region_text(spec))
         entries.append((spec, report))
 
@@ -254,7 +265,10 @@ def _structure_changed(snapshot, program):
     return snapshot["structure_digest"] != structure_digest(program)
 
 
-def _full(outcome, reason, program, session, specs, auto_regions, top):
+def _full(
+    outcome, reason, program, session, specs, auto_regions, top,
+    deadline=None,
+):
     outcome.full_fallback = True
     outcome.fallback_reason = reason
     result = scan_all_loops(
@@ -263,6 +277,7 @@ def _full(outcome, reason, program, session, specs, auto_regions, top):
         specs=specs,
         auto_regions=auto_regions,
         top=top,
+        deadline=deadline,
     )
     result.cache_counters.update(outcome.counters())
     return result, outcome

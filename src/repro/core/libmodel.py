@@ -13,13 +13,6 @@ through return chains — the detector then keeps a library load only when
 its target is in that set.
 """
 
-from repro.pta.pag import RETURN_VAR, VarNode
-
-
-def _method_of(program, sig):
-    return program.method(sig)
-
-
 def is_library_sig(program, method_sig):
     class_name = method_sig.rpartition(".")[0]
     return program.cls(class_name).is_library
@@ -36,15 +29,10 @@ def library_visible_values(program, pag):
     """
     visible = set()
     work = []
-    for edge in pag.assign_edges:
-        for node in (edge.src, edge.dst):
-            if not is_library_sig(program, node.method_sig):
-                if node not in visible:
-                    visible.add(node)
-                    work.append(node)
-    # Also seed loads/stores/new targets in application code.
+    # Seed with every application variable node; all_var_nodes() covers
+    # assign, store, load and new edge endpoints alike.
     for node in pag.all_var_nodes():
-        if not is_library_sig(program, node.method_sig) and node not in visible:
+        if not is_library_sig(program, node.method_sig):
             visible.add(node)
             work.append(node)
     while work:

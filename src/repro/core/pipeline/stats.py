@@ -27,6 +27,7 @@ BASE_COUNTERS = (
     "cfl_queries",
     "cfl_memo_hits",
     "budget_exhaustions",
+    "deadline_expiries",
     "andersen_fallbacks",
     "contexts_enumerated",
     "region_statements",

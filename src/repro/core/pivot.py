@@ -5,21 +5,18 @@ When leaking object ``o1`` transitively flows into leaking object ``o2``
 fixing ``o2``'s unnecessary reference also frees ``o1``; reporting both is
 noise.  Pivot mode keeps only the roots — the experiments in the paper's
 Section 5 run in this mode, and so do ours.
+
+Mutual containment needs care: long-lived collections routinely link
+their members back to the container (doubly-linked lists, parent
+pointers, observer registries), so two leaking sites can each reach the
+other.  Under a naive "dominated by any other leaking site" rule every
+member of such a cycle is dropped and the leak vanishes from the report
+entirely.  The containment graph is therefore collapsed to its strongly
+connected components first: domination is judged between *components*
+(a site is folded away only when it reaches a leaking site outside its
+own SCC), and each surviving leaking SCC is reported through one
+deterministic representative — the smallest site label.
 """
-
-
-def _reaches(edges, src, dst):
-    seen = {src}
-    work = [src]
-    while work:
-        node = work.pop()
-        for nxt in edges.get(node, ()):
-            if nxt == dst:
-                return True
-            if nxt not in seen:
-                seen.add(nxt)
-                work.append(nxt)
-    return False
 
 
 def containment_edges(pairs):
@@ -30,20 +27,123 @@ def containment_edges(pairs):
     return edges
 
 
+def strongly_connected_components(edges, nodes=None):
+    """SCCs of the containment graph, as a ``{node -> component id}``
+    map (Tarjan, iterative — containment chains can be long).
+
+    ``nodes`` adds isolated nodes that appear on no edge; component
+    ids are arbitrary but distinct per component.
+    """
+    index = {}
+    lowlink = {}
+    on_stack = set()
+    stack = []
+    component = {}
+    counter = [0]
+    comp_count = [0]
+
+    all_nodes = set(edges)
+    for targets in edges.values():
+        all_nodes |= targets
+    if nodes is not None:
+        all_nodes |= set(nodes)
+
+    for root in sorted(all_nodes):
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator over successors) frames.
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(edges.get(nxt, ())))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.remove(member)
+                    component[member] = comp_count[0]
+                    if member == node:
+                        break
+                comp_count[0] += 1
+    return component
+
+
+def _reachable_components(edges, component, start_comp, start_nodes):
+    """Component ids reachable from ``start_nodes``' components
+    (excluding ``start_comp`` itself unless re-entered — irrelevant:
+    SCC condensation is acyclic, a component never reaches itself)."""
+    seen_nodes = set(start_nodes)
+    work = list(start_nodes)
+    reached = set()
+    while work:
+        node = work.pop()
+        for nxt in edges.get(node, ()):
+            if component[nxt] != start_comp:
+                reached.add(component[nxt])
+            if nxt not in seen_nodes:
+                seen_nodes.add(nxt)
+                work.append(nxt)
+    return reached
+
+
 def apply_pivot(leaking_sites, pairs):
     """Filter ``leaking_sites``, dropping any site that transitively flows
-    into another leaking site (the kept one is the pivot/root).
+    into another leaking site outside its own containment SCC (the kept
+    one is the pivot/root).
 
     ``pairs`` is an iterable of (src_site, base_site) containment pairs
-    among inside objects.
+    among inside objects.  Containment paths may traverse unreported
+    intermediates (library entry objects); only leaking sites are
+    candidates for folding.  A mutual-containment cycle of leaking
+    sites survives as exactly one report — the smallest site label in
+    the cycle — rather than suppressing itself; the result preserves
+    the input order of ``leaking_sites`` and is never empty when
+    ``leaking_sites`` is non-empty.
     """
+    leaking_sites = list(leaking_sites)
+    if not leaking_sites:
+        return []
     edges = containment_edges(pairs)
     leaking = set(leaking_sites)
+    component = strongly_connected_components(edges, nodes=leaking)
+
+    # Members of each leaking site's component, and the component's
+    # deterministic representative (smallest label among leaking members).
+    members = {}
+    for site in leaking:
+        members.setdefault(component[site], []).append(site)
+    representative = {
+        comp: min(sites) for comp, sites in members.items()
+    }
+
+    leaking_comps = set(members)
     kept = []
     for site in leaking_sites:
-        dominated = any(
-            other != site and _reaches(edges, site, other) for other in leaking
-        )
-        if not dominated:
-            kept.append(site)
+        comp = component[site]
+        if site != representative[comp]:
+            continue  # folded into its cycle's representative
+        reached = _reachable_components(edges, component, comp, members[comp])
+        if reached & leaking_comps:
+            continue  # dominated by a leak outside the cycle
+        kept.append(site)
     return kept

@@ -177,6 +177,7 @@ def scan_all_loops(
     specs=None,
     auto_regions=False,
     top=None,
+    deadline=None,
 ):
     """Run the detector on a set of regions of ``program``.
 
@@ -199,7 +200,11 @@ def scan_all_loops(
     ``"process"``) with output identical to the serial scan; ``session``
     lets callers bring their own warmed :class:`AnalysisSession`;
     ``cache`` hydrates/persists the program-level artifacts through a
-    persistent :class:`~repro.core.cache.store.ArtifactCache`.
+    persistent :class:`~repro.core.cache.store.ArtifactCache`;
+    ``deadline`` (a :class:`repro.pta.queries.Deadline`) bounds the
+    serial scan's demand-driven query work — past it, queries degrade
+    to the Andersen fallback (ignored by the parallel backends, which
+    never run deadline-bounded).
     """
     session = session or AnalysisSession(program, config, cache=cache)
     infer_counters = {}
@@ -223,7 +228,8 @@ def scan_all_loops(
             session, specs, max_workers=max_workers, backend=backend
         )
     else:
-        entries = [(spec, session.check(spec)) for spec in specs]
+        with session.points_to.deadline_scope(deadline):
+            entries = [(spec, session.check(spec)) for spec in specs]
     if session.cache is not None and not session.hydrated_from_cache:
         session.persist()
     return ScanResult(

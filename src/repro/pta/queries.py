@@ -13,11 +13,49 @@ so parallel region checks each meter their own work).
 """
 
 import threading
+import time
 from contextlib import contextmanager
 
 from repro.errors import BudgetExhausted
 from repro.pta.cfl import CFLPointsTo
 from repro.pta.pag import PAG, VarNode
+
+
+class Deadline:
+    """A wall-clock bound on analysis work, next to the step ``budget``.
+
+    The budget bounds *one* demand-driven query; the deadline bounds a
+    whole run (a server request, an ``analyze(deadline_ms=...)`` call).
+    Once it passes, the facade stops issuing fresh CFL traversals and
+    answers from the sound whole-program Andersen result instead — the
+    analysis still completes, just less refined.  ``was_exceeded``
+    records whether that degradation ever triggered, which is what a
+    server surfaces as ``degraded: true``.
+    """
+
+    __slots__ = ("expires_at", "seconds", "was_exceeded")
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+        self.expires_at = time.monotonic() + seconds
+        self.was_exceeded = False
+
+    @classmethod
+    def after_ms(cls, milliseconds):
+        """A deadline ``milliseconds`` from now, or ``None`` for none."""
+        if milliseconds is None:
+            return None
+        return cls(milliseconds / 1000.0)
+
+    def remaining(self):
+        """Seconds left, clamped at zero."""
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def expired(self):
+        if time.monotonic() >= self.expires_at:
+            self.was_exceeded = True
+            return True
+        return False
 
 
 class PointsTo:
@@ -31,13 +69,23 @@ class PointsTo:
         When true, variable queries go through the CFL solver first.
     budget:
         Per-query budget for the demand-driven solver.
+    deadline:
+        Optional :class:`Deadline` bounding the run's wall-clock time;
+        once expired, fresh demand-driven traversals are skipped and
+        queries answer from the Andersen fallback (memoized refined
+        answers are still served — they cost nothing).  Usually
+        installed per-run via :meth:`deadline_scope` rather than here.
     """
 
-    def __init__(self, program, callgraph, demand_driven=False, budget=100_000):
+    def __init__(
+        self, program, callgraph, demand_driven=False, budget=100_000,
+        deadline=None,
+    ):
         self.program = program
         self.callgraph = callgraph
         self.demand_driven = demand_driven
         self.budget = budget
+        self.deadline = deadline
         self._pag = None
         self._andersen = None
         self._cfl = None
@@ -66,6 +114,23 @@ class PointsTo:
             yield sink
         finally:
             self._active.sink = previous
+
+    @contextmanager
+    def deadline_scope(self, deadline):
+        """Bound the block's queries by ``deadline`` (a :class:`Deadline`
+        or ``None``).  Not thread-isolated: deadline-bounded runs are
+        serial (the analysis server serializes requests per session);
+        parallel scans never install one."""
+        previous = self.deadline
+        self.deadline = deadline
+        try:
+            yield deadline
+        finally:
+            self.deadline = previous
+
+    def _deadline_expired(self):
+        deadline = self.deadline
+        return deadline is not None and deadline.expired()
 
     # -- queries ------------------------------------------------------------
 
@@ -128,10 +193,17 @@ class PointsTo:
         self._bump("var_queries")
         cfl = self._demand_solver
         if cfl is not None:
-            self._bump("cfl_queries")
             if cfl.is_memoized(node):
+                self._bump("cfl_queries")
                 self._bump("cfl_memo_hits")
                 return cfl.points_to_refined(node)
+            if self._deadline_expired():
+                # Past the deadline: skip fresh demand-driven work and
+                # degrade to the sound whole-program answer.
+                self._bump("deadline_expiries")
+                self._bump("andersen_fallbacks")
+                return self.andersen.pts(node)
+            self._bump("cfl_queries")
             try:
                 return cfl.points_to_refined(node)
             except BudgetExhausted:
@@ -153,6 +225,14 @@ class PointsTo:
         return bool(self.pts(sig_a, var_a) & self.pts(sig_b, var_b))
 
 
-def build_points_to(program, callgraph, demand_driven=False, budget=100_000):
+def build_points_to(
+    program, callgraph, demand_driven=False, budget=100_000, deadline=None
+):
     """Construct the points-to facade (convenience wrapper)."""
-    return PointsTo(program, callgraph, demand_driven=demand_driven, budget=budget)
+    return PointsTo(
+        program,
+        callgraph,
+        demand_driven=demand_driven,
+        budget=budget,
+        deadline=deadline,
+    )

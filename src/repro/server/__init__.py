@@ -1,0 +1,25 @@
+"""The analysis service: LeakChecker as a long-running HTTP daemon.
+
+``repro serve`` keeps analysis state warm across requests — the
+session pool (:mod:`~repro.server.pool`) serves repeat programs from
+snapshots via the incremental engine's fast path, admission control
+(:mod:`~repro.server.limits`) bounds concurrency and queueing, and
+:mod:`~repro.server.metrics` exposes counters and latency quantiles.
+See :mod:`~repro.server.app` for the endpoint contract.
+"""
+
+from repro.server.app import AnalysisServer, create_server, run_server
+from repro.server.limits import AdmissionControl, Deadline, QueueFull
+from repro.server.metrics import ServerMetrics
+from repro.server.pool import SessionPool
+
+__all__ = [
+    "AdmissionControl",
+    "AnalysisServer",
+    "Deadline",
+    "QueueFull",
+    "ServerMetrics",
+    "SessionPool",
+    "create_server",
+    "run_server",
+]

@@ -1,0 +1,414 @@
+"""The analysis daemon: LeakChecker behind four HTTP endpoints.
+
+Stdlib only (:mod:`http.server`), started by ``repro serve``:
+
+* ``POST /analyze`` — body ``{"program": <source>, "region": <spec |
+  [spec, ...]>?, "deadline_ms": <int>?, "javalib": <bool>?}``.  Runs a
+  scan through the :class:`~repro.server.pool.SessionPool`: the first
+  request for a program is a cold scan, repeats with the same digest
+  are served from the pooled snapshot without rebuilding analysis
+  state.  The response embeds the full scan dict (findings, triage,
+  profile) plus ``warm``, ``program_digest`` and ``degraded``.
+* ``POST /diff`` — body ``{"before": <source>, "after": <source>,
+  "deadline_ms"?, "javalib"?}``.  Analyzes both programs (pool-warm
+  when possible) and returns the finding-level
+  :class:`~repro.core.incremental.diffing.LeakDelta`.
+* ``GET /healthz`` — liveness plus admission/pool occupancy.
+* ``GET /metrics`` — cumulative counters and latency quantiles; JSON
+  by default, Prometheus text with ``?format=prometheus`` (or an
+  ``Accept: text/plain`` header).
+
+Status codes: ``400`` malformed request (bad JSON, missing fields),
+``404`` unknown path, ``405`` wrong method on a known path, ``422``
+the program failed to parse/resolve (:class:`~repro.errors.ReproError`),
+``429`` + ``Retry-After`` when the bounded queue is full, ``500`` only
+for genuine bugs.
+
+Deadlines degrade, they do not fail: the effective deadline is the
+smaller of the server-wide ``--deadline-ms`` and the request's
+``deadline_ms``; when it expires mid-analysis, demand-driven points-to
+refinement stops and queries answer from the sound whole-program
+fallback, so the request still completes — flagged ``"degraded":
+true`` rather than turned into an error.
+"""
+
+import json
+import math
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.incremental.diffing import diff_analyses
+from repro.core.regions import resolve_region
+from repro.errors import ReproError
+from repro.javalib import JAVALIB_SOURCE
+from repro.lang import parse_program
+from repro.pta.queries import Deadline
+from repro.server.limits import AdmissionControl, QueueFull
+from repro.server.metrics import ServerMetrics
+from repro.server.pool import SessionPool
+
+
+class BadRequest(Exception):
+    """Client-side request error; rendered as HTTP 400."""
+
+
+class AnalysisServer(ThreadingHTTPServer):
+    """One daemon process: pool + admission + metrics, shared across
+    handler threads."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address,
+        *,
+        config=None,
+        jobs=1,
+        max_queue=8,
+        deadline_ms=None,
+        cache=None,
+        max_sessions=8,
+    ):
+        super().__init__(address, RequestHandler)
+        self.pool = SessionPool(
+            config=config, cache=cache, max_sessions=max_sessions
+        )
+        self.admission = AdmissionControl(jobs=jobs, max_queue=max_queue)
+        self.metrics = ServerMetrics()
+        self.default_deadline_ms = deadline_ms
+
+    def effective_deadline_ms(self, requested):
+        """The stricter of the server default and the request's ask."""
+        bounds = [
+            ms for ms in (self.default_deadline_ms, requested) if ms is not None
+        ]
+        return min(bounds) if bounds else None
+
+    def gauges(self):
+        inflight, queued = self.admission.occupancy()
+        gauges = dict(self.pool.stats())
+        gauges["inflight_requests"] = inflight
+        gauges["queued_requests"] = queued
+        return gauges
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self):
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._count("healthz_requests")
+            return self._handle(self._healthz)
+        if path == "/metrics":
+            self._count("metrics_requests")
+            return self._handle(self._metrics)
+        if path in ("/analyze", "/diff"):
+            return self._method_not_allowed("POST")
+        return self._not_found()
+
+    def do_POST(self):
+        path = urlparse(self.path).path
+        if path == "/analyze":
+            self._count("analyze_requests")
+            return self._handle(self._analyze, timed="analyze")
+        if path == "/diff":
+            self._count("diff_requests")
+            return self._handle(self._diff, timed="diff")
+        if path in ("/healthz", "/metrics"):
+            return self._method_not_allowed("GET")
+        return self._not_found()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _analyze(self):
+        payload = self._read_json()
+        program = self._parse_program(payload)
+        specs = self._parse_regions(program, payload.get("region"))
+        deadline_ms = self.server.effective_deadline_ms(
+            self._optional_int(payload, "deadline_ms")
+        )
+        deadline = Deadline.after_ms(deadline_ms)
+        with self.server.admission.slot():
+            result, info = self.server.pool.analyze(
+                program, specs=specs, deadline=deadline
+            )
+        degraded = bool(deadline is not None and deadline.was_exceeded)
+        self._record_analysis(result, info, degraded)
+        return self._json_response(
+            200,
+            {
+                "ok": True,
+                "warm": info["warm"],
+                "degraded": degraded,
+                "program_digest": info["program_digest"],
+                "scan": result.as_dict(),
+            },
+        )
+
+    def _diff(self):
+        payload = self._read_json()
+        before = self._parse_program(payload, key="before")
+        after = self._parse_program(payload, key="after")
+        deadline_ms = self.server.effective_deadline_ms(
+            self._optional_int(payload, "deadline_ms")
+        )
+        with self.server.admission.slot():
+            before_result, before_info = self.server.pool.analyze(
+                before, deadline=Deadline.after_ms(deadline_ms)
+            )
+            after_deadline = Deadline.after_ms(deadline_ms)
+            after_result, after_info = self.server.pool.analyze(
+                after, deadline=after_deadline
+            )
+        for result, info in (
+            (before_result, before_info),
+            (after_result, after_info),
+        ):
+            self._record_analysis(result, info, False)
+        delta = diff_analyses(before_result, after_result)
+        return self._json_response(
+            200,
+            {
+                "ok": True,
+                "diff": delta.as_dict(),
+                "before": {
+                    "program_digest": before_info["program_digest"],
+                    "warm": before_info["warm"],
+                },
+                "after": {
+                    "program_digest": after_info["program_digest"],
+                    "warm": after_info["warm"],
+                },
+            },
+        )
+
+    def _healthz(self):
+        inflight, queued = self.server.admission.occupancy()
+        return self._json_response(
+            200,
+            {
+                "ok": True,
+                "status": "ok",
+                "inflight": inflight,
+                "queued": queued,
+                "pool": self.server.pool.stats(),
+            },
+        )
+
+    def _metrics(self):
+        query = parse_qs(urlparse(self.path).query)
+        wants_text = query.get("format", [""])[0] == "prometheus" or (
+            "text/plain" in self.headers.get("Accept", "")
+        )
+        gauges = self.server.gauges()
+        if wants_text:
+            body = self.server.metrics.prometheus_text(gauges).encode("utf-8")
+            return (200, body, "text/plain; version=0.0.4", None)
+        return self._json_response(200, self.server.metrics.as_dict(gauges))
+
+    # -- request decoding ----------------------------------------------------
+
+    def _read_json(self):
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise BadRequest("Content-Length required")
+        try:
+            raw = self.rfile.read(int(length))
+        except ValueError:
+            raise BadRequest("malformed Content-Length")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest("request body is not valid JSON: %s" % exc)
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def _parse_program(self, payload, key="program"):
+        source = payload.get(key)
+        if not isinstance(source, str) or not source.strip():
+            raise BadRequest('"%s" must be a non-empty source string' % key)
+        if payload.get("javalib"):
+            source = JAVALIB_SOURCE + "\n" + source
+        return parse_program(source)  # ReproError -> 422
+
+    def _parse_regions(self, program, region):
+        if region is None:
+            return None
+        if isinstance(region, str):
+            region = [region]
+        if not isinstance(region, list) or not all(
+            isinstance(text, str) for text in region
+        ):
+            raise BadRequest(
+                '"region" must be a spec string or a list of spec strings'
+            )
+        return [resolve_region(program, text) for text in region]
+
+    @staticmethod
+    def _optional_int(payload, key):
+        value = payload.get(key)
+        if value is None:
+            return None
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise BadRequest('"%s" must be a non-negative integer' % key)
+        return value
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _record_analysis(self, result, info, degraded):
+        metrics = self.server.metrics
+        metrics.count("warm_hits" if info["warm"] else "cold_misses")
+        profile = result.aggregate_stats().counters
+        metrics.count_many(
+            {
+                "incremental_served": info["counters"].get(
+                    "incremental_served", 0
+                ),
+                "incremental_rechecked": info["counters"].get(
+                    "incremental_rechecked", 0
+                ),
+                "incremental_fast_path": info["counters"].get(
+                    "incremental_fast_path", 0
+                ),
+                "incremental_full_fallback": info["counters"].get(
+                    "incremental_full_fallback", 0
+                ),
+                "deadline_expiries": profile.get("deadline_expiries", 0),
+                "budget_exhaustions": profile.get("budget_exhaustions", 0),
+                "degraded_responses": int(degraded),
+            }
+        )
+
+    def _count(self, name):
+        self.server.metrics.count("requests_total")
+        self.server.metrics.count(name)
+
+    # -- response plumbing ---------------------------------------------------
+
+    def _handle(self, endpoint, timed=None):
+        """Run an endpoint, record all metrics, then send the response.
+
+        Sending comes strictly last: a client that reads its answer and
+        immediately queries ``/metrics`` on another connection must see
+        this request's counters and latency already folded in.
+        """
+        started = time.perf_counter()
+        try:
+            response = endpoint()
+            self.server.metrics.count("responses_ok")
+        except QueueFull as exc:
+            self.server.metrics.count("queue_rejections")
+            response = self._json_response(
+                429,
+                {"ok": False, "error": str(exc), "kind": "queue_full"},
+                headers={"Retry-After": str(self._retry_after(exc.depth))},
+            )
+        except BadRequest as exc:
+            self.server.metrics.count("client_errors")
+            response = self._json_response(
+                400, {"ok": False, "error": str(exc), "kind": "bad_request"}
+            )
+        except ReproError as exc:
+            self.server.metrics.count("client_errors")
+            self.server.metrics.count("analysis_errors")
+            response = self._json_response(
+                422, {"ok": False, "error": str(exc), "kind": "analysis"}
+            )
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            self.server.metrics.count("server_errors")
+            response = self._json_response(
+                500, {"ok": False, "error": str(exc), "kind": "internal"}
+            )
+        if timed is not None:
+            self.server.metrics.observe_latency(
+                timed, time.perf_counter() - started
+            )
+        self._send(*response)
+
+    def _retry_after(self, depth):
+        """Seconds a 429'd client should back off: the mean analyze
+        latency times the line length in front of it, at least 1."""
+        mean = self.server.metrics.mean_latency("analyze")
+        return max(1, int(math.ceil(mean * (depth + 1))))
+
+    def _method_not_allowed(self, allowed):
+        self.server.metrics.count("requests_total")
+        self.server.metrics.count("client_errors")
+        self._send(
+            *self._json_response(
+                405,
+                {"ok": False, "error": "method not allowed", "kind": "method"},
+                headers={"Allow": allowed},
+            )
+        )
+
+    def _not_found(self):
+        self.server.metrics.count("requests_total")
+        self.server.metrics.count("client_errors")
+        self._send(
+            *self._json_response(
+                404,
+                {"ok": False, "error": "unknown path", "kind": "not_found"},
+            )
+        )
+
+    @staticmethod
+    def _json_response(status, payload, headers=None):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return status, body, "application/json", headers
+
+    def _send(self, status, body, content_type, headers=None):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the metrics endpoint's job
+
+
+def create_server(
+    host="127.0.0.1",
+    port=0,
+    *,
+    config=None,
+    jobs=1,
+    max_queue=8,
+    deadline_ms=None,
+    cache=None,
+    max_sessions=8,
+):
+    """Build a ready-to-serve :class:`AnalysisServer`.
+
+    ``port=0`` binds an ephemeral port (tests); read the actual one
+    from ``server.server_address[1]``.
+    """
+    return AnalysisServer(
+        (host, port),
+        config=config,
+        jobs=jobs,
+        max_queue=max_queue,
+        deadline_ms=deadline_ms,
+        cache=cache,
+        max_sessions=max_sessions,
+    )
+
+
+def run_server(server):
+    """Serve until interrupted; returns cleanly on Ctrl-C."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

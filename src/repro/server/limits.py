@@ -1,0 +1,91 @@
+"""Request admission for the analysis service: bounded work, bounded wait.
+
+Two independent limits keep the daemon responsive under load:
+
+* a **concurrency cap** (``jobs``) — at most that many requests run
+  analysis at once; the rest wait their turn on a condition variable;
+* a **bounded queue** (``max_queue``) — at most that many requests may
+  be waiting; one more is refused immediately with :class:`QueueFull`,
+  which the HTTP layer translates into ``429 Too Many Requests`` plus a
+  ``Retry-After`` hint.  Refusing early (backpressure) beats queueing
+  without bound: a client that retries later costs nothing, a thousand
+  queued sockets cost the process.
+
+Deadlines compose with admission: time spent waiting for a slot counts
+against the request's :class:`~repro.pta.queries.Deadline`, so a request
+that finally runs after a long wait degrades to the fast fallback
+answer instead of making the queue behind it even longer.
+"""
+
+import threading
+from contextlib import contextmanager
+
+from repro.pta.queries import Deadline
+
+__all__ = ["AdmissionControl", "Deadline", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded request queue is at capacity; retry later.
+
+    ``depth`` is the queue occupancy observed at rejection time —
+    the HTTP layer scales its ``Retry-After`` hint by it.
+    """
+
+    def __init__(self, depth):
+        self.depth = depth
+        super().__init__("request queue full (%d waiting)" % depth)
+
+
+class AdmissionControl:
+    """Counting admission: ``jobs`` concurrent slots, ``max_queue`` waiters.
+
+    Thread-safe; the HTTP layer calls :meth:`slot` from one handler
+    thread per connection.
+    """
+
+    def __init__(self, jobs=1, max_queue=8):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1 (got %d)" % jobs)
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0 (got %d)" % max_queue)
+        self.jobs = jobs
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._queued = 0
+        #: lifetime counters (scraped into the /metrics snapshot)
+        self.admitted = 0
+        self.rejected = 0
+
+    @contextmanager
+    def slot(self):
+        """Hold one execution slot for the duration of the block.
+
+        Blocks while ``jobs`` requests are already running, up to
+        ``max_queue`` waiters; raises :class:`QueueFull` beyond that.
+        """
+        with self._cond:
+            if self._inflight >= self.jobs:
+                if self._queued >= self.max_queue:
+                    self.rejected += 1
+                    raise QueueFull(self._queued)
+                self._queued += 1
+                try:
+                    while self._inflight >= self.jobs:
+                        self._cond.wait()
+                finally:
+                    self._queued -= 1
+            self._inflight += 1
+            self.admitted += 1
+        try:
+            yield self
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                self._cond.notify()
+
+    def occupancy(self):
+        """``(inflight, queued)`` right now (racy, informational)."""
+        with self._cond:
+            return self._inflight, self._queued

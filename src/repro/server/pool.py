@@ -1,0 +1,154 @@
+"""The session pool: warm analysis state keyed by program digest.
+
+The daemon's whole value proposition is that the *second* request for a
+program is cheap.  :class:`SessionPool` makes that true by keeping, per
+distinct program (identified by
+:func:`~repro.core.cache.digest.program_digest`), the snapshot a full
+scan produces (:mod:`~repro.core.incremental.snapshot`).  A repeat
+request with an identical digest goes through
+:func:`~repro.core.incremental.engine.changed_scan`, where zero dirty
+methods means the **fast path**: every region is decoded from the
+snapshot and *no session, call graph or points-to substrate is built at
+all*.  The response's profile carries the proof —
+``incremental_fast_path: 1``, ``incremental_served: N``,
+``incremental_rechecked: 0`` — which the smoke tests assert.
+
+Policy decisions, deliberately boring:
+
+* snapshots are stored only for **full** scans (no explicit region
+  list); region-limited requests are *served against* a stored snapshot
+  but never overwrite it, so a narrow request cannot degrade a later
+  broad one;
+* entries evict LRU once ``max_sessions`` distinct programs have been
+  seen — a snapshot is all-we-need state, so eviction costs one cold
+  scan, nothing more;
+* a per-entry lock serializes same-digest requests (two concurrent
+  cold scans of the same program would just waste CPU); distinct
+  digests proceed in parallel under the admission layer's ``jobs`` cap.
+
+An optional :class:`~repro.core.cache.store.ArtifactCache` additionally
+persists program-level artifacts across daemon restarts.
+"""
+
+import threading
+from collections import OrderedDict
+
+from repro.core.cache.digest import program_digest
+from repro.core.incremental.engine import changed_scan
+from repro.core.incremental.snapshot import snapshot_scan
+from repro.core.pipeline.session import AnalysisSession
+from repro.core.scan import scan_all_loops
+
+
+class PoolEntry:
+    """One pooled program: its snapshot and the lock that guards it."""
+
+    __slots__ = ("digest", "snapshot", "lock", "hits", "misses")
+
+    def __init__(self, digest):
+        self.digest = digest
+        self.snapshot = None
+        self.lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+
+class SessionPool:
+    """Digest-keyed warm analysis state; thread-safe; LRU-bounded."""
+
+    def __init__(self, config=None, cache=None, max_sessions=8):
+        from repro.core.config import DetectorConfig
+
+        if max_sessions < 1:
+            raise ValueError(
+                "max_sessions must be >= 1 (got %d)" % max_sessions
+            )
+        self.config = config or DetectorConfig()
+        self.cache = cache
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self.evicted = 0
+
+    def analyze(self, program, specs=None, deadline=None):
+        """Scan ``program``, warm when its digest has been seen before.
+
+        Returns ``(ScanResult, info)`` where ``info`` is a plain dict:
+        ``{"program_digest", "warm", "counters"}`` — ``counters`` being
+        the :class:`~repro.core.incremental.engine.IncrementalOutcome`
+        counters on the warm path, empty on the cold path.
+        """
+        digest = program_digest(program)
+        entry = self._entry_for(digest)
+        with entry.lock:
+            if entry.snapshot is not None:
+                # Identical digest guarantees zero dirty methods: the
+                # engine serves everything from the snapshot without
+                # building analysis state (its fast path).  A spec not
+                # covered by the stored scan is re-checked lazily.
+                result, outcome = changed_scan(
+                    program,
+                    entry.snapshot,
+                    config=self.config,
+                    specs=specs,
+                    cache=self.cache,
+                    deadline=deadline,
+                )
+                entry.hits += 1
+                return result, {
+                    "program_digest": digest,
+                    "warm": True,
+                    "counters": outcome.counters(),
+                }
+            session = AnalysisSession(program, self.config, cache=self.cache)
+            result = scan_all_loops(
+                program, session=session, specs=specs, deadline=deadline
+            )
+            if specs is None:
+                entry.snapshot = snapshot_scan(
+                    program, self.config, result, session=session
+                )
+            entry.misses += 1
+            return result, {
+                "program_digest": digest,
+                "warm": False,
+                "counters": {},
+            }
+
+    def snapshot_for(self, digest):
+        """The stored snapshot for a digest, or ``None`` (used by
+        ``POST /diff`` to compare against the pooled baseline)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+        return entry.snapshot if entry is not None else None
+
+    def _entry_for(self, digest):
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is not None:
+                self._entries.move_to_end(digest)
+                return entry
+            entry = self._entries[digest] = PoolEntry(digest)
+            while len(self._entries) > self.max_sessions:
+                self._entries.popitem(last=False)
+                self.evicted += 1
+            return entry
+
+    def stats(self):
+        """Gauge-ready occupancy numbers for ``/metrics``."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return {
+            "pool_sessions": len(entries),
+            "pool_warm": sum(1 for e in entries if e.snapshot is not None),
+            "pool_hits": sum(e.hits for e in entries),
+            "pool_misses": sum(e.misses for e in entries),
+            "pool_evicted": self.evicted,
+        }
+
+    def __repr__(self):
+        with self._lock:
+            return "SessionPool(%d/%d programs)" % (
+                len(self._entries),
+                self.max_sessions,
+            )

@@ -1,0 +1,130 @@
+"""Service smoke check: ``python -m repro.server.smoke``.
+
+Boots a real ``repro serve`` subprocess on an ephemeral port, then runs
+the request loop the daemon exists for:
+
+* a cold ``POST /analyze`` of the largest Table 1 subject,
+* a loop of warm repeats, each of which must be answered from the
+  session pool (``warm: true``, ``incremental_fast_path`` set, nothing
+  re-checked) with findings identical to the cold response,
+* a ``GET /metrics`` cross-check of the warm/cold counters,
+
+and asserts that the median warm latency is strictly below the cold
+latency.  Exits nonzero on the first violation.  The CI ``serve-smoke``
+job runs this (``make serve-smoke``); it is also the quickest local
+end-to-end check after touching :mod:`repro.server`.
+"""
+
+import json
+import subprocess
+import sys
+import time
+import urllib.request
+
+from repro.bench.apps import build_app
+
+SUBJECT = "mysql-connector-j"
+WARM_REQUESTS = 5
+
+
+def _start_server():
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    banner = process.stdout.readline().strip()
+    # "serving on http://127.0.0.1:PORT (...)"
+    try:
+        port = int(banner.split("://", 1)[1].split(" ", 1)[0].split(":")[1])
+    except (IndexError, ValueError):
+        process.kill()
+        raise SystemExit("cannot parse serve banner: %r" % banner)
+    return process, port
+
+
+def _post(port, path, payload):
+    request = urllib.request.Request(
+        "http://127.0.0.1:%d%s" % (port, path),
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        body = json.loads(response.read())
+    return time.perf_counter() - started, body
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        "http://127.0.0.1:%d%s" % (port, path), timeout=30
+    ) as response:
+        return json.loads(response.read())
+
+
+def main():
+    source = build_app(SUBJECT).source
+    process, port = _start_server()
+    problems = []
+    try:
+        cold_seconds, cold = _post(port, "/analyze", {"program": source})
+        if cold.get("warm") is not False:
+            problems.append("first request was not cold: %r" % cold.get("warm"))
+
+        warm_seconds = []
+        for i in range(WARM_REQUESTS):
+            seconds, warm = _post(port, "/analyze", {"program": source})
+            warm_seconds.append(seconds)
+            counters = warm["scan"]["profile"]["counters"]
+            if warm.get("warm") is not True:
+                problems.append("repeat %d was not warm" % i)
+            if counters.get("incremental_fast_path") != 1:
+                problems.append(
+                    "repeat %d missed the fast path: %r" % (i, counters)
+                )
+            if counters.get("incremental_rechecked", 0) != 0:
+                problems.append("repeat %d re-checked regions" % i)
+            if warm["scan"]["leaking_sites"] != cold["scan"]["leaking_sites"]:
+                problems.append("warm findings diverge from cold")
+
+        median_warm = sorted(warm_seconds)[len(warm_seconds) // 2]
+        if median_warm >= cold_seconds:
+            problems.append(
+                "warm not faster than cold: median warm %.4fs >= cold %.4fs"
+                % (median_warm, cold_seconds)
+            )
+
+        metrics = _get(port, "/metrics")["counters"]
+        if metrics.get("cold_misses") != 1:
+            problems.append("expected 1 cold miss, got %r" % metrics)
+        if metrics.get("warm_hits") != WARM_REQUESTS:
+            problems.append(
+                "expected %d warm hits, got %r" % (WARM_REQUESTS, metrics)
+            )
+
+        print(
+            "serve smoke: cold %.4fs, warm median %.4fs over %d requests "
+            "(speedup %.1fx), sites %s"
+            % (
+                cold_seconds,
+                median_warm,
+                WARM_REQUESTS,
+                cold_seconds / median_warm if median_warm else float("inf"),
+                cold["scan"]["leaking_sites"],
+            )
+        )
+        for problem in problems:
+            print("FAIL %s" % problem)
+        return 1 if problems else 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

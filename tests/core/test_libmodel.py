@@ -90,6 +90,63 @@ class TestVisibility:
             assert load_counts_as_flow_in(prog, pag, edge)
 
 
+_RETURN_CHAIN = """
+entry Main.main;
+class Main {
+  static method main() {
+    b = new Box @box;
+    loop L (*) {
+      x = new Item @item;
+      call b.stash(x) @do_stash;
+      y = call b.fetchOuter() @do_fetch;
+    }
+  }
+}
+library class Box {
+  field slot;
+  method stash(v) {
+    this.slot = v;
+    return;
+  }
+  method fetchOuter() {
+    r = call this.fetchInner() @inner;
+    return r;
+  }
+  method fetchInner() {
+    v = this.slot;
+    return v;
+  }
+}
+class Item { }
+"""
+
+
+class TestReturnChainVisibility:
+    """Pin that a library load whose value reaches the application only
+    through a call-return assign chain (fetchInner -> fetchOuter ->
+    caller) is visible — the seeding rewrite must keep propagating
+    backwards across return edges."""
+
+    def test_inner_load_visible_through_return_chain(self):
+        prog = parse_program(_RETURN_CHAIN)
+        pag = PAG(prog, build_rta(prog))
+        visible = library_visible_values(prog, pag)
+        inner_loads = [
+            e
+            for e in pag.load_edges
+            if e.target.method_sig == "Box.fetchInner"
+        ]
+        assert inner_loads
+        for edge in inner_loads:
+            assert edge.target in visible
+            assert load_counts_as_flow_in(prog, pag, edge, visible)
+
+    def test_retrieval_through_chain_cancels_the_leak(self):
+        prog = parse_program(_RETURN_CHAIN)
+        report = LeakChecker(prog).check(LoopSpec("Main.main", "L"))
+        assert report.findings == []
+
+
 class TestDetectorIntegration:
     def test_put_only_is_a_leak(self):
         """Objects put into a HashMap and never retrieved leak, even

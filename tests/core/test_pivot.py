@@ -1,6 +1,10 @@
 """Tests for pivot mode."""
 
-from repro.core.pivot import apply_pivot, containment_edges
+from repro.core.pivot import (
+    apply_pivot,
+    containment_edges,
+    strongly_connected_components,
+)
 
 
 class TestApplyPivot:
@@ -30,11 +34,54 @@ class TestApplyPivot:
         kept = apply_pivot(["a"], [("a", "x")])
         assert kept == ["a"]
 
-    def test_cycle_suppresses_both(self):
-        """Mutually contained leaking sites dominate each other; pivot
-        keeps neither — degenerate but must terminate."""
+    def test_two_site_cycle_keeps_one_representative(self):
+        """Regression: mutually contained leaking sites (doubly-linked
+        structures) must not suppress each other into an empty report —
+        the cycle collapses to one deterministic representative, the
+        smallest site label."""
         kept = apply_pivot(["a", "b"], [("a", "b"), ("b", "a")])
-        assert kept == []
+        assert kept == ["a"]
+        # Input order does not change the representative.
+        assert apply_pivot(["b", "a"], [("a", "b"), ("b", "a")]) == ["a"]
+
+    def test_cycle_dominated_by_outside_leak_still_folds(self):
+        """A leaking cycle that flows into a leaking site *outside* the
+        cycle is dominated as a whole: only the outer root is kept."""
+        kept = apply_pivot(
+            ["a", "b", "root"],
+            [("a", "b"), ("b", "a"), ("b", "root")],
+        )
+        assert kept == ["root"]
+
+    def test_cycle_through_unreported_intermediate(self):
+        """The collapse also applies when the back edge runs through a
+        node that is not itself a reported leak (library entries)."""
+        kept = apply_pivot(
+            ["a", "b"],
+            [("a", "b"), ("b", "entry"), ("entry", "a")],
+        )
+        assert kept == ["a"]
+
+    def test_three_cycle_keeps_smallest(self):
+        kept = apply_pivot(
+            ["c", "b", "a"],
+            [("a", "b"), ("b", "c"), ("c", "a")],
+        )
+        assert kept == ["a"]
+
+    def test_two_independent_cycles_keep_one_each(self):
+        kept = apply_pivot(
+            ["a", "b", "x", "y"],
+            [("a", "b"), ("b", "a"), ("x", "y"), ("y", "x")],
+        )
+        assert kept == ["a", "x"]
+
+    def test_never_empty_when_leaking_nonempty(self):
+        # Dense mutual containment: everything reaches everything.
+        sites = ["s%d" % i for i in range(6)]
+        pairs = [(a, b) for a in sites for b in sites if a != b]
+        kept = apply_pivot(sites, pairs)
+        assert kept == ["s0"]
 
     def test_self_edge_does_not_suppress(self):
         kept = apply_pivot(["a"], [("a", "a")])
@@ -43,3 +90,75 @@ class TestApplyPivot:
     def test_edges_helper(self):
         edges = containment_edges([("a", "b"), ("a", "c")])
         assert edges == {"a": {"b", "c"}}
+
+
+class TestSCC:
+    def test_chain_is_singletons(self):
+        comp = strongly_connected_components({"a": {"b"}, "b": {"c"}})
+        assert len({comp["a"], comp["b"], comp["c"]}) == 3
+
+    def test_cycle_is_one_component(self):
+        comp = strongly_connected_components({"a": {"b"}, "b": {"a"}})
+        assert comp["a"] == comp["b"]
+
+    def test_isolated_nodes_included(self):
+        comp = strongly_connected_components({}, nodes={"x", "y"})
+        assert comp["x"] != comp["y"]
+
+    def test_nested_cycles(self):
+        edges = {"a": {"b"}, "b": {"c", "a"}, "c": {"d"}, "d": {"c"}}
+        comp = strongly_connected_components(edges)
+        assert comp["a"] == comp["b"]
+        assert comp["c"] == comp["d"]
+        assert comp["a"] != comp["c"]
+
+    def test_long_chain_no_recursion_limit(self):
+        edges = {i: {i + 1} for i in range(5000)}
+        comp = strongly_connected_components(edges)
+        assert len(set(comp.values())) == 5001
+
+
+#: Two leaking sites that mutually contain each other (a doubly-linked
+#: pair escaping into a long-lived holder) — the structure that used to
+#: vanish from pivot-mode reports entirely.
+CYCLE_PROGRAM = """
+entry Main.main;
+class Main {
+  static method main() {
+    h = new Holder @holder;
+    loop L (*) {
+      a = new Node @a;
+      b = new Node @b;
+      a.next = b;
+      b.prev = a;
+      h.slot = a;
+    }
+  }
+}
+class Holder { field slot; }
+class Node { field next; field prev; }
+"""
+
+
+class TestDetectorCycleRegression:
+    def test_cycle_reported_once_under_pivot(self):
+        from repro.core.detector import LeakChecker
+        from repro.core.regions import RegionSpec
+
+        from repro.lang import parse_program
+
+        program = parse_program(CYCLE_PROGRAM)
+        report = LeakChecker(program).check(RegionSpec.parse("Main.main:L"))
+        assert report.leaking_site_labels == ["a"]
+
+    def test_cycle_fully_reported_without_pivot(self):
+        from repro.core.detector import DetectorConfig, LeakChecker
+        from repro.core.regions import RegionSpec
+
+        from repro.lang import parse_program
+
+        program = parse_program(CYCLE_PROGRAM)
+        report = LeakChecker(program, DetectorConfig(pivot=False)).check(
+            RegionSpec.parse("Main.main:L")
+        )
+        assert report.leaking_site_labels == ["a", "b"]

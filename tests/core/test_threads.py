@@ -74,6 +74,58 @@ class TestStartedThreadSites:
         assert started_thread_sites(prog, graph, PointsTo(prog, graph)) == set()
 
 
+class TestBudgetExhaustedReceivers:
+    """Regression: receiver resolution must stay sound under tight
+    demand-driven budgets — a dropped ``start`` receiver silently
+    untags the thread and hides the leak it keeps alive."""
+
+    def test_zero_budget_facade_still_tags(self):
+        prog = _program(_THREAD_LEAK)
+        graph = build_rta(prog)
+        pt = PointsTo(prog, graph, demand_driven=True, budget=0)
+        assert started_thread_sites(prog, graph, pt) == {"worker"}
+        assert pt.totals.get("budget_exhaustions", 0) >= 1
+
+    def test_raw_refined_only_solver_still_tags(self):
+        from repro.pta.cfl import CFLPointsTo
+        from repro.pta.pag import PAG
+
+        prog = _program(_THREAD_LEAK)
+        graph = build_rta(prog)
+        solver = CFLPointsTo(PAG(prog, graph), budget=0)
+        assert started_thread_sites(prog, graph, solver) == {"worker"}
+
+    def test_empty_refined_answer_widened_to_andersen(self):
+        """A demand-driven traversal that returns empty (over-pruned or
+        exhausted without raising) is re-answered from the sound
+        whole-program result and counted as a budget exhaustion."""
+        prog = _program(_THREAD_LEAK)
+        graph = build_rta(prog)
+        pt = PointsTo(prog, graph, demand_driven=True)
+
+        class _EmptySolver:
+            _fallback = None
+
+            def is_memoized(self, node):
+                return False
+
+            def points_to_refined(self, node):
+                return frozenset()
+
+        pt._cfl = _EmptySolver()
+        assert started_thread_sites(prog, graph, pt) == {"worker"}
+        assert pt.totals.get("budget_exhaustions", 0) >= 1
+        assert pt.totals.get("andersen_fallbacks", 0) >= 1
+
+    def test_tight_budget_detector_still_reports(self):
+        prog = _program(_THREAD_LEAK)
+        config = DetectorConfig(
+            model_threads=True, demand_driven=True, budget=0
+        )
+        report = LeakChecker(prog, config).check(LoopSpec("Main.main", "L"))
+        assert report.leaking_site_labels == ["item"]
+
+
 class TestDetectorIntegration:
     def test_without_modeling_thread_escape_invisible(self):
         """The thread is created inside the loop, so stores into it look

@@ -1,0 +1,97 @@
+"""Differential properties of pivot filtering (Section 5's pivot mode).
+
+The production :func:`~repro.core.pivot.apply_pivot` collapses the
+containment graph to SCCs before judging domination.  Here it is checked
+against a brute-force oracle (quadratic transitive reachability, no
+explicit SCC machinery) over random containment graphs that are biased
+to contain cycles — the exact shape that used to make the filter drop
+every member of a mutual-containment cycle and report nothing.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pivot import apply_pivot
+
+_LABELS = "abcdefgh"
+
+
+def _reachable_from(edges, start):
+    seen = set()
+    work = [start]
+    while work:
+        node = work.pop()
+        for nxt in edges.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                work.append(nxt)
+    return seen
+
+
+def _oracle(leaking_sites, pairs):
+    """Spec-by-brute-force: keep a site iff it is the smallest leaking
+    label of its mutual-reachability class and reaches no leaking site
+    outside that class."""
+    edges = {}
+    for src, base in pairs:
+        edges.setdefault(src, set()).add(base)
+    reach = {site: _reachable_from(edges, site) for site in leaking_sites}
+
+    def same_cycle(a, b):
+        return a == b or (b in reach[a] and a in reach[b])
+
+    kept = []
+    for site in leaking_sites:
+        cycle = [other for other in leaking_sites if same_cycle(site, other)]
+        if site != min(cycle):
+            continue
+        if any(
+            other in reach[site] and not same_cycle(site, other)
+            for other in leaking_sites
+        ):
+            continue
+        kept.append(site)
+    return kept
+
+
+_labels = st.sampled_from(_LABELS)
+_random_pairs = st.lists(st.tuples(_labels, _labels), max_size=24)
+
+
+def _ring(members):
+    ordered = sorted(members)
+    return [
+        (ordered[i], ordered[(i + 1) % len(ordered)])
+        for i in range(len(ordered))
+    ]
+
+
+#: Random containment pairs plus an explicit ring, so every run
+#: exercises at least one genuine containment cycle.
+_cyclic_pairs = st.builds(
+    lambda base, ring_members: base + _ring(ring_members),
+    _random_pairs,
+    st.sets(_labels, min_size=2, max_size=6),
+)
+
+_sites = st.lists(_labels, unique=True, min_size=1, max_size=len(_LABELS))
+
+
+class TestPivotDifferential:
+    @given(sites=_sites, pairs=_cyclic_pairs)
+    def test_matches_bruteforce_oracle(self, sites, pairs):
+        assert apply_pivot(sites, pairs) == _oracle(sites, pairs)
+
+    @given(sites=_sites, pairs=_cyclic_pairs)
+    def test_never_superset_never_empty(self, sites, pairs):
+        kept = apply_pivot(sites, pairs)
+        assert set(kept) <= set(sites)
+        assert kept, "pivot must never erase a non-empty report"
+        # Input order preserved, no duplicates introduced.
+        kept_set = set(kept)
+        assert kept == [site for site in sites if site in kept_set]
+
+    @given(sites=_sites, pairs=_random_pairs)
+    def test_acyclic_free_graphs_too(self, sites, pairs):
+        """The oracle agreement is not cycle-specific."""
+        assert apply_pivot(sites, pairs) == _oracle(sites, pairs)

@@ -2,7 +2,7 @@
 
 from repro.callgraph.rta import build_rta
 from repro.lang import parse_program
-from repro.pta.queries import PointsTo, build_points_to
+from repro.pta.queries import Deadline, PointsTo, build_points_to
 
 _SOURCE = """
 entry M.main;
@@ -51,3 +51,54 @@ class TestFacade:
         prog = parse_program(_SOURCE)
         pt = build_points_to(prog, build_rta(prog), demand_driven=True, budget=10)
         assert set(pt.pts("M.main", "h")) == {"hs"}
+
+
+class TestDeadline:
+    def test_after_ms_none_is_none(self):
+        assert Deadline.after_ms(None) is None
+
+    def test_generous_deadline_does_not_expire(self):
+        deadline = Deadline.after_ms(60_000)
+        assert not deadline.expired()
+        assert not deadline.was_exceeded
+        assert deadline.remaining() > 0
+
+    def test_expired_deadline_records_exceeded(self):
+        deadline = Deadline.after_ms(0)
+        assert deadline.expired()
+        assert deadline.was_exceeded
+        assert deadline.remaining() == 0.0
+
+    def test_expired_deadline_degrades_to_andersen(self):
+        """Past the deadline, fresh demand-driven traversals are skipped
+        and queries answer from the fallback — still sound, counted as
+        deadline_expiries, and the answer is unchanged here."""
+        pt = _pt(True)
+        with pt.deadline_scope(Deadline.after_ms(0)):
+            assert set(pt.pts("M.main", "w")) == {"vs"}
+        assert pt.totals.get("deadline_expiries") == 1
+        assert pt.totals.get("andersen_fallbacks") == 1
+        assert "cfl_queries" not in pt.totals
+
+    def test_deadline_scope_restores(self):
+        pt = _pt(True)
+        deadline = Deadline.after_ms(0)
+        with pt.deadline_scope(deadline):
+            pt.pts("M.main", "w")
+        assert pt.deadline is None
+        # Outside the scope, refinement resumes.
+        pt.pts("M.main", "v")
+        assert pt.totals.get("cfl_queries") == 1
+
+    def test_memoized_answers_served_past_deadline(self):
+        pt = _pt(True)
+        assert set(pt.pts("M.main", "w")) == {"vs"}  # memoizes refined
+        with pt.deadline_scope(Deadline.after_ms(0)):
+            assert set(pt.pts("M.main", "w")) == {"vs"}
+        assert pt.totals.get("cfl_memo_hits") == 1
+        assert "deadline_expiries" not in pt.totals
+
+    def test_no_deadline_no_counters(self):
+        pt = _pt(True)
+        pt.pts("M.main", "w")
+        assert "deadline_expiries" not in pt.totals

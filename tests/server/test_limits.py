@@ -1,0 +1,106 @@
+"""Unit tests for the admission-control layer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.limits import AdmissionControl, QueueFull
+
+
+class TestValidation:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(jobs=0)
+
+    def test_max_queue_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(jobs=1, max_queue=-1)
+
+
+class TestSlot:
+    def test_serial_slots_all_admitted(self):
+        control = AdmissionControl(jobs=1, max_queue=0)
+        for _ in range(3):
+            with control.slot():
+                assert control.occupancy() == (1, 0)
+        assert control.admitted == 3
+        assert control.rejected == 0
+        assert control.occupancy() == (0, 0)
+
+    def test_queue_full_raises_with_depth(self):
+        control = AdmissionControl(jobs=1, max_queue=0)
+        release = threading.Event()
+        started = threading.Event()
+
+        def hold():
+            with control.slot():
+                started.set()
+                release.wait(timeout=5)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert started.wait(timeout=5)
+            with pytest.raises(QueueFull) as excinfo:
+                with control.slot():
+                    pass
+            assert excinfo.value.depth == 0
+            assert control.rejected == 1
+        finally:
+            release.set()
+            holder.join(timeout=5)
+
+    def test_waiter_admitted_when_slot_frees(self):
+        control = AdmissionControl(jobs=1, max_queue=1)
+        release = threading.Event()
+        started = threading.Event()
+        ran = []
+
+        def hold():
+            with control.slot():
+                started.set()
+                release.wait(timeout=5)
+
+        def wait_then_run():
+            with control.slot():
+                ran.append(True)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        assert started.wait(timeout=5)
+        waiter = threading.Thread(target=wait_then_run)
+        waiter.start()
+        deadline = time.monotonic() + 5
+        while control.occupancy() != (1, 1):
+            assert time.monotonic() < deadline, "waiter never queued"
+            time.sleep(0.01)
+        release.set()
+        holder.join(timeout=5)
+        waiter.join(timeout=5)
+        assert ran == [True]
+        assert control.admitted == 2
+        assert control.occupancy() == (0, 0)
+
+    def test_concurrency_never_exceeds_jobs(self):
+        control = AdmissionControl(jobs=2, max_queue=8)
+        peak = []
+        lock = threading.Lock()
+        active = [0]
+
+        def work():
+            with control.slot():
+                with lock:
+                    active[0] += 1
+                    peak.append(active[0])
+                time.sleep(0.01)
+                with lock:
+                    active[0] -= 1
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert max(peak) <= 2
+        assert control.admitted == 6

@@ -1,0 +1,91 @@
+"""Unit tests for the service metrics registry."""
+
+from repro.server.metrics import BASE_COUNTERS, ServerMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_and_tail(self):
+        values = list(range(1, 102))  # 1..101, odd count: exact median
+        assert percentile(values, 0.50) == 51
+        assert percentile(values, 0.95) == 96  # index round(0.95*100) = 95
+        assert percentile(values, 1.0) == 101
+        assert percentile(values, 0.0) == 1
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestCounters:
+    def test_base_counters_present_from_the_start(self):
+        snapshot = ServerMetrics().as_dict()
+        for name in BASE_COUNTERS:
+            assert snapshot["counters"][name] == 0
+
+    def test_count_and_count_many(self):
+        metrics = ServerMetrics()
+        metrics.count("requests_total")
+        metrics.count("requests_total", 2)
+        metrics.count_many({"warm_hits": 3, "cold_misses": 0})
+        snapshot = metrics.as_dict()["counters"]
+        assert snapshot["requests_total"] == 3
+        assert snapshot["warm_hits"] == 3
+        assert snapshot["cold_misses"] == 0
+
+
+class TestLatency:
+    def test_summary_counts_and_quantiles(self):
+        metrics = ServerMetrics()
+        for ms in (10, 20, 30, 40):
+            metrics.observe_latency("analyze", ms / 1000.0)
+        summary = metrics.latency_summary("analyze")
+        assert summary["count"] == 4
+        assert abs(summary["seconds_total"] - 0.1) < 1e-9
+        assert 0.01 <= summary["p50"] <= 0.04
+        assert summary["p95"] >= summary["p50"]
+
+    def test_window_bounds_memory_but_not_count(self):
+        metrics = ServerMetrics(window=4)
+        for i in range(100):
+            metrics.observe_latency("analyze", 0.001 * (i + 1))
+        summary = metrics.latency_summary("analyze")
+        assert summary["count"] == 100
+        # Quantiles come from the recent window only.
+        assert summary["p50"] >= 0.096
+
+    def test_mean_latency(self):
+        metrics = ServerMetrics()
+        assert metrics.mean_latency("analyze") == 0.0
+        metrics.observe_latency("analyze", 0.2)
+        metrics.observe_latency("analyze", 0.4)
+        assert abs(metrics.mean_latency("analyze") - 0.3) < 1e-9
+
+
+class TestPrometheus:
+    def test_counters_and_gauges_rendered(self):
+        metrics = ServerMetrics()
+        metrics.count("requests_total", 5)
+        metrics.observe_latency("analyze", 0.05)
+        text = metrics.prometheus_text({"pool_sessions": 2})
+        assert "# TYPE leakchecker_requests_total counter" in text
+        assert "leakchecker_requests_total 5" in text
+        assert "# TYPE leakchecker_pool_sessions gauge" in text
+        assert "leakchecker_pool_sessions 2" in text
+        assert (
+            'leakchecker_request_latency_seconds{endpoint="analyze",quantile="0.5"}'
+            in text
+        )
+        assert 'leakchecker_request_latency_seconds_count{endpoint="analyze"} 1' in text
+        assert text.endswith("\n")
+
+    def test_every_line_well_formed(self):
+        metrics = ServerMetrics()
+        metrics.observe_latency("diff", 0.01)
+        for line in metrics.prometheus_text({"g": 1.5}).splitlines():
+            assert line.startswith(("#", "leakchecker_"))

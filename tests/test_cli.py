@@ -794,3 +794,53 @@ class TestUniformFlags:
         assert main(["regions", str(path)] + common) == 0
         assert main(["diff", str(path), str(path)] + common) == 0
         capsys.readouterr()
+
+
+class TestPivotCycleCLI:
+    """The mutual-containment regression through the real CLI: a
+    two-site cycle must survive pivot mode as exactly one report."""
+
+    _CYCLE = """
+    entry Main.main;
+    class Main { static method main() {
+        h = new Holder @holder;
+        loop L (*) {
+          a = new Node @a; b = new Node @b;
+          a.next = b; b.prev = a; h.slot = a;
+        } } }
+    class Holder { field slot; }
+    class Node { field next; field prev; }
+    """
+
+    @pytest.fixture
+    def cycle_file(self, tmp_path):
+        path = tmp_path / "cycle.wl"
+        path.write_text(self._CYCLE)
+        return str(path)
+
+    def test_check_reports_exactly_one_site(self, cycle_file, capsys):
+        import json
+
+        code = main(
+            ["check", cycle_file, "--region", "Main.main:L", "--json"]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert [f["site"] for f in report["findings"]] == ["a"]
+
+    def test_no_pivot_reports_both(self, cycle_file, capsys):
+        import json
+
+        code = main(
+            [
+                "check",
+                cycle_file,
+                "--region",
+                "Main.main:L",
+                "--json",
+                "--no-pivot",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert sorted(f["site"] for f in report["findings"]) == ["a", "b"]
