@@ -1,4 +1,4 @@
-.PHONY: install test bench table1 profile examples golden-update cache-smoke serve-smoke nightly all
+.PHONY: install test bench bench-kernel table1 profile examples golden-update cache-smoke serve-smoke nightly all
 
 install:
 	pip install -e . --no-build-isolation
@@ -8,6 +8,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-kernel:
+	PYTHONPATH=src python benchmarks/bench_kernel.py --output BENCH_kernel.json
 
 table1:
 	python -m repro table1

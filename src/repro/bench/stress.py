@@ -1,0 +1,91 @@
+"""Deterministic points-to-dense stress programs.
+
+The eight Table-1 app models are deliberately small — their points-to
+sets average about one element, so *any* near-linear solver handles them
+in milliseconds and representation hardly matters.  The paper's claim
+(and the ROADMAP's "raw-speed kernel rewrite" item) is about the regime
+where it does: programs whose heap mixes many allocation sites into the
+same slots, so points-to sets are wide and propagation re-visits edges
+many times.
+
+:func:`stress_source` generates such a program, deterministically, in
+the analyzer's own input language:
+
+* ``hubs`` hub objects, each with ``sites_per_hub`` allocation sites
+  stored into its ``pool`` field — every load of a pool sees a wide set;
+* a copy chain of ``chain_len`` variables hanging off each hub's pool,
+  whose tail is stored into the *next* hub's pool — the hubs therefore
+  form one big copy cycle *through the heap* (store → slot → load), the
+  worst case for solvers without cycle collapse: every new site must
+  travel the whole cycle, while an online-SCC solver merges it into one
+  representative node;
+* a small static copy cycle at the end, so cycle collapse is exercised
+  on plain assign edges too.
+
+At the default scale every variable in the chains converges to the full
+``hubs * sites_per_hub``-site set, which is exactly the workload where
+bitset unions beat per-element set arithmetic by an order of magnitude.
+"""
+
+from repro.lang import parse_program
+
+#: Default scale: 4 hubs x 96 sites = 384-site converged sets, 4x192
+#: chain variables in one heap-threaded cycle.
+DEFAULT_HUBS = 4
+DEFAULT_SITES_PER_HUB = 96
+DEFAULT_CHAIN_LEN = 192
+
+
+def stress_source(
+    hubs=DEFAULT_HUBS,
+    sites_per_hub=DEFAULT_SITES_PER_HUB,
+    chain_len=DEFAULT_CHAIN_LEN,
+):
+    """Source text of the stress program at the given scale."""
+    lines = [
+        "entry Main.main;",
+        "class Main {",
+        "  static method main() {",
+    ]
+    for h in range(hubs):
+        lines.append("    hub%d = new Hub @hub%d;" % (h, h))
+    for h in range(hubs):
+        for s in range(sites_per_hub):
+            lines.append("    a%d_%d = new Item @site%d_%d;" % (h, s, h, s))
+            lines.append("    hub%d.pool = a%d_%d;" % (h, h, s))
+    for h in range(hubs):
+        lines.append("    t%d_0 = hub%d.pool;" % (h, h))
+        for i in range(1, chain_len):
+            lines.append("    t%d_%d = t%d_%d;" % (h, i, h, i - 1))
+        # Tail feeds the next hub's pool: one copy cycle through the heap.
+        lines.append(
+            "    hub%d.pool = t%d_%d;" % ((h + 1) % hubs, h, chain_len - 1)
+        )
+    # A static assign cycle as well, reachable from the dense sets.
+    lines.append("    c0 = t0_%d;" % (chain_len - 1))
+    lines.append("    c1 = c0;")
+    lines.append("    c2 = c1;")
+    lines.append("    c0 = c2;")
+    lines.append("  }")
+    lines.append("}")
+    lines.append("class Hub { field pool; }")
+    lines.append("class Item { }")
+    return "\n".join(lines) + "\n"
+
+
+def stress_program(
+    hubs=DEFAULT_HUBS,
+    sites_per_hub=DEFAULT_SITES_PER_HUB,
+    chain_len=DEFAULT_CHAIN_LEN,
+):
+    """The parsed stress program."""
+    return parse_program(stress_source(hubs, sites_per_hub, chain_len))
+
+
+__all__ = [
+    "DEFAULT_CHAIN_LEN",
+    "DEFAULT_HUBS",
+    "DEFAULT_SITES_PER_HUB",
+    "stress_program",
+    "stress_source",
+]

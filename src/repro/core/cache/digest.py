@@ -28,7 +28,9 @@ from repro.ir.printer import program_to_text
 #: Bump on any change to the snapshot payload layout (see serialize.py
 #: and repro.core.incremental.snapshot).  v3: incremental-analysis
 #: snapshots (per-method digests, flow graph, per-region reports).
-CACHE_SCHEMA_VERSION = 3
+#: v4: integer-flat Andersen encoding (kind-tagged: flat arrays + one
+#: mask blob from the kernel, sorted lists from the legacy dict solver).
+CACHE_SCHEMA_VERSION = 4
 
 
 def program_digest(program):

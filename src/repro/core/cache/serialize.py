@@ -21,6 +21,7 @@ from repro.core.pipeline.artifacts import StoreEdge
 from repro.core.pipeline.session import SharedArtifacts
 from repro.errors import CacheError
 from repro.pta.andersen import AndersenResult
+from repro.pta.kernel import FlatAndersenResult, hydrate_flat, snapshot_flat
 from repro.pta.pag import VarNode
 
 
@@ -32,7 +33,6 @@ def snapshot_shared(shared, program_dig=None):
     stay lazy after hydration.
     """
     callgraph = shared.callgraph
-    andersen = shared.points_to._andersen
     return {
         "schema": CACHE_SCHEMA_VERSION,
         "substrate_key": tuple(shared.substrate_key),
@@ -44,18 +44,7 @@ def snapshot_shared(shared, program_dig=None):
                 for e in callgraph.edges
             ),
         },
-        "andersen": None
-        if andersen is None
-        else {
-            "vars": sorted(
-                (node.method_sig, node.name, sorted(sites))
-                for node, sites in andersen._var_pts.items()
-            ),
-            "fields": sorted(
-                (site, field, sorted(targets))
-                for (site, field), targets in andersen._field_pts.items()
-            ),
-        },
+        "andersen": _snapshot_andersen(shared.points_to._andersen),
         "method_stmts": {
             sig: [s.uid for s in stmts]
             for sig, stmts in sorted(shared.method_stmts.items())
@@ -78,6 +67,48 @@ def snapshot_shared(shared, program_dig=None):
         else list(shared._size_counts),
         "infer_catalog": _snapshot_catalog(shared._infer_catalog),
     }
+
+
+def _snapshot_andersen(andersen):
+    """Plain-data encoding of a whole-program points-to result.
+
+    The flat kernel's result serializes as its integer arrays plus one
+    mask blob (``kind: "flat"``) — the cheap path, and the payload the
+    shared-memory attach protocol ships to scan workers.  A legacy
+    dict-solver result keeps the sorted-lists encoding (``kind:
+    "dict"``), so ``REPRO_PTA_KERNEL=legacy`` round-trips through the
+    same cache.
+    """
+    if andersen is None:
+        return None
+    if isinstance(andersen, FlatAndersenResult):
+        return snapshot_flat(andersen)
+    return {
+        "kind": "dict",
+        "vars": sorted(
+            (node.method_sig, node.name, sorted(sites))
+            for node, sites in andersen._var_pts.items()
+        ),
+        "fields": sorted(
+            (site, field, sorted(targets))
+            for (site, field), targets in andersen._field_pts.items()
+        ),
+    }
+
+
+def _hydrate_andersen(data):
+    """Inverse of :func:`_snapshot_andersen` (``data`` is not ``None``)."""
+    if data.get("kind") == "flat":
+        return hydrate_flat(data)
+    var_pts = {
+        VarNode(sig, name): frozenset(sites)
+        for sig, name, sites in data["vars"]
+    }
+    field_pts = {
+        (site, field): frozenset(targets)
+        for site, field, targets in data["fields"]
+    }
+    return AndersenResult(None, var_pts, field_pts)
 
 
 def _snapshot_catalog(catalog):
@@ -164,16 +195,8 @@ def hydrate_shared(program, config, snapshot, program_dig=None):
     shared = SharedArtifacts(program, config, callgraph=graph)
 
     if snapshot["andersen"] is not None:
-        var_pts = {
-            VarNode(sig, name): frozenset(sites)
-            for sig, name, sites in snapshot["andersen"]["vars"]
-        }
-        field_pts = {
-            (site, field): frozenset(targets)
-            for site, field, targets in snapshot["andersen"]["fields"]
-        }
         shared.points_to.adopt_andersen(
-            AndersenResult(None, var_pts, field_pts)
+            _hydrate_andersen(snapshot["andersen"])
         )
 
     shared.method_stmts.update(

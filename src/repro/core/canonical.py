@@ -55,6 +55,9 @@ def _canonical_stats(stats):
             for name, value in out["counters"].items()
             if name not in VOLATILE_COUNTERS
         }
+    # Solver-kernel observability: present under the flat kernel, absent
+    # under REPRO_PTA_KERNEL=legacy — never part of the result.
+    out.pop("kernel", None)
     return out
 
 
@@ -92,6 +95,7 @@ def canonical_scan_dict(scan_dict):
                 for name, value in profile["counters"].items()
                 if name not in VOLATILE_COUNTERS
             }
+        profile.pop("kernel", None)
         out["profile"] = profile
     return out
 

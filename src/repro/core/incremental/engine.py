@@ -122,6 +122,7 @@ def changed_scan(
     session=None,
     cache=None,
     deadline=None,
+    shared_snapshot=None,
 ):
     """Scan ``program``, serving unchanged regions from ``snapshot``.
 
@@ -132,6 +133,13 @@ def changed_scan(
     ``deadline`` (a :class:`repro.pta.queries.Deadline`) bounds the
     demand-driven query work of any region that does need re-checking;
     served regions cost no queries, so a warm scan never degrades.
+
+    ``shared_snapshot`` is an optional :func:`~repro.core.cache.
+    serialize.snapshot_shared` dict from a prior session over the *same*
+    program; if a session does have to be built (slow path, re-check),
+    it hydrates from the snapshot — call graph and solved points-to
+    included — instead of rebuilding the substrate.  A snapshot that
+    does not match the program is silently ignored.
     """
     from repro.core.config import DetectorConfig
     from repro.core.pipeline.session import AnalysisSession
@@ -145,7 +153,20 @@ def changed_scan(
     def get_session():
         nonlocal session
         if session is None:
-            session = AnalysisSession(program, config, cache=cache)
+            shared = None
+            if shared_snapshot is not None:
+                from repro.core.cache.serialize import hydrate_shared
+                from repro.errors import CacheError
+
+                try:
+                    shared = hydrate_shared(
+                        program, config, shared_snapshot
+                    )
+                except (CacheError, LookupError):
+                    shared = None  # different program/config: rebuild
+            session = AnalysisSession(
+                program, config, cache=cache, shared=shared
+            )
         return session
 
     reason = _fallback_reason(snapshot, config)

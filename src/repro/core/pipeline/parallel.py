@@ -8,11 +8,14 @@ Two backends are provided:
   session.  Cheap to start, but Python's GIL serializes the actual
   analysis work;
 * ``process`` — a :class:`ProcessPoolExecutor` achieving true
-  parallelism.  Each worker process hydrates its own session from a
-  snapshot of the parent's shared artifacts (the same serialization
-  the persistent artifact cache uses — see
-  :mod:`repro.core.cache.serialize`), so workers never re-solve the
-  call graph or the points-to system.
+  parallelism.  The parent packs *one* snapshot of its shared
+  artifacts (the same serialization the persistent artifact cache
+  uses — see :mod:`repro.core.cache.serialize`) into a read-only
+  ``multiprocessing.shared_memory`` block; every worker attaches to
+  that block instead of receiving its own pickled copy, and the flat
+  kernel's points-to bitsets decode lazily out of the mapped blob —
+  per-worker warmup is near zero.  Platforms without usable shared
+  memory fall back to shipping the snapshot through initargs.
 
 Either way the session is warmed first so workers never duplicate the
 one-time work, and results are collected in submission order, making
@@ -36,20 +39,29 @@ BACKENDS = ("thread", "process")
 
 #: Per-process worker state, installed by :func:`_init_process_worker`.
 _WORKER_SESSION = None
+#: The shared-memory segment a worker attached to.  Pinned in a global:
+#: the hydrated session's mask table holds memoryviews into its buffer,
+#: so the segment must outlive every query this worker will answer.
+_WORKER_SHM = None
 
 
 def _resolve_workers(max_workers, spec_count):
-    """Validate an explicit worker count; pick a default otherwise."""
+    """Validate an explicit worker count; pick a default otherwise.
+
+    The message mirrors the CLI's ``--jobs`` validation verbatim —
+    ``main()`` turns this :class:`AnalysisError` into the same exit-2
+    path an invalid ``--jobs`` flag takes.
+    """
     if max_workers is None:
         return min(DEFAULT_WORKERS, spec_count)
     if max_workers < 1:
         raise AnalysisError(
-            "--jobs must be a positive worker count, got %d" % max_workers
+            "--jobs must be a positive worker count (got %d)" % max_workers
         )
     return max_workers
 
 
-def _check_wrapped(session, spec):
+def _check_wrapped(session, spec, backend="thread"):
     """One region check with the failure labelled by its region."""
     try:
         return session.check(spec)
@@ -57,12 +69,42 @@ def _check_wrapped(session, spec):
         raise
     except Exception as exc:
         raise RegionCheckError(
-            spec.describe(), "%s: %s" % (type(exc).__name__, exc)
+            spec.describe(),
+            "%s: %s" % (type(exc).__name__, exc),
+            backend=backend,
+            choices=BACKENDS,
         ) from exc
 
 
-def _init_process_worker(program_blob, config_kwargs, snapshot):
-    """Build this worker process's session from the parent's snapshot."""
+def _attach_worker_shm(shm_name):
+    """Attach this worker to the parent's packed-snapshot segment."""
+    from multiprocessing import shared_memory
+
+    global _WORKER_SHM
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # Attaching registered the segment with this process's resource
+        # tracker (on platforms that track shared memory), which would
+        # unlink it when the *worker* exits — but the parent owns the
+        # segment's lifetime.  Unregister; best-effort by design.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    _WORKER_SHM = shm
+    return shm
+
+
+def _init_process_worker(program_blob, config_kwargs, shm_name, snapshot):
+    """Build this worker process's session from the parent's snapshot.
+
+    ``shm_name`` names a shared-memory block holding the packed
+    snapshot (see :func:`repro.pta.kernel.pack_snapshot`); the worker
+    attaches read-only and decodes points-to masks lazily straight out
+    of the mapping.  ``snapshot`` is the plain-dict fallback used when
+    the parent could not allocate shared memory.
+    """
     from repro.core.cache.serialize import hydrate_shared
     from repro.core.config import DetectorConfig
     from repro.core.pipeline.session import AnalysisSession
@@ -70,6 +112,10 @@ def _init_process_worker(program_blob, config_kwargs, snapshot):
     global _WORKER_SESSION
     program = pickle.loads(program_blob)
     config = DetectorConfig(**config_kwargs)
+    if shm_name is not None:
+        from repro.pta.kernel import attach_snapshot
+
+        snapshot = attach_snapshot(_attach_worker_shm(shm_name).buf)
     # The snapshot came straight from the parent's live session, so its
     # recorded digest is trusted — no need to re-hash the program here.
     shared = hydrate_shared(
@@ -93,30 +139,57 @@ def _process_check(spec):
         )
 
 
+def _share_snapshot(snapshot):
+    """Pack ``snapshot`` into a shared-memory block; ``(shm, name)`` or
+    ``(None, None)`` when shared memory is unavailable."""
+    from repro.pta.kernel import pack_snapshot
+
+    try:
+        from multiprocessing import shared_memory
+
+        packed = pack_snapshot(snapshot)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(packed)))
+        shm.buf[: len(packed)] = packed
+        return shm, shm.name
+    except Exception:
+        return None, None
+
+
 def _check_regions_process(session, specs, workers):
     session.warm()
     from repro.core.cache.serialize import snapshot_shared
 
+    snapshot = snapshot_shared(session.shared)
+    shm, shm_name = _share_snapshot(snapshot)
     initargs = (
         pickle.dumps(session.program, protocol=pickle.HIGHEST_PROTOCOL),
         session.config.describe(),
-        snapshot_shared(session.shared),
+        shm_name,
+        None if shm_name is not None else snapshot,
     )
     entries = []
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_process_worker,
-        initargs=initargs,
-    ) as pool:
-        futures = [pool.submit(_process_check, spec) for spec in specs]
-        for spec, future in zip(specs, futures):
-            outcome = future.result()
-            if outcome[0] == "error":
-                _kind, desc, cause, worker_tb = outcome
-                raise RegionCheckError(
-                    desc, "%s\n--- worker traceback ---\n%s" % (cause, worker_tb)
-                )
-            entries.append((spec, outcome[1]))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_process_worker,
+            initargs=initargs,
+        ) as pool:
+            futures = [pool.submit(_process_check, spec) for spec in specs]
+            for spec, future in zip(specs, futures):
+                outcome = future.result()
+                if outcome[0] == "error":
+                    _kind, desc, cause, worker_tb = outcome
+                    raise RegionCheckError(
+                        desc,
+                        "%s\n--- worker traceback ---\n%s" % (cause, worker_tb),
+                        backend="process",
+                        choices=BACKENDS,
+                    )
+                entries.append((spec, outcome[1]))
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
     return entries
 
 
@@ -139,12 +212,16 @@ def check_regions_parallel(session, specs, max_workers=None, backend="thread"):
     if not specs:
         return []
     if workers <= 1 or len(specs) == 1:
-        return [(spec, _check_wrapped(session, spec)) for spec in specs]
+        return [
+            (spec, _check_wrapped(session, spec, backend))
+            for spec in specs
+        ]
     if backend == "process":
         return _check_regions_process(session, specs, workers)
     session.warm()
     with ThreadPoolExecutor(max_workers=workers) as pool:
         futures = [
-            pool.submit(_check_wrapped, session, spec) for spec in specs
+            pool.submit(_check_wrapped, session, spec, backend)
+            for spec in specs
         ]
         return [(spec, future.result()) for spec, future in zip(specs, futures)]

@@ -412,6 +412,12 @@ class AnalysisSession:
         stats.update(self.config.describe())
         stats["stages"] = art.stats.stages_dict()
         stats["counters"] = art.stats.counters_dict()
+        kernel = self.points_to.kernel_stats()
+        if kernel:
+            # Solver-kernel stats (flat kernel only).  Observability, not
+            # part of the result: canonical output strips the block so
+            # legacy/flat runs stay byte-identical.
+            stats["kernel"] = kernel
         return LeakReport(region, findings, stats)
 
     def flow_relations(self, region):

@@ -59,13 +59,22 @@ INFER_COUNTERS = (
 
 
 class PipelineStats:
-    """Timings and counters for one pipeline run (or an aggregate)."""
+    """Timings and counters for one pipeline run (or an aggregate).
 
-    __slots__ = ("stages", "counters")
+    ``kernel`` holds the points-to kernel's solve statistics (node
+    count, bitset bytes, SCCs collapsed, propagation rounds) when the
+    flat kernel produced the whole-program solution; empty under the
+    legacy dict solver.  It describes the one shared solve — not
+    per-region work — so merging keeps the maximum per key rather than
+    summing.
+    """
+
+    __slots__ = ("stages", "counters", "kernel")
 
     def __init__(self):
         self.stages = {}
         self.counters = {name: 0 for name in BASE_COUNTERS}
+        self.kernel = {}
 
     @contextmanager
     def stage(self, name):
@@ -86,12 +95,15 @@ class PipelineStats:
             self.stages[name] = self.stages.get(name, 0.0) + seconds
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.kernel.items():
+            self.kernel[name] = max(self.kernel.get(name, 0), value)
         return self
 
     def copy(self):
         dup = PipelineStats()
         dup.stages = dict(self.stages)
         dup.counters = dict(self.counters)
+        dup.kernel = dict(self.kernel)
         return dup
 
     def stages_dict(self):
@@ -102,7 +114,10 @@ class PipelineStats:
         return dict(self.counters)
 
     def as_dict(self):
-        return {"stages": self.stages_dict(), "counters": self.counters_dict()}
+        out = {"stages": self.stages_dict(), "counters": self.counters_dict()}
+        if self.kernel:
+            out["kernel"] = dict(self.kernel)
+        return out
 
     def format(self):
         """Human-readable profile block for the ``--profile`` CLI flag."""
@@ -119,6 +134,10 @@ class PipelineStats:
         zero = [n for n in sorted(self.counters) if not self.counters[n]]
         if zero:
             lines.append("  (zero: %s)" % ", ".join(zero))
+        if self.kernel:
+            lines.append("points-to kernel:")
+            for name in sorted(self.kernel):
+                lines.append("  %-26s %d" % (name, self.kernel[name]))
         return "\n".join(lines)
 
     def __repr__(self):
@@ -137,4 +156,6 @@ def stats_from_report(report_stats):
         stats.stages[name] = stats.stages.get(name, 0.0) + seconds
     for name, value in (report_stats.get("counters") or {}).items():
         stats.counters[name] = stats.counters.get(name, 0) + value
+    for name, value in (report_stats.get("kernel") or {}).items():
+        stats.kernel[name] = max(stats.kernel.get(name, 0), value)
     return stats

@@ -49,16 +49,26 @@ class RegionCheckError(AnalysisError):
     process boundary).
     """
 
-    def __init__(self, region_desc, cause_text=""):
+    def __init__(self, region_desc, cause_text="", backend=None, choices=()):
         self.region_desc = region_desc
         self.cause_text = cause_text
+        self.backend = backend
+        self.choices = tuple(choices)
         message = "region check failed for %s" % region_desc
+        if backend:
+            message += " [backend=%s" % backend
+            if self.choices:
+                message += " of %s" % "/".join(self.choices)
+            message += "]"
         if cause_text:
             message += ": %s" % cause_text
         super().__init__(message)
 
     def __reduce__(self):
-        return (RegionCheckError, (self.region_desc, self.cause_text))
+        return (
+            RegionCheckError,
+            (self.region_desc, self.cause_text, self.backend, self.choices),
+        )
 
 
 class CacheError(ReproError):

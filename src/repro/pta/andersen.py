@@ -67,6 +67,7 @@ def solve(pag):
         stores_from.setdefault(edge.source, []).append(edge)
 
     worklist = []
+    _EMPTY = frozenset()
 
     def add_to_var(node, sites):
         cur = var_pts.setdefault(node, set())
@@ -94,15 +95,20 @@ def solve(pag):
             add_to_var(edge.dst, delta)
         for edge in stores_on.get(node, ()):
             # node is the base of base.field = source: new base objects
-            # receive everything the source points to.
-            src_sites = var_pts.get(edge.source, set())
+            # receive everything the source points to.  The callee only
+            # ever *subtracts* from the passed set (producing a fresh
+            # delta) before any recursive mutation, and growth is
+            # monotone, so the live set is safe to pass — no per-delta
+            # copy.
+            src_sites = var_pts.get(edge.source, _EMPTY)
             for base_site in delta:
-                add_to_field(base_site, edge.field, set(src_sites))
+                add_to_field(base_site, edge.field, src_sites)
         for edge in loads_on.get(node, ()):
             # node is the base of target = base.field.
             for base_site in delta:
                 add_to_var(
-                    edge.target, set(field_pts.get((base_site, edge.field), ()))
+                    edge.target,
+                    field_pts.get((base_site, edge.field), _EMPTY),
                 )
         # node may be the *source* of stores: push into fields of all
         # current base objects.

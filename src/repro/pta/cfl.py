@@ -24,12 +24,27 @@ points-to analyses.
 """
 
 from repro.errors import BudgetExhausted
-from repro.pta.andersen import solve as andersen_solve
-from repro.pta.pag import ENTER, EXIT, VarNode
+from repro.pta.kernel import (
+    DIR_ENTER,
+    DIR_NONE,
+    flatten,
+    iter_bits,
+    solve_selected,
+)
+from repro.pta.pag import VarNode
 
 
 class CFLPointsTo:
     """Demand-driven points-to solver over a PAG.
+
+    The traversal runs on the integer-flat view of the graph
+    (:func:`repro.pta.kernel.flatten`): states are ``(vid, call-stack)``
+    pairs of dense ints, reached allocation sites accumulate in one
+    bitset, and labels are only decoded when a query's answer is frozen
+    into the memo.  Budget accounting is unchanged — one tick per popped
+    state, and states are deduplicated by a seen-set, so the tick total
+    (and therefore exhaustion behavior) is identical to the object-graph
+    traversal this replaces.
 
     Parameters
     ----------
@@ -51,6 +66,7 @@ class CFLPointsTo:
         self.max_alias_depth = max_alias_depth
         self._fallback = fallback
         self._memo = {}
+        self._flat = flatten(pag)
 
     # -- public API --------------------------------------------------------
 
@@ -71,7 +87,13 @@ class CFLPointsTo:
         if node in self._memo:
             return self._memo[node]
         state = _QueryState(self.budget)
-        result = frozenset(self._flows_to_backwards(node, state, depth=0))
+        vid = self._flat.var_index.get((node.method_sig, node.name))
+        if vid is None:
+            mask = 0
+        else:
+            mask = self._flows_to_backwards(vid, state, depth=0)
+        table = self._flat.site_table
+        result = frozenset(table[bit] for bit in iter_bits(mask))
         self._memo[node] = result
         return result
 
@@ -88,73 +110,74 @@ class CFLPointsTo:
 
     def fallback(self):
         if self._fallback is None:
-            self._fallback = andersen_solve(self.pag)
+            self._fallback = solve_selected(self.pag)
         return self._fallback
 
     # -- traversal ---------------------------------------------------------
 
     def _flows_to_backwards(self, root, state, depth):
-        """All allocation sites with a backwards flows-to path to ``root``.
+        """Bitset of allocation sites with a backwards flows-to path to
+        variable id ``root``.
 
-        The traversal state is (node, call-stack).  The call stack holds
-        call sites whose *exit* (return) edge was crossed backwards and
-        whose matching *enter* edge has not yet been seen.
+        The traversal state is (vid, call-stack).  The call stack holds
+        call-site ids whose *exit* (return) edge was crossed backwards
+        and whose matching *enter* edge has not yet been seen.
         """
         if depth > self.max_alias_depth:
             raise BudgetExhausted("alias recursion depth exceeded")
-        results = set()
+        flat = self._flat
+        new_mask = flat.new_mask
+        assigns_into = flat.assigns_into
+        loads_into = flat.loads_into
+        results = 0
         start = (root, ())
         seen = {start}
         work = [start]
         while work:
-            node, stack = work.pop()
+            vid, stack = work.pop()
             state.tick()
-            for site in self.pag.new_edges.get(node, ()):
-                results.add(site)
-            for edge in self.pag.assigns_into.get(node, ()):
-                for nxt in self._cross_backwards(edge, stack):
-                    if nxt not in seen:
-                        seen.add(nxt)
-                        work.append(nxt)
+            results |= new_mask[vid]
+            for src, cid, code in assigns_into[vid]:
+                if code == DIR_NONE:
+                    nxt = (src, stack)
+                elif code != DIR_ENTER:
+                    # Backwards across target = return@c: we *enter* the
+                    # callee; remember c so the eventual parameter exit
+                    # must match.
+                    nxt = (src, stack + (cid,))
+                elif stack:
+                    # Backwards across param = arg@c: we *leave* the
+                    # callee into the caller at c; a mismatched
+                    # parenthesis is an infeasible path.
+                    if stack[-1] != cid:
+                        continue
+                    nxt = (src, stack[:-1])
+                else:
+                    # Unbalanced-but-feasible: query started inside the
+                    # callee.
+                    nxt = (src, ())
+                if nxt not in seen:
+                    seen.add(nxt)
+                    work.append(nxt)
             # Loads into this node: alias subquery through the heap.
-            for edge in self._loads_into(node):
-                base_sites = self._flows_to_backwards(edge.base, state, depth + 1)
-                for store in self.pag.stores_by_field.get(edge.field, ()):
+            for i in loads_into[vid]:
+                base_sites = self._flows_to_backwards(
+                    flat.load_base[i], state, depth + 1
+                )
+                fid = flat.load_field[i]
+                for j in flat.stores_by_field.get(fid, ()):
                     store_base_sites = self._flows_to_backwards(
-                        store.base, state, depth + 1
+                        flat.store_base[j], state, depth + 1
                     )
                     if base_sites & store_base_sites:
-                        # Heap path discards local call balance: objects can
-                        # flow through the heap between unrelated contexts.
-                        nxt = (store.source, ())
+                        # Heap path discards local call balance: objects
+                        # can flow through the heap between unrelated
+                        # contexts.
+                        nxt = (flat.store_source[j], ())
                         if nxt not in seen:
                             seen.add(nxt)
                             work.append(nxt)
         return results
-
-    def _cross_backwards(self, edge, stack):
-        """Cross an assign edge ``src -> dst`` backwards (dst to src),
-        yielding successor (node, stack) states that keep call parentheses
-        balanced."""
-        if edge.callsite is None:
-            yield (edge.src, stack)
-        elif edge.direction == EXIT:
-            # Backwards across target = return@c: we *enter* the callee;
-            # remember c so the eventual parameter exit must match.
-            yield (edge.src, stack + (edge.callsite,))
-        elif edge.direction == ENTER:
-            # Backwards across param = arg@c: we *leave* the callee into
-            # the caller at c.
-            if stack:
-                if stack[-1] == edge.callsite:
-                    yield (edge.src, stack[:-1])
-                # mismatched parenthesis: infeasible path, drop it
-            else:
-                # Unbalanced-but-feasible: query started inside the callee.
-                yield (edge.src, ())
-
-    def _loads_into(self, node):
-        return self.pag.loads_into.get(node, ())
 
 
 class _QueryState:

@@ -166,13 +166,20 @@ class PointsTo:
         if self._andersen is None:
             with self._solve_lock:
                 if self._andersen is None:
-                    from repro.pta.andersen import solve
+                    from repro.pta.kernel import solve_selected
 
-                    result = solve(self.pag)
+                    result = solve_selected(self.pag)
                     if self._cfl is not None and self._cfl._fallback is None:
                         self._cfl._fallback = result
                     self._andersen = result
         return self._andersen
+
+    def kernel_stats(self):
+        """Solver-kernel statistics of the whole-program result, or
+        ``{}`` when the legacy dict solver produced it (it keeps no
+        counters) or no solve has happened yet."""
+        result = self._andersen
+        return dict(getattr(result, "stats", None) or {})
 
     def adopt_andersen(self, result):
         """Install a precomputed whole-program solution (cache hydration).

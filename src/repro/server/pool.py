@@ -34,6 +34,7 @@ import threading
 from collections import OrderedDict
 
 from repro.core.cache.digest import program_digest
+from repro.core.cache.serialize import snapshot_shared
 from repro.core.incremental.engine import changed_scan
 from repro.core.incremental.snapshot import snapshot_scan
 from repro.core.pipeline.session import AnalysisSession
@@ -41,13 +42,23 @@ from repro.core.scan import scan_all_loops
 
 
 class PoolEntry:
-    """One pooled program: its snapshot and the lock that guards it."""
+    """One pooled program: its snapshots and the lock that guards them.
 
-    __slots__ = ("digest", "snapshot", "lock", "hits", "misses")
+    ``snapshot`` is the per-region scan snapshot the incremental engine
+    serves from; ``shared_snapshot`` is the program-level substrate
+    (call graph + solved points-to in the kernel's flat encoding) that
+    a warm request's re-check session hydrates from instead of
+    re-solving — the same payload process scan workers attach to.
+    """
+
+    __slots__ = (
+        "digest", "snapshot", "shared_snapshot", "lock", "hits", "misses",
+    )
 
     def __init__(self, digest):
         self.digest = digest
         self.snapshot = None
+        self.shared_snapshot = None
         self.lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -69,6 +80,9 @@ class SessionPool:
         self._lock = threading.Lock()
         self._entries = OrderedDict()
         self.evicted = 0
+        #: points-to kernel statistics of the most recent cold solve,
+        #: surfaced as ``kernel_*`` gauges by ``/metrics``.
+        self.kernel_stats = {}
 
     def analyze(self, program, specs=None, deadline=None):
         """Scan ``program``, warm when its digest has been seen before.
@@ -85,7 +99,10 @@ class SessionPool:
                 # Identical digest guarantees zero dirty methods: the
                 # engine serves everything from the snapshot without
                 # building analysis state (its fast path).  A spec not
-                # covered by the stored scan is re-checked lazily.
+                # covered by the stored scan is re-checked lazily —
+                # against a session hydrated from the stored substrate
+                # snapshot (solved points-to included), never a cold
+                # rebuild.
                 result, outcome = changed_scan(
                     program,
                     entry.snapshot,
@@ -93,6 +110,7 @@ class SessionPool:
                     specs=specs,
                     cache=self.cache,
                     deadline=deadline,
+                    shared_snapshot=entry.shared_snapshot,
                 )
                 entry.hits += 1
                 return result, {
@@ -108,6 +126,10 @@ class SessionPool:
                 entry.snapshot = snapshot_scan(
                     program, self.config, result, session=session
                 )
+                entry.shared_snapshot = snapshot_shared(session.shared)
+            stats = session.points_to.kernel_stats()
+            if stats:
+                self.kernel_stats = stats
             entry.misses += 1
             return result, {
                 "program_digest": digest,
@@ -138,13 +160,17 @@ class SessionPool:
         """Gauge-ready occupancy numbers for ``/metrics``."""
         with self._lock:
             entries = list(self._entries.values())
-        return {
+            kernel = dict(self.kernel_stats)
+        gauges = {
             "pool_sessions": len(entries),
             "pool_warm": sum(1 for e in entries if e.snapshot is not None),
             "pool_hits": sum(e.hits for e in entries),
             "pool_misses": sum(e.misses for e in entries),
             "pool_evicted": self.evicted,
         }
+        for name, value in sorted(kernel.items()):
+            gauges["kernel_%s" % name] = value
+        return gauges
 
     def __repr__(self):
         with self._lock:

@@ -75,6 +75,28 @@ class TestWorkerValidation:
                 session, candidate_loops(session.program), max_workers=-3
             )
 
+    def test_message_matches_cli_jobs_validation(self):
+        """The library-level rejection renders exactly like the CLI's
+        ``--jobs`` guard, so both paths exit 2 with the same text."""
+        session = AnalysisSession(_program())
+        with pytest.raises(
+            AnalysisError,
+            match=r"--jobs must be a positive worker count \(got 0\)",
+        ):
+            check_regions_parallel(
+                session, candidate_loops(session.program), max_workers=0
+            )
+
+    def test_invalid_workers_exit_2_via_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "prog.lk"
+        src.write_text(_THREE_LOOPS)
+        code = main(["scan", str(src), "--parallel", "--jobs", "0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--jobs must be a positive worker count (got 0)" in err
+
 
 class TestFailureLabelling:
     def test_failure_names_region_thread_backend(self):
@@ -96,6 +118,25 @@ class TestFailureLabelling:
         assert "NO_SUCH_LOOP" in str(excinfo.value)
         assert "worker traceback" in str(excinfo.value)
 
+    def test_process_failure_names_backend_and_choices(self):
+        """A worker-side failure reports which backend was attempted and
+        which backends exist, plus the originating region."""
+        session = AnalysisSession(_program())
+        bad = LoopSpec("Main.main", "NO_SUCH_LOOP")
+        with pytest.raises(RegionCheckError) as excinfo:
+            check_regions_parallel(
+                session,
+                candidate_loops(session.program) + [bad],
+                max_workers=2,
+                backend="process",
+            )
+        err = excinfo.value
+        assert err.backend == "process"
+        assert err.choices == ("thread", "process")
+        assert err.region_desc == bad.describe()
+        assert "backend=process" in str(err)
+        assert "thread/process" in str(err)
+
     def test_failure_names_region_serial_fallback(self):
         session = AnalysisSession(_program())
         bad = LoopSpec("Main.main", "NO_SUCH_LOOP")
@@ -110,3 +151,17 @@ class TestFailureLabelling:
         clone = pickle.loads(pickle.dumps(err))
         assert clone.region_desc == "Main.main:L"
         assert "boom" in str(clone)
+
+    def test_region_check_error_pickles_backend_fields(self):
+        import pickle
+
+        err = RegionCheckError(
+            "Main.main:L",
+            "ValueError: boom",
+            backend="process",
+            choices=("thread", "process"),
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.backend == "process"
+        assert clone.choices == ("thread", "process")
+        assert str(clone) == str(err)
