@@ -1,18 +1,29 @@
-"""Models of the paper's eight evaluated applications.
+"""Models of the paper's eight evaluated applications, plus the
+retention-idiom corpus.
 
-Each module exposes ``build() -> AppModel``; :func:`all_apps` builds them
-in Table 1 order.
+Each module exposes ``build() -> AppModel``; :func:`all_apps` builds the
+paper's eight subjects in Table 1 order.  The retention corpus
+(:func:`retention_names`) models common leak idioms beyond the paper's
+subjects — observer registration, unbounded memoization, closure
+capture, singleton accretion, and an acquire/release resource leak —
+each with a ``leaky`` and a ``balanced`` (non-leaking) variant.
+:func:`corpus_names` is the union the golden corpus snapshots.
 """
 
 from repro.bench.apps import (
+    closurecap,
     derby,
     eclipse_cp,
     eclipse_diff,
     findbugs,
     log4j,
+    memocache,
     mikou,
     mysql_connector,
+    obsreg,
+    resleak,
     specjbb,
+    staticacc,
 )
 from repro.bench.apps.base import AppModel
 
@@ -27,19 +38,51 @@ _BUILDERS = {
     "derby": derby.build,
 }
 
+_RETENTION_BUILDERS = {
+    "obsreg": obsreg.build,
+    "memocache": memocache.build,
+    "closurecap": closurecap.build,
+    "staticacc": staticacc.build,
+    "resleak": resleak.build,
+}
+
 
 def app_names():
     """Names of the eight subjects, in Table 1 order."""
     return list(_BUILDERS)
 
 
+def retention_names():
+    """Names of the retention-idiom corpus apps."""
+    return list(_RETENTION_BUILDERS)
+
+
+def corpus_names():
+    """All golden-corpus subjects: Table 1 apps plus retention idioms."""
+    return app_names() + retention_names()
+
+
 def build_app(name):
-    """Build one application model by name."""
+    """Build one application model by name (leaky variant for the
+    retention corpus)."""
+    builder = _BUILDERS.get(name) or _RETENTION_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            "unknown app %r (choose from %s)"
+            % (name, ", ".join(corpus_names()))
+        )
+    return builder()
+
+
+def build_retention(name, variant="leaky"):
+    """Build one retention-corpus model in the requested variant
+    (``"leaky"`` or ``"balanced"``)."""
     try:
-        return _BUILDERS[name]()
+        return _RETENTION_BUILDERS[name](variant=variant)
     except KeyError:
         raise KeyError(
-            "unknown app %r (choose from %s)" % (name, ", ".join(_BUILDERS))
+            "unknown retention app %r (choose from %s)"
+            % (name, ", ".join(_RETENTION_BUILDERS))
         ) from None
 
 
@@ -48,4 +91,12 @@ def all_apps():
     return [builder() for builder in _BUILDERS.values()]
 
 
-__all__ = ["AppModel", "all_apps", "app_names", "build_app"]
+__all__ = [
+    "AppModel",
+    "all_apps",
+    "app_names",
+    "build_app",
+    "build_retention",
+    "corpus_names",
+    "retention_names",
+]

@@ -1,0 +1,146 @@
+"""Closure-capture model.
+
+An async completion pattern: every request builds a ``RequestContext``
+(with an attached ``ScratchBuffer``) and a ``CompletionCallback`` that
+captures the context, then enqueues the callback on a long-lived
+registry ``Stack`` — which nothing ever drains.  The callback keeps the
+whole request scope alive: context, buffer and all.
+
+Expected report: the pivot folds the captured context and its buffer
+into the callback that retains them, so the single finding is
+``completion_cb``.
+
+The ``balanced`` variant pops and completes the callback in the same
+iteration; ``complete()`` reads the captured context *and* its scratch
+buffer back, so every stored value is also retrieved (Definition 3
+matches all pairs) and the report is empty.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_SHARED = """
+entry Main.main;
+
+class RequestContext {
+  field scratch;
+}
+
+class ScratchBuffer {
+  field data;
+}
+
+class CompletionCallback {
+  field captured;
+  method complete() {
+    c = this.captured;
+    s = c.scratch;
+    return s;
+  }
+}
+"""
+
+_LEAKY = """
+class Main {
+  static method main() {
+    reg = new CallbackRegistry @cb_registry;
+    call reg.regInit() @reg_init;
+    fres = call CcFiller0.warmup(reg) @cc_entry;
+    call reg.serveLoop() @drive;
+  }
+}
+
+class CallbackRegistry {
+  field pending;
+  method regInit() {
+    st = new Stack @pending_stack;
+    call st.stInit() @ps_init;
+    this.pending = st;
+  }
+  method serveLoop() {
+    loop L1 (*) {
+      ctx = new RequestContext @request_ctx;
+      buf = new ScratchBuffer @scratch_buf;
+      ctx.scratch = buf;
+      cb = new CompletionCallback @completion_cb;
+      cb.captured = ctx;
+      st = this.pending;
+      call st.push(cb) @do_push;
+    }
+  }
+}
+"""
+
+_BALANCED = """
+class Main {
+  static method main() {
+    reg = new CallbackRegistry @cb_registry;
+    call reg.regInit() @reg_init;
+    fres = call CcFiller0.warmup(reg) @cc_entry;
+    call reg.serveLoop() @drive;
+  }
+}
+
+class CallbackRegistry {
+  field pending;
+  method regInit() {
+    st = new Stack @pending_stack;
+    call st.stInit() @ps_init;
+    this.pending = st;
+  }
+  method serveLoop() {
+    loop L1 (*) {
+      ctx = new RequestContext @request_ctx;
+      buf = new ScratchBuffer @scratch_buf;
+      ctx.scratch = buf;
+      cb = new CompletionCallback @completion_cb;
+      cb.captured = ctx;
+      st = this.pending;
+      call st.push(cb) @do_push;
+      done = call st.pop() @do_pop;
+      if (nonnull done) {
+        res = call done.complete() @do_complete;
+      } else {
+      }
+    }
+  }
+}
+"""
+
+_REGION = RegionSpec("CallbackRegistry.serveLoop", "L1")
+
+
+def build(variant="leaky"):
+    if variant not in ("leaky", "balanced"):
+        raise KeyError("unknown closurecap variant %r" % variant)
+    app = _LEAKY if variant == "leaky" else _BALANCED
+    source = (
+        library_source("stack")
+        + "\n"
+        + _SHARED
+        + "\n"
+        + app
+        + "\n"
+        + filler_source("Cc", classes=2, methods_per_class=4, stmts_per_method=4)
+    )
+    if variant == "leaky":
+        truth = Truth(
+            regions={_REGION.text(): {"leaks": {"completion_cb"}, "fps": set()}}
+        )
+    else:
+        truth = Truth(regions={_REGION.text(): {"leaks": set(), "fps": set()}})
+    return AppModel(
+        name="closurecap" if variant == "leaky" else "closurecap-balanced",
+        source=source,
+        region=_REGION,
+        truth=truth,
+        description=(
+            "CompletionCallback capturing the whole request scope, "
+            "enqueued on a registry nothing drains"
+            if variant == "leaky"
+            else "Same capture, drained and completed per iteration"
+        ),
+    )

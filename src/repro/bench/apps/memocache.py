@@ -1,0 +1,137 @@
+"""Unbounded-memoization model.
+
+A compute loop memoizes results in a long-lived ``HashMap`` keyed by a
+fresh ``CacheKey`` per iteration.  The cached *value* is retrieved on
+later hits (``get`` returns it), but the *key* is only ever probed
+internally by the map — it is stored and never flows back to the
+application, so the cache grows by one key per iteration forever.
+
+Expected report: ``memo_key`` only.  ``memo_result`` is stored **and**
+retrieved (``HashMap.get`` returns the entry value), so Definition 3
+matches it — the interesting half of this subject is what is *not*
+reported.
+
+The ``balanced`` variant interns against one canonical long-lived key
+created outside the loop, so no per-iteration object is retained and
+the report is empty.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_SHARED = """
+entry Main.main;
+
+class CacheKey {
+  field tag;
+}
+
+class ResultVal {
+  field payload;
+}
+"""
+
+_LEAKY = """
+class Main {
+  static method main() {
+    m = new Memoizer @memoizer;
+    call m.memoInit() @memo_init;
+    fres = call McFiller0.warmup(m) @mc_entry;
+    call m.computeLoop() @drive;
+  }
+}
+
+class Memoizer {
+  field cache;
+  method memoInit() {
+    c = new HashMap @cache_map;
+    call c.hmInit() @cm_init;
+    this.cache = c;
+  }
+  method computeLoop() {
+    loop L1 (*) {
+      k = new CacheKey @memo_key;
+      c = this.cache;
+      cached = call c.get(k) @memo_probe;
+      if (nonnull cached) {
+      } else {
+        v = new ResultVal @memo_result;
+        call c.put(k, v) @memo_put;
+      }
+    }
+  }
+}
+"""
+
+_BALANCED = """
+class Main {
+  static method main() {
+    m = new Memoizer @memoizer;
+    call m.memoInit() @memo_init;
+    fres = call McFiller0.warmup(m) @mc_entry;
+    call m.computeLoop() @drive;
+  }
+}
+
+class Memoizer {
+  field cache;
+  field canon;
+  method memoInit() {
+    c = new HashMap @cache_map;
+    call c.hmInit() @cm_init;
+    this.cache = c;
+    k0 = new CacheKey @canon_key;
+    this.canon = k0;
+  }
+  method computeLoop() {
+    loop L1 (*) {
+      k = this.canon;
+      c = this.cache;
+      cached = call c.get(k) @memo_probe;
+      if (nonnull cached) {
+      } else {
+        v = new ResultVal @memo_result;
+        call c.put(k, v) @memo_put;
+      }
+    }
+  }
+}
+"""
+
+_REGION = RegionSpec("Memoizer.computeLoop", "L1")
+
+
+def build(variant="leaky"):
+    if variant not in ("leaky", "balanced"):
+        raise KeyError("unknown memocache variant %r" % variant)
+    app = _LEAKY if variant == "leaky" else _BALANCED
+    source = (
+        library_source("hashmap")
+        + "\n"
+        + _SHARED
+        + "\n"
+        + app
+        + "\n"
+        + filler_source("Mc", classes=2, methods_per_class=4, stmts_per_method=4)
+    )
+    if variant == "leaky":
+        truth = Truth(
+            regions={_REGION.text(): {"leaks": {"memo_key"}, "fps": set()}}
+        )
+    else:
+        truth = Truth(regions={_REGION.text(): {"leaks": set(), "fps": set()}})
+    return AppModel(
+        name="memocache" if variant == "leaky" else "memocache-balanced",
+        source=source,
+        region=_REGION,
+        truth=truth,
+        description=(
+            "Fresh CacheKey per iteration stored in an unbounded memo "
+            "HashMap; values flow back on hits, keys never do"
+            if variant == "leaky"
+            else "Canonical interned key: the memo map stops growing"
+        ),
+    )

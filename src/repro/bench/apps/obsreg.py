@@ -1,0 +1,143 @@
+"""Observer-registration model.
+
+The classic listener leak: a UI loop creates one ``Widget`` plus its
+``ClickListener`` per iteration and subscribes the listener to a
+long-lived ``EventBus`` — and never unsubscribes.  The listener (and the
+widget it captures through ``owner``) accumulates in the bus's
+``ArrayList`` forever.
+
+Expected report: the pivot folds the widget into the listener that
+retains it, so the single finding is ``click_listener``.  The
+per-iteration ``Event`` is iteration-local and correctly unreported.
+
+The ``balanced`` variant scopes the bus to the iteration (a fresh bus
+per request, the "scoped dispatcher" fix), so nothing outlives its
+iteration and the report is empty.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_SHARED = """
+entry Main.main;
+
+class EventBus {
+  field listeners;
+  method busInit() {
+    l = new ArrayList @listener_list;
+    call l.alInit() @ll_init;
+    this.listeners = l;
+  }
+  method subscribe(lis) {
+    l = this.listeners;
+    call l.add(lis) @sub_add;
+  }
+}
+
+class Widget {
+  field title;
+}
+
+class ClickListener {
+  field owner;
+  method onEvent(ev) {
+    o = this.owner;
+  }
+}
+
+class Event { }
+"""
+
+_LEAKY = """
+class Main {
+  static method main() {
+    bus = new EventBus @event_bus;
+    call bus.busInit() @bus_init;
+    fres = call ObFiller0.warmup(bus) @ob_entry;
+    ui = new UiLoop @ui_loop;
+    ui.bus = bus;
+    call ui.pump() @drive;
+  }
+}
+
+class UiLoop {
+  field bus;
+  method pump() {
+    loop L1 (*) {
+      w = new Widget @widget_obj;
+      lis = new ClickListener @click_listener;
+      lis.owner = w;
+      b = this.bus;
+      call b.subscribe(lis) @do_sub;
+      ev = new Event @event_obj;
+      call lis.onEvent(ev) @do_fire;
+    }
+  }
+}
+"""
+
+_BALANCED = """
+class Main {
+  static method main() {
+    seed = new Event @seed_event;
+    fres = call ObFiller0.warmup(seed) @ob_entry;
+    ui = new UiLoop @ui_loop;
+    call ui.pump() @drive;
+  }
+}
+
+class UiLoop {
+  field bus;
+  method pump() {
+    loop L1 (*) {
+      scoped = new EventBus @scoped_bus;
+      call scoped.busInit() @scoped_init;
+      w = new Widget @widget_obj;
+      lis = new ClickListener @click_listener;
+      lis.owner = w;
+      call scoped.subscribe(lis) @do_sub;
+      ev = new Event @event_obj;
+      call lis.onEvent(ev) @do_fire;
+    }
+  }
+}
+"""
+
+_REGION = RegionSpec("UiLoop.pump", "L1")
+
+
+def build(variant="leaky"):
+    if variant not in ("leaky", "balanced"):
+        raise KeyError("unknown obsreg variant %r" % variant)
+    app = _LEAKY if variant == "leaky" else _BALANCED
+    source = (
+        library_source("arraylist")
+        + "\n"
+        + _SHARED
+        + "\n"
+        + app
+        + "\n"
+        + filler_source("Ob", classes=2, methods_per_class=4, stmts_per_method=4)
+    )
+    if variant == "leaky":
+        truth = Truth(
+            regions={_REGION.text(): {"leaks": {"click_listener"}, "fps": set()}}
+        )
+    else:
+        truth = Truth(regions={_REGION.text(): {"leaks": set(), "fps": set()}})
+    return AppModel(
+        name="obsreg" if variant == "leaky" else "obsreg-balanced",
+        source=source,
+        region=_REGION,
+        truth=truth,
+        description=(
+            "Per-iteration ClickListener subscribed to a long-lived "
+            "EventBus and never unsubscribed"
+            if variant == "leaky"
+            else "Iteration-scoped EventBus: listeners die with their "
+            "iteration"
+        ),
+    )

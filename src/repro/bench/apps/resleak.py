@@ -1,0 +1,120 @@
+"""Resource-leak model.
+
+A polling loop opens a fresh ``FileStream`` per iteration and reads from
+it without ever closing it — the acquired-but-never-released pattern the
+resource stage (:mod:`repro.core.pipeline.resources`) reports as a
+``resource-leak``.  The same loop also uses a ``DbConnection``
+*correctly* (connect, query, release) and allocates an iteration-local
+``IoBuffer``; both stay out of the report.
+
+Expected report: one ``resource-leak`` finding at ``file_stream`` with
+ERA ``c`` — the stream object itself dies with its iteration (no heap
+retention), but its file descriptor does not.
+
+The ``balanced`` variant adds the missing ``close()`` and reports
+nothing.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_SHARED = """
+entry Main.main;
+
+class IoBuffer {
+  field data;
+}
+"""
+
+_LEAKY = """
+class Main {
+  static method main() {
+    p = new Poller @poller_obj;
+    fres = call RlFiller0.warmup(p) @rl_entry;
+    call p.pollLoop() @drive;
+  }
+}
+
+class Poller {
+  field last;
+  method pollLoop() {
+    loop L1 (*) {
+      f = new FileStream @file_stream;
+      call f.open() @do_open;
+      d = call f.read() @do_read;
+      c = new DbConnection @db_conn;
+      call c.connect() @do_connect;
+      r = call c.query(d) @do_query;
+      call c.release() @do_release;
+      b = new IoBuffer @io_buffer;
+      b.data = d;
+    }
+  }
+}
+"""
+
+_BALANCED = """
+class Main {
+  static method main() {
+    p = new Poller @poller_obj;
+    fres = call RlFiller0.warmup(p) @rl_entry;
+    call p.pollLoop() @drive;
+  }
+}
+
+class Poller {
+  field last;
+  method pollLoop() {
+    loop L1 (*) {
+      f = new FileStream @file_stream;
+      call f.open() @do_open;
+      d = call f.read() @do_read;
+      call f.close() @do_close;
+      c = new DbConnection @db_conn;
+      call c.connect() @do_connect;
+      r = call c.query(d) @do_query;
+      call c.release() @do_release;
+      b = new IoBuffer @io_buffer;
+      b.data = d;
+    }
+  }
+}
+"""
+
+_REGION = RegionSpec("Poller.pollLoop", "L1")
+
+
+def build(variant="leaky"):
+    if variant not in ("leaky", "balanced"):
+        raise KeyError("unknown resleak variant %r" % variant)
+    app = _LEAKY if variant == "leaky" else _BALANCED
+    source = (
+        library_source("filestream", "dbconnection")
+        + "\n"
+        + _SHARED
+        + "\n"
+        + app
+        + "\n"
+        + filler_source("Rl", classes=2, methods_per_class=4, stmts_per_method=4)
+    )
+    if variant == "leaky":
+        truth = Truth(
+            regions={_REGION.text(): {"leaks": {"file_stream"}, "fps": set()}}
+        )
+    else:
+        truth = Truth(regions={_REGION.text(): {"leaks": set(), "fps": set()}})
+    return AppModel(
+        name="resleak" if variant == "leaky" else "resleak-balanced",
+        source=source,
+        region=_REGION,
+        truth=truth,
+        description=(
+            "FileStream opened and read every poll, never closed; the "
+            "DbConnection beside it is released correctly"
+            if variant == "leaky"
+            else "Same poll loop with the missing close() added"
+        ),
+    )

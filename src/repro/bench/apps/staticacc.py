@@ -1,0 +1,144 @@
+"""Singleton-accretion model.
+
+A process-wide ``GlobalStats`` singleton records one ``Sample`` per
+handled request into its ``LinkedList`` — write-only telemetry that is
+never read back, exported, or trimmed.  The per-request ``Request`` and
+``Response`` objects are iteration-local and correctly unreported; only
+the sample accretes.
+
+Expected report: ``sample_obj`` (the list's interior nodes are library
+sites and stay out of the report).
+
+The ``balanced`` variant reads the recorded sample back through
+``getFirst`` each iteration (a rolling "latest sample" gauge), so the
+stored value is also retrieved and the report is empty.
+"""
+
+from repro.bench.apps.base import AppModel
+from repro.bench.filler import filler_source
+from repro.bench.groundtruth import Truth
+from repro.core.regions import RegionSpec
+from repro.javalib import library_source
+
+_SHARED = """
+entry Main.main;
+
+class GlobalStats {
+  field samples;
+  method statsInit() {
+    l = new LinkedList @sample_list;
+    this.samples = l;
+  }
+  method record(s) {
+    l = this.samples;
+    call l.addLast(s) @rec_add;
+  }
+  method latest() {
+    l = this.samples;
+    s = call l.getFirst() @rec_read;
+    return s;
+  }
+}
+
+class Sample {
+  field value;
+}
+
+class Request {
+  field body;
+}
+
+class Response {
+  field req;
+}
+"""
+
+_LEAKY = """
+class Main {
+  static method main() {
+    g = new GlobalStats @global_stats;
+    call g.statsInit() @gs_init;
+    fres = call SaFiller0.warmup(g) @sa_entry;
+    srv = new Server @server_obj;
+    srv.stats = g;
+    call srv.handleLoop() @drive;
+  }
+}
+
+class Server {
+  field stats;
+  method handleLoop() {
+    loop L1 (*) {
+      req = new Request @request_obj;
+      resp = new Response @response_obj;
+      resp.req = req;
+      s = new Sample @sample_obj;
+      g = this.stats;
+      call g.record(s) @do_record;
+    }
+  }
+}
+"""
+
+_BALANCED = """
+class Main {
+  static method main() {
+    g = new GlobalStats @global_stats;
+    call g.statsInit() @gs_init;
+    fres = call SaFiller0.warmup(g) @sa_entry;
+    srv = new Server @server_obj;
+    srv.stats = g;
+    call srv.handleLoop() @drive;
+  }
+}
+
+class Server {
+  field stats;
+  method handleLoop() {
+    loop L1 (*) {
+      req = new Request @request_obj;
+      resp = new Response @response_obj;
+      resp.req = req;
+      s = new Sample @sample_obj;
+      g = this.stats;
+      call g.record(s) @do_record;
+      cur = call g.latest() @do_gauge;
+    }
+  }
+}
+"""
+
+_REGION = RegionSpec("Server.handleLoop", "L1")
+
+
+def build(variant="leaky"):
+    if variant not in ("leaky", "balanced"):
+        raise KeyError("unknown staticacc variant %r" % variant)
+    app = _LEAKY if variant == "leaky" else _BALANCED
+    source = (
+        library_source("linkedlist")
+        + "\n"
+        + _SHARED
+        + "\n"
+        + app
+        + "\n"
+        + filler_source("Sa", classes=2, methods_per_class=4, stmts_per_method=4)
+    )
+    if variant == "leaky":
+        truth = Truth(
+            regions={_REGION.text(): {"leaks": {"sample_obj"}, "fps": set()}}
+        )
+    else:
+        truth = Truth(regions={_REGION.text(): {"leaks": set(), "fps": set()}})
+    return AppModel(
+        name="staticacc" if variant == "leaky" else "staticacc-balanced",
+        source=source,
+        region=_REGION,
+        truth=truth,
+        description=(
+            "Write-only telemetry samples accreting in a process-wide "
+            "singleton list"
+            if variant == "leaky"
+            else "Samples recorded and read back as a rolling gauge"
+        ),
+    )

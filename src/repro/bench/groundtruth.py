@@ -31,20 +31,44 @@ class ContextRule:
 
 
 class Truth:
-    """Site- and context-level leak classification for one application."""
+    """Site-, context- and region-level leak classification for one
+    application.
 
-    def __init__(self, leak_sites=(), fp_sites=(), context_rules=()):
+    ``leak_sites``/``fp_sites`` classify by site name alone — enough for
+    the paper's single-region subjects.  ``regions`` adds region-level
+    keys: a mapping from region spec text (see
+    :func:`repro.core.regions.region_text`, e.g. ``"Driver.run:L1"``) to
+    ``{"leaks": {...}, "fps": {...}}``, so a model checked in several
+    regions can assert per-loop expectations instead of one flat union.
+    """
+
+    def __init__(self, leak_sites=(), fp_sites=(), context_rules=(), regions=None):
         self.leak_sites = frozenset(leak_sites)
         self.fp_sites = frozenset(fp_sites)
         self.context_rules = list(context_rules)
+        self.regions = {
+            region: {
+                "leaks": frozenset(entry.get("leaks", ())),
+                "fps": frozenset(entry.get("fps", ())),
+            }
+            for region, entry in (regions or {}).items()
+        }
 
-    def classify(self, site, context):
+    def classify(self, site, context, region=None):
         """True when (site, context) is a real leak; False when a false
-        positive.  Raises ``KeyError`` for sites the model never
-        anticipated — a modeling bug the test suite should surface."""
+        positive.  ``region`` (region spec text) consults that region's
+        entry first, falling back to the site-level sets.  Raises
+        ``KeyError`` for sites the model never anticipated — a modeling
+        bug the test suite should surface."""
         for rule in self.context_rules:
             if rule.matches(site, context):
                 return rule.is_leak
+        entry = self.regions.get(region) if region is not None else None
+        if entry is not None:
+            if site in entry["leaks"]:
+                return True
+            if site in entry["fps"]:
+                return False
         if site in self.leak_sites:
             return True
         if site in self.fp_sites:
@@ -53,6 +77,24 @@ class Truth:
             "site %r reported but not classified by the app's ground truth" % site
         )
 
+    def leaks_for_region(self, region):
+        """Real-leak sites expected in one region (region spec text);
+        falls back to the site-level set when the region has no entry."""
+        entry = self.regions.get(region)
+        if entry is not None:
+            return entry["leaks"]
+        return self.leak_sites
+
+    def expected_for_region(self, region):
+        """All sites expected to be reported in one region."""
+        entry = self.regions.get(region)
+        if entry is not None:
+            return entry["leaks"] | entry["fps"]
+        return self.expected_report()
+
     def expected_report(self):
-        """All sites the model expects to see reported."""
-        return self.leak_sites | self.fp_sites
+        """All sites the model expects to see reported (any region)."""
+        expected = self.leak_sites | self.fp_sites
+        for entry in self.regions.values():
+            expected |= entry["leaks"] | entry["fps"]
+        return expected

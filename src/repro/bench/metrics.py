@@ -1,6 +1,7 @@
 """Per-application metric computation: one Table 1 row per run."""
 
 from repro.core.detector import LeakChecker
+from repro.core.regions import region_text
 
 
 class Row:
@@ -68,20 +69,46 @@ class Row:
         )
 
 
-def classify_findings(app, report):
+def classify_findings(app, report, region=None):
     """Split a report's context-sensitive sites into (true, false) lists
-    using the application model's ground truth."""
+    using the application model's ground truth.  ``region`` defaults to
+    the app's checked region; its spec text keys the truth's
+    region-level classification (see
+    :class:`repro.bench.groundtruth.Truth`)."""
+    region_key = region_text(region if region is not None else app.region)
     true_ctx = []
     false_ctx = []
     for finding in report.findings:
         contexts = finding.creation_contexts or [None]
         for ctx in contexts:
             if ctx is None:
-                is_leak = finding.site.label in app.truth.leak_sites
+                is_leak = finding.site.label in app.truth.leaks_for_region(
+                    region_key
+                )
             else:
-                is_leak = app.truth.classify(finding.site.label, ctx)
+                is_leak = app.truth.classify(
+                    finding.site.label, ctx, region=region_key
+                )
             (true_ctx if is_leak else false_ctx).append((finding.site.label, ctx))
     return true_ctx, false_ctx
+
+
+def precision_recall(app, report, region=None):
+    """Site-level (precision, recall) of ``report`` against the app's
+    ground truth for one region.
+
+    Precision counts reported sites that the truth marks as real leaks;
+    recall counts expected leak sites that got reported.  An empty
+    report against an empty expectation scores (1.0, 1.0) — the
+    balanced-variant gate relies on that convention.
+    """
+    region_key = region_text(region if region is not None else app.region)
+    expected = set(app.truth.leaks_for_region(region_key))
+    reported = set(report.leaking_site_labels)
+    true_positives = len(reported & expected)
+    precision = true_positives / len(reported) if reported else 1.0
+    recall = true_positives / len(expected) if expected else 1.0
+    return precision, recall
 
 
 def run_app(app, config=None, session=None):

@@ -77,6 +77,7 @@ def _config_from(args):
         library_condition=not args.no_library_condition,
         model_threads=args.model_threads,
         pivot=not args.no_pivot,
+        model_resources=not args.no_model_resources,
         strong_updates=args.strong_updates,
     )
 
@@ -555,6 +556,12 @@ def build_parser():
         p.add_argument("--no-library-condition", action="store_true")
         p.add_argument("--model-threads", action="store_true")
         p.add_argument("--no-pivot", action="store_true")
+        p.add_argument(
+            "--no-model-resources",
+            action="store_true",
+            help="disable acquire/release tracking on resource classes "
+            "(files, connections, sockets): no resource-leak findings",
+        )
         p.add_argument(
             "--strong-updates",
             action="store_true",

@@ -9,13 +9,33 @@ from repro.core.api import (
     detect_leaks,
 )
 from repro.core.detector import DetectorConfig, LeakChecker
-from repro.core.effects import EffectLog, LoadEffect, StoreEffect
+from repro.core.effects import (
+    AcquireEffect,
+    EffectLog,
+    LoadEffect,
+    ReleaseEffect,
+    StoreEffect,
+)
 from repro.core.pipeline import (
     AnalysisSession,
     PipelineStats,
     check_regions_parallel,
 )
-from repro.core.era import BOT, CUR, FUT, TOP, ZERO, Type, bump_era, join_era
+from repro.core.era import (
+    BOT,
+    CUR,
+    FUT,
+    R_HELD,
+    R_MAYBE,
+    R_RELEASED,
+    TOP,
+    ZERO,
+    Type,
+    bump_era,
+    is_leaked_resource,
+    join_era,
+    join_resource,
+)
 from repro.core.flows import (
     FlowPair,
     LeakVerdict,
@@ -34,7 +54,14 @@ from repro.core.regions import (
     candidate_loops,
     resolve_region,
 )
-from repro.core.report import LeakFinding, LeakReport, ReportDiff, diff_reports
+from repro.core.report import (
+    HEAP_LEAK,
+    RESOURCE_LEAK,
+    LeakFinding,
+    LeakReport,
+    ReportDiff,
+    diff_reports,
+)
 from repro.core.scan import ScanResult, scan_all_loops
 from repro.core.threads import started_thread_sites
 from repro.core.typestate import (
@@ -45,6 +72,7 @@ from repro.core.typestate import (
 
 __all__ = [
     "AbstractState",
+    "AcquireEffect",
     "AnalysisSession",
     "Analyzer",
     "BOT",
@@ -53,6 +81,7 @@ __all__ = [
     "EffectLog",
     "FUT",
     "FlowPair",
+    "HEAP_LEAK",
     "LeakChecker",
     "LeakFinding",
     "LeakReport",
@@ -60,9 +89,14 @@ __all__ = [
     "LoadEffect",
     "LoopSpec",
     "PipelineStats",
+    "RESOURCE_LEAK",
+    "R_HELD",
+    "R_MAYBE",
+    "R_RELEASED",
     "RankedLoop",
     "Region",
     "RegionSpec",
+    "ReleaseEffect",
     "ReportDiff",
     "ScanResult",
     "StoreEffect",
@@ -84,7 +118,9 @@ __all__ = [
     "flows_in_pairs",
     "flows_out_pairs",
     "inline_calls",
+    "is_leaked_resource",
     "join_era",
+    "join_resource",
     "match_flows",
     "rank_loops",
     "resolve_region",

@@ -30,6 +30,11 @@ class DetectorConfig:
         Treat started ``Thread`` objects as outside objects.
     pivot:
         Report only the roots of leaking structures.
+    model_resources:
+        Track acquire/release pairs on resource-class allocation sites
+        (files, connections, sockets — the registry in
+        :mod:`repro.javalib.resources`) and report acquired-but-never-
+        released sites as ``resource-leak`` findings.
     strong_updates:
         Model destructive updates (``x.f = null``): flows-out pairs into a
         heap slot that region code nulls are dropped.  This implements the
@@ -48,6 +53,7 @@ class DetectorConfig:
         library_condition=True,
         model_threads=False,
         pivot=True,
+        model_resources=True,
         strong_updates=False,
     ):
         if callgraph not in ("rta", "cha", "otf"):
@@ -60,6 +66,7 @@ class DetectorConfig:
         self.library_condition = library_condition
         self.model_threads = model_threads
         self.pivot = pivot
+        self.model_resources = model_resources
         self.strong_updates = strong_updates
 
     def describe(self):
@@ -72,6 +79,7 @@ class DetectorConfig:
             "library_condition": self.library_condition,
             "model_threads": self.model_threads,
             "pivot": self.pivot,
+            "model_resources": self.model_resources,
             "strong_updates": self.strong_updates,
         }
 

@@ -86,12 +86,65 @@ class LoadEffect:
         )
 
 
+class AcquireEffect:
+    """Abstract resource-acquire effect: (an instance of) ``site`` had an
+    acquire method (``open``/``connect``) invoked on it while carrying
+    ``era``."""
+
+    __slots__ = ("site", "era", "method_name", "stmt_uid")
+
+    def __init__(self, site, era, method_name, stmt_uid=None):
+        self.site = site
+        self.era = era
+        self.method_name = method_name
+        self.stmt_uid = stmt_uid
+
+    def key(self):
+        return (self.site, self.era, self.method_name)
+
+    def __eq__(self, other):
+        return isinstance(other, AcquireEffect) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(("acquire",) + self.key())
+
+    def __repr__(self):
+        return "(%s:%s +%s)" % (self.site, self.era, self.method_name)
+
+
+class ReleaseEffect:
+    """Abstract resource-release effect: the symmetric ``close``/
+    ``release``/``disconnect`` invocation."""
+
+    __slots__ = ("site", "era", "method_name", "stmt_uid")
+
+    def __init__(self, site, era, method_name, stmt_uid=None):
+        self.site = site
+        self.era = era
+        self.method_name = method_name
+        self.stmt_uid = stmt_uid
+
+    def key(self):
+        return (self.site, self.era, self.method_name)
+
+    def __eq__(self, other):
+        return isinstance(other, ReleaseEffect) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(("release",) + self.key())
+
+    def __repr__(self):
+        return "(%s:%s -%s)" % (self.site, self.era, self.method_name)
+
+
 class EffectLog:
     """Accumulated abstract effects of one analysis run."""
 
     def __init__(self):
         self.stores = set()
         self.loads = set()
+        self.acquires = set()
+        self.releases = set()
 
     def record_store(self, effect):
         if effect not in self.stores:
@@ -105,9 +158,31 @@ class EffectLog:
             return True
         return False
 
+    def record_acquire(self, effect):
+        if effect not in self.acquires:
+            self.acquires.add(effect)
+            return True
+        return False
+
+    def record_release(self, effect):
+        if effect not in self.releases:
+            self.releases.add(effect)
+            return True
+        return False
+
     def snapshot(self):
         """A hashable fingerprint used by fixed-point termination checks."""
-        return (len(self.stores), len(self.loads))
+        return (
+            len(self.stores),
+            len(self.loads),
+            len(self.acquires),
+            len(self.releases),
+        )
 
     def __repr__(self):
-        return "EffectLog(%d stores, %d loads)" % (len(self.stores), len(self.loads))
+        return "EffectLog(%d stores, %d loads, %d acquires, %d releases)" % (
+            len(self.stores),
+            len(self.loads),
+            len(self.acquires),
+            len(self.releases),
+        )

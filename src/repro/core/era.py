@@ -58,6 +58,47 @@ def bump_era(era):
     return era
 
 
+# -- resource-state lattice ---------------------------------------------------
+#
+# The resource dimension of the effect system tracks, per allocation
+# site of a resource class, whether the iteration's instance is still
+# held when the iteration ends:
+#
+# * ``HELD``     — acquired (``open``/``connect``) and not released on
+#   any path;
+# * ``RELEASED`` — released (``close``/``release``/``disconnect``) on
+#   every path;
+# * ``MAYBE``    — released on some paths only (the conditional-release
+#   shape: ``if (*) { close }``).
+#
+# The order is ``RELEASED < MAYBE`` and ``HELD < MAYBE``: a control-flow
+# join of a held path and a released path is a may-leak.  ``HELD`` and
+# ``MAYBE`` at the fixed point mean the site's per-iteration resource is
+# (possibly) never released — the resource analogue of ERA ``T``.
+
+R_HELD = "held"
+R_RELEASED = "released"
+R_MAYBE = "maybe"
+
+
+def join_resource(a, b):
+    """Join of two resource states; ``None`` (no event on a path) is the
+    identity."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    return R_MAYBE
+
+
+def is_leaked_resource(state):
+    """True for fixed-point resource states that report: the instance
+    may outlive its iteration without a release."""
+    return state in (R_HELD, R_MAYBE)
+
+
 def is_inside(era):
     """True for ERAs of objects created inside the loop."""
     return era in (CUR, FUT, TOP)

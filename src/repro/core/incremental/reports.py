@@ -21,7 +21,7 @@ is patched by the engine from the new program, everything else in the
 stored stats is a pure function of the unchanged footprint.
 """
 
-from repro.core.report import LeakFinding, LeakReport
+from repro.core.report import HEAP_LEAK, LeakFinding, LeakReport
 from repro.core.regions import RegionSpec
 from repro.pta.context import CallString
 
@@ -41,6 +41,7 @@ def encode_report(report, statement_positions):
         "findings": [
             {
                 "site": f.site.label,
+                "kind": f.kind,
                 "era": f.era,
                 "redundant_edges": [list(edge) for edge in f.redundant_edges],
                 "contexts": [
@@ -81,6 +82,7 @@ def decode_report(data, program, statements_of):
                     for sig, position in entry["escape_stores"]
                 ],
                 notes=list(entry["notes"]),
+                kind=entry.get("kind", HEAP_LEAK),
             )
         )
     return LeakReport(region, findings, dict(data["stats"]))

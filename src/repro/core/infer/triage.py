@@ -13,7 +13,10 @@ damaging first.  The severity score of one finding is a weighted sum of
 * **allocation density** — leaking sites relative to the size of the
   enclosing region (a tight allocating loop grows faster);
 * **pivot-root status** — findings from a pivot-enabled run are roots
-  of leaking structures, not interior nodes, and rank above raw sites.
+  of leaking structures, not interior nodes, and rank above raw sites;
+* **resource kind** — ``resource-leak`` findings exhaust a bounded OS
+  pool (file descriptors, connections) rather than the heap, so they
+  rank above an equally-evidenced heap retention.
 
 Every input is a pure function of the report content, so the ranking is
 byte-identical across runs, hash seeds, and scan backends, and flows
@@ -29,6 +32,7 @@ SEVERITY_WEIGHTS = {
     "escape_stores": 2.0,
     "alloc_density": 25.0,
     "pivot_root": 5.0,
+    "resource": 8.0,
 }
 
 #: Band thresholds, checked best-first: ``score >= threshold`` wins.
@@ -46,11 +50,20 @@ def severity_band(score):
 class TriagedFinding:
     """One finding with its severity score, band, and suppression key."""
 
-    __slots__ = ("region", "site", "score", "severity", "features", "fingerprint")
+    __slots__ = (
+        "region",
+        "site",
+        "kind",
+        "score",
+        "severity",
+        "features",
+        "fingerprint",
+    )
 
-    def __init__(self, region, site, score, features, fingerprint):
+    def __init__(self, region, site, kind, score, features, fingerprint):
         self.region = region
         self.site = site
+        self.kind = kind
         self.score = score
         self.severity = severity_band(score)
         self.features = dict(features)
@@ -60,6 +73,7 @@ class TriagedFinding:
         return {
             "region": self.region,
             "site": self.site,
+            "kind": self.kind,
             "score": self.score,
             "severity": self.severity,
             "features": dict(self.features),
@@ -80,23 +94,31 @@ def _triage_one(region, finding, report_stats):
     region_stmts = counters.get("region_statements", 0)
     density = report_stats.get("loop_alloc_sites", 0) / max(1, region_stmts)
     pivot_root = 1 if report_stats.get("pivot") else 0
+    kind = getattr(finding, "kind", "heap-leak")
     features = {
         "contexts": finding.context_count,
         "redundant_edges": len(finding.redundant_edges),
         "escape_stores": len(finding.escape_stores),
         "alloc_density": round(density, 4),
         "pivot_root": pivot_root,
+        "resource": 1 if kind == "resource-leak" else 0,
     }
     score = round(
         SEVERITY_WEIGHTS["contexts"] * features["contexts"]
         + SEVERITY_WEIGHTS["redundant_edges"] * features["redundant_edges"]
         + SEVERITY_WEIGHTS["escape_stores"] * features["escape_stores"]
         + SEVERITY_WEIGHTS["alloc_density"] * features["alloc_density"]
-        + SEVERITY_WEIGHTS["pivot_root"] * features["pivot_root"],
+        + SEVERITY_WEIGHTS["pivot_root"] * features["pivot_root"]
+        + SEVERITY_WEIGHTS["resource"] * features["resource"],
         4,
     )
     return TriagedFinding(
-        region, finding.site.label, score, features, finding.fingerprint(region)
+        region,
+        finding.site.label,
+        kind,
+        score,
+        features,
+        finding.fingerprint(region),
     )
 
 

@@ -104,6 +104,57 @@ class MatchArtifact:
     verdicts: Dict[str, Verdict]
 
 
+class ResourceVerdict:
+    """Per-site resource decision: acquired / must-released /
+    flows-back, with the ERA the finding will carry."""
+
+    __slots__ = (
+        "site",
+        "kind",
+        "class_name",
+        "era",
+        "acquired",
+        "released",
+        "flows_back",
+    )
+
+    def __init__(self, site, kind, class_name, era, acquired, released, flows_back):
+        self.site = site
+        #: resource kind from the registry ("file", "connection", ...)
+        self.kind = kind
+        self.class_name = class_name
+        self.era = era
+        self.acquired = acquired
+        #: definitely released on every path through one iteration
+        self.released = released
+        #: the object itself flows back into later iterations (heap ERA
+        #: ``f``), so a later iteration may still release it
+        self.flows_back = flows_back
+
+    @property
+    def is_leak(self):
+        return self.acquired and not self.released and not self.flows_back
+
+    def __repr__(self):
+        return "ResourceVerdict(%s, %s, leak=%s)" % (
+            self.site,
+            self.kind,
+            self.is_leak,
+        )
+
+
+@dataclass
+class ResourceArtifact:
+    """Stage 8 output: resource verdicts for acquired resource sites.
+    ``leaking`` is the sorted list of resource-leaking site labels;
+    ``acquire_stmts`` holds the acquire invocations per site (report
+    evidence)."""
+
+    verdicts: Dict[str, ResourceVerdict]
+    leaking: List[str]
+    acquire_stmts: Dict[str, List]
+
+
 @dataclass
 class RegionArtifacts:
     """Everything the pipeline computed for one region — the unit the
@@ -123,4 +174,5 @@ class RegionArtifacts:
     cleared_slots: FrozenSet
     matches: MatchArtifact
     leaking: List[str]
+    resources: Any = None
     stats: Any = field(default=None, repr=False)

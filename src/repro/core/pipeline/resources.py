@@ -1,0 +1,166 @@
+"""Stage 8 — resource acquire/release matching.
+
+The heap stages decide whether an object *created* per iteration is ever
+retrieved again; this stage decides whether a resource *acquired* per
+iteration is ever released.  A resource site is a reportable inside
+allocation site whose class appears in the resource registry
+(:mod:`repro.javalib.resources`).  For each one the stage computes:
+
+* **may-acquire** — some region invocation of an acquire method
+  (``open``/``connect``) may target the site (receiver points-to);
+* **must-release** — on *every* path through one iteration, a release
+  method (``close``/``release``/``disconnect``) definitely targets the
+  site.  The check is a structured walk of the region body: a sequence
+  releases what any statement releases, an ``if`` releases what both
+  arms release, a nested loop releases nothing (it may run zero times),
+  and a call releases what every possible callee must release
+  (per-method summaries, recursion-safe).  A release only counts when
+  the receiver's points-to set is exactly the site — under
+  allocation-site abstraction an ambiguous receiver guarantees nothing.
+
+A site that is acquired but not must-released leaks its per-iteration
+resource — unless the *object itself* flows back into later iterations
+(heap verdict ERA ``f``), in which case a later iteration may still
+release it and the stage stays quiet; this is the resource analogue of
+the flows-in condition and what keeps handle-caching patterns
+unreported.
+"""
+
+from repro.core.era import CUR, FUT
+from repro.core.pipeline.artifacts import ResourceArtifact, ResourceVerdict
+from repro.ir.stmts import Block, IfStmt, InvokeStmt, LoopStmt
+from repro.javalib.resources import default_resource_model
+
+
+def compute_resources(
+    session, region, context_art, region_stmts, match_art, stats, model=None
+):
+    """Produce the :class:`ResourceArtifact` for ``region``."""
+    model = model or default_resource_model()
+    program = session.program
+    points_to = session.points_to
+
+    resource_sites = {}
+    for label in context_art.reportable:
+        site = program.site(label)
+        spec = model.spec_for(site.type.class_name, program)
+        if spec is not None:
+            resource_sites[label] = spec
+    stats.count("resource_sites", len(resource_sites))
+    if not resource_sites:
+        return ResourceArtifact(verdicts={}, leaking=[], acquire_stmts={})
+
+    # May-acquire over the flattened region statements (covers acquires
+    # performed in helper methods called from the loop).
+    acquire_stmts = {}
+    for stmt in region_stmts.statements:
+        if not isinstance(stmt, InvokeStmt) or stmt.is_static:
+            continue
+        for base in points_to.pts(stmt.method.sig, stmt.base):
+            spec = resource_sites.get(base)
+            if spec is not None and stmt.method_name in spec.acquire_methods:
+                acquire_stmts.setdefault(base, []).append(stmt)
+
+    released = _must_released(session, region, resource_sites)
+
+    verdicts = {}
+    leaking = []
+    for label in sorted(resource_sites):
+        if label not in acquire_stmts:
+            continue
+        spec = resource_sites[label]
+        heap_verdict = match_art.verdicts.get(label)
+        flows_back = bool(heap_verdict is not None and heap_verdict.era == FUT)
+        is_released = label in released
+        # A non-escaping resource object dies with its iteration but its
+        # handle does not: ERA c still reports.  An escaping one carries
+        # the heap verdict's ERA (T: never retrieved again).
+        era = heap_verdict.era if heap_verdict is not None else CUR
+        verdicts[label] = ResourceVerdict(
+            site=label,
+            kind=spec.kind,
+            class_name=program.site(label).type.class_name,
+            era=era,
+            acquired=True,
+            released=is_released,
+            flows_back=flows_back,
+        )
+        if verdicts[label].is_leak:
+            leaking.append(label)
+
+    stats.count("resource_acquired", len(acquire_stmts))
+    stats.count("resource_released", len(released & set(acquire_stmts)))
+    stats.count("resource_leaks", len(leaking))
+    return ResourceArtifact(
+        verdicts=verdicts, leaking=leaking, acquire_stmts=acquire_stmts
+    )
+
+
+def _must_released(session, region, resource_sites):
+    """Labels of resource sites definitely released on every path
+    through one iteration of ``region``."""
+    program = session.program
+    points_to = session.points_to
+    callgraph = session.callgraph
+    summaries = {}
+    in_progress = set()
+
+    def direct_releases(stmt):
+        if stmt.is_static:
+            return set()
+        pts = points_to.pts(stmt.method.sig, stmt.base)
+        if len(pts) != 1:
+            return set()
+        (base,) = tuple(pts)
+        spec = resource_sites.get(base)
+        if spec is not None and stmt.method_name in spec.release_methods:
+            return {base}
+        return set()
+
+    def stmt_releases(stmt):
+        if isinstance(stmt, Block):
+            return block_releases(stmt)
+        if isinstance(stmt, IfStmt):
+            return block_releases(stmt.then_block) & block_releases(
+                stmt.else_block
+            )
+        if isinstance(stmt, LoopStmt):
+            return set()  # may run zero times: no must-release
+        if isinstance(stmt, InvokeStmt):
+            result = direct_releases(stmt)
+            callees = list(callgraph.targets_of_site(stmt))
+            if callees:
+                common = None
+                for callee in callees:
+                    summary = method_summary(callee)
+                    common = summary if common is None else common & summary
+                result = result | (common or set())
+            return result
+        return set()
+
+    def block_releases(block):
+        result = set()
+        for stmt in block.stmts:
+            result |= stmt_releases(stmt)
+        return result
+
+    def method_summary(method):
+        sig = method.sig
+        cached = summaries.get(sig)
+        if cached is not None:
+            return cached
+        if sig in in_progress:
+            return set()  # recursion: assume no guaranteed release
+        in_progress.add(sig)
+        try:
+            result = frozenset(block_releases(method.body))
+        finally:
+            in_progress.discard(sig)
+        summaries[sig] = result
+        return result
+
+    if getattr(region, "loop_label", None) is not None:
+        body = region.loop(program).body
+    else:
+        body = region.method(program).body
+    return block_releases(body)

@@ -42,11 +42,12 @@ from repro.core.pipeline.postpasses import (
     cleared_slots,
     pivot_roots,
 )
+from repro.core.pipeline.resources import compute_resources
 from repro.core.pipeline.statements import collect_region_statements
 from repro.core.pipeline.stats import PipelineStats
 from repro.core.pipeline.store_edges import extract_store_edges
 from repro.core.regions import RegionSpec
-from repro.core.report import LeakFinding, LeakReport
+from repro.core.report import RESOURCE_LEAK, LeakFinding, LeakReport
 from repro.core.threads import started_thread_sites
 from repro.errors import AnalysisError
 from repro.ir.types import THREAD_CLASS
@@ -370,6 +371,13 @@ class AnalysisSession:
                     leaking = pivot_roots(
                         context_art, store_art, match_art, stats
                     )
+
+            resources = None
+            if self.config.model_resources:
+                with stats.stage("resources"):
+                    resources = compute_resources(
+                        self, region, context_art, region_stmts, match_art, stats
+                    )
         return RegionArtifacts(
             region=region,
             contexts=context_art,
@@ -381,6 +389,7 @@ class AnalysisSession:
             cleared_slots=cleared,
             matches=match_art,
             leaking=leaking,
+            resources=resources,
             stats=stats,
         )
 
@@ -465,6 +474,52 @@ class AnalysisSession:
                         key=lambda s: (s.method.sig, s.uid),
                     )[:3],
                     notes=notes,
+                )
+            )
+        findings.extend(self._build_resource_findings(art))
+        return findings
+
+    def _build_resource_findings(self, art):
+        """Resource-leak findings (after the heap findings, sorted by
+        site) — acquired-but-never-released resource sites."""
+        if art.resources is None:
+            return []
+        contexts = art.contexts.contexts
+        verdicts = art.matches.verdicts
+        findings = []
+        for site_label in art.resources.leaking:
+            verdict = art.resources.verdicts[site_label]
+            heap_verdict = verdicts.get(site_label)
+            redundant = (
+                [(base, field) for base, field in heap_verdict.unmatched_keys]
+                if heap_verdict is not None
+                else []
+            )
+            acquire_names = sorted(
+                {
+                    "%s.%s" % (verdict.class_name, stmt.method_name)
+                    for stmt in art.resources.acquire_stmts[site_label]
+                }
+            )
+            notes = [
+                "%s resource acquired via %s() and never released in the "
+                "region" % (verdict.kind, name)
+                for name in acquire_names
+            ]
+            findings.append(
+                LeakFinding(
+                    self.program.site(site_label),
+                    verdict.era,
+                    redundant,
+                    sorted(
+                        contexts.get(site_label, ()), key=lambda c: c.sites
+                    ),
+                    escape_stores=sorted(
+                        art.resources.acquire_stmts[site_label],
+                        key=lambda s: (s.method.sig, s.uid),
+                    )[:3],
+                    notes=notes,
+                    kind=RESOURCE_LEAK,
                 )
             )
         return findings

@@ -9,6 +9,12 @@ identification.
 """
 
 
+#: Finding kinds: classic heap retention vs. acquired-but-never-released
+#: resources (files, connections, sockets — see repro.javalib.resources).
+HEAP_LEAK = "heap-leak"
+RESOURCE_LEAK = "resource-leak"
+
+
 class LeakFinding:
     """One reported leaking allocation site with its evidence."""
 
@@ -19,6 +25,7 @@ class LeakFinding:
         "creation_contexts",
         "escape_stores",
         "notes",
+        "kind",
     )
 
     def __init__(
@@ -29,6 +36,7 @@ class LeakFinding:
         creation_contexts,
         escape_stores=None,
         notes=None,
+        kind=HEAP_LEAK,
     ):
         self.site = site
         self.era = era
@@ -36,9 +44,12 @@ class LeakFinding:
         self.redundant_edges = list(redundant_edges)
         #: list of CallString — contexts under which instances are created
         self.creation_contexts = list(creation_contexts)
-        #: sample store statements realizing the escape, for navigation
+        #: sample store statements realizing the escape (heap findings)
+        #: or acquire invocations (resource findings), for navigation
         self.escape_stores = list(escape_stores or [])
         self.notes = list(notes or [])
+        #: ``"heap-leak"`` or ``"resource-leak"``
+        self.kind = kind
 
     @property
     def context_count(self):
@@ -53,22 +64,35 @@ class LeakFinding:
         the sorted redundant-edge set — invariant under unrelated code
         motion and run order, but a new escape path or site reads as a
         new finding.  ``region`` is the region spec string (see
-        :func:`repro.core.regions.region_text`).
+        :func:`repro.core.regions.region_text`).  Non-heap kinds append
+        the kind, so a heap and a resource finding at one site never
+        collide (heap fingerprints keep their historical form, so
+        existing suppression baselines stay valid).
         """
         edges = ";".join(
             sorted("%s.%s" % (base, field) for base, field in self.redundant_edges)
         )
-        return "%s|%s|%s" % (region, self.site.label, edges)
+        base = "%s|%s|%s" % (region, self.site.label, edges)
+        if self.kind != HEAP_LEAK:
+            return "%s|%s" % (base, self.kind)
+        return base
 
     def format(self):
-        lines = ["leaking allocation site: %s (ERA %s)" % (self.site.label, self.era)]
+        if self.kind == RESOURCE_LEAK:
+            head = "leaking resource site: %s (ERA %s)" % (self.site.label, self.era)
+        else:
+            head = "leaking allocation site: %s (ERA %s)" % (self.site.label, self.era)
+        lines = [head]
         lines.append("  allocated in: %s" % self.site.method_sig)
         for base, field in self.redundant_edges:
             lines.append("  redundant reference: %s.%s" % (base, field))
         for ctx in self.creation_contexts:
             lines.append("  created under: %s" % ctx)
+        evidence = (
+            "acquired by" if self.kind == RESOURCE_LEAK else "escaping store"
+        )
         for stmt in self.escape_stores:
-            lines.append("  escaping store: %r in %s" % (stmt, stmt.method.sig))
+            lines.append("  %s: %r in %s" % (evidence, stmt, stmt.method.sig))
         for note in self.notes:
             lines.append("  note: %s" % note)
         return "\n".join(lines)
@@ -77,6 +101,7 @@ class LeakFinding:
         """JSON-ready representation of this finding."""
         return {
             "site": self.site.label,
+            "kind": self.kind,
             "type": str(self.site.type),
             "allocated_in": self.site.method_sig,
             "era": self.era,

@@ -51,19 +51,41 @@ from repro.ir.stmts import (
     StoreStmt,
     walk,
 )
-from repro.core.effects import EffectLog, LoadEffect, StoreEffect
-from repro.core.era import CUR, FUT, TOP, ZERO, Type, join_era  # noqa: F401
+from repro.core.effects import (
+    AcquireEffect,
+    EffectLog,
+    LoadEffect,
+    ReleaseEffect,
+    StoreEffect,
+)
+from repro.core.era import (  # noqa: F401
+    CUR,
+    FUT,
+    R_HELD,
+    R_MAYBE,
+    R_RELEASED,
+    TOP,
+    ZERO,
+    Type,
+    is_leaked_resource,
+    join_era,
+    join_resource,
+)
 
 
 class AbstractState:
-    """Gamma + H, with lattice join and the iteration-advance operator."""
+    """Gamma + H + R, with lattice join and the iteration-advance
+    operator.  ``resources`` maps resource allocation sites to their
+    per-iteration acquire/release state (the resource dimension; empty
+    unless the analysis runs with a resource model)."""
 
-    def __init__(self, gamma=None, heap=None):
+    def __init__(self, gamma=None, heap=None, resources=None):
         self.gamma = dict(gamma or {})
         self.heap = dict(heap or {})
+        self.resources = dict(resources or {})
 
     def copy(self):
-        return AbstractState(self.gamma, self.heap)
+        return AbstractState(self.gamma, self.heap, self.resources)
 
     def get_var(self, var):
         return self.gamma.get(var, Type.bot())
@@ -97,19 +119,29 @@ class AbstractState:
             )
             if not joined.is_bot:
                 result.heap[key] = joined
+        for site in set(self.resources) | set(other.resources):
+            result.resources[site] = join_resource(
+                self.resources.get(site), other.resources.get(site)
+            )
         return result
 
     def bump(self):
-        """Apply the iteration-advance operator (+) to Gamma and H."""
+        """Apply the iteration-advance operator (+) to Gamma and H.
+
+        Resource states persist unchanged: an instance left ``HELD`` by
+        a previous iteration stays held — the new iteration's acquire
+        performs the strong update."""
         result = AbstractState()
         result.gamma = {v: t.bump() for v, t in self.gamma.items()}
         result.heap = {k: t.bump() for k, t in self.heap.items()}
+        result.resources = dict(self.resources)
         return result
 
     def snapshot(self):
         return (
             tuple(sorted((v, t.key()) for v, t in self.gamma.items())),
             tuple(sorted((k, t.key()) for k, t in self.heap.items())),
+            tuple(sorted(self.resources.items())),
         )
 
     def __eq__(self, other):
@@ -179,6 +211,21 @@ class TypeEffectResult:
             + list(self.body_state.heap.values())
         )
 
+    def resource_summary(self):
+        """Per-site fixed-point resource state (``held``/``released``/
+        ``maybe``); empty unless the analysis ran with a resource
+        model."""
+        return dict(self.body_state.resources)
+
+    def leaked_resources(self):
+        """Resource sites whose per-iteration instance may never be
+        released: fixed-point state ``held`` or ``maybe``."""
+        return sorted(
+            site
+            for site, state in self.body_state.resources.items()
+            if is_leaked_resource(state)
+        )
+
     def era_summary(self):
         sites = set(self.inside_sites)
         for typ in list(self.body_state.gamma.values()) + list(
@@ -207,6 +254,10 @@ class TypeEffectResult:
         lines.append("ERA summary:")
         for site, era in sorted(self.era_summary().items()):
             lines.append("  ERA(%s) = %s" % (site, era))
+        if self.body_state.resources:
+            lines.append("resource states:")
+            for site, state in sorted(self.body_state.resources.items()):
+                lines.append("  R(%s) = %s" % (site, state))
         return "\n".join(lines)
 
     def __repr__(self):
@@ -216,7 +267,15 @@ class TypeEffectResult:
 class TypeEffectAnalysis:
     """Abstract interpreter for one method with one analyzed loop."""
 
-    def __init__(self, method, loop_label, max_iterations=100, strong_updates=False):
+    def __init__(
+        self,
+        method,
+        loop_label,
+        max_iterations=100,
+        strong_updates=False,
+        resource_model=None,
+        program=None,
+    ):
         self.method = method
         self.loop_label = loop_label
         self.max_iterations = max_iterations
@@ -224,6 +283,15 @@ class TypeEffectAnalysis:
         #: heap slot) — the future-work precision refinement; unsound in
         #: general under allocation-site abstraction, hence off by default
         self.strong_updates = strong_updates
+        #: optional :class:`repro.javalib.resources.ResourceModel`:
+        #: acquire/release invocations on object-typed receivers become
+        #: resource events instead of raising (the formal system stays
+        #: intraprocedural for everything else)
+        self.resource_model = resource_model
+        #: optional program, used only to map allocation sites to class
+        #: names for registry lookups (without it, classification falls
+        #: back to method-name matching across all registered specs)
+        self._program = program
         self._loop = method.find_loop(loop_label)
         self.inside_sites = frozenset(
             s.site for s in walk(self._loop.body) if isinstance(s, NewStmt)
@@ -292,12 +360,61 @@ class TypeEffectAnalysis:
         if isinstance(stmt, LoopStmt):
             return self._exec_loop(stmt, state)
         if isinstance(stmt, InvokeStmt):
+            handled = self._exec_resource_invoke(stmt, state)
+            if handled is not None:
+                return handled
             raise AnalysisError(
                 "the formal type and effect system is intraprocedural; "
                 "inline calls first (repro.core.inline) or use the "
                 "interprocedural detector (call at %r)" % stmt
             )
         raise AnalysisError("cannot abstract-interpret %r" % stmt)
+
+    def _exec_resource_invoke(self, stmt, state):
+        """Handle an acquire/release invocation under the resource
+        model; returns the updated state, or ``None`` when the call is
+        not a resource event (the intraprocedural error applies)."""
+        if self.resource_model is None or stmt.is_static:
+            return None
+        receiver = state.get_var(stmt.base)
+        if not receiver.is_obj:
+            return None
+        class_name = self._class_of_site(receiver.site)
+        event = self.resource_model.event_for(
+            class_name, stmt.method_name, self._program
+        )
+        if event is None:
+            return None
+        if event == "acquire":
+            if self._in_analyzed_loop:
+                self.effects.record_acquire(
+                    AcquireEffect(
+                        receiver.site, receiver.era, stmt.method_name, stmt.uid
+                    )
+                )
+            # Strong update: the acquire governs this iteration's
+            # instance (rule TNEW-style strong update to the tracked
+            # per-site state).
+            state.resources[receiver.site] = R_HELD
+        else:
+            if self._in_analyzed_loop:
+                self.effects.record_release(
+                    ReleaseEffect(
+                        receiver.site, receiver.era, stmt.method_name, stmt.uid
+                    )
+                )
+            state.resources[receiver.site] = R_RELEASED
+        if stmt.target:
+            state.set_var(stmt.target, Type.bot())
+        return state
+
+    def _class_of_site(self, site_label):
+        if self._program is None:
+            return None
+        try:
+            return self._program.site(site_label).type.class_name
+        except Exception:
+            return None
 
     def _exec_store(self, stmt, state):
         base = state.get_var(stmt.base)
@@ -386,13 +503,27 @@ class TypeEffectAnalysis:
 
 
 def analyze_loop(
-    method, loop_label, initial_state=None, max_iterations=100, strong_updates=False
+    method,
+    loop_label,
+    initial_state=None,
+    max_iterations=100,
+    strong_updates=False,
+    resource_model=None,
+    program=None,
 ):
-    """Run the type and effect system on ``method`` w.r.t. ``loop_label``."""
+    """Run the type and effect system on ``method`` w.r.t. ``loop_label``.
+
+    ``resource_model`` (a :class:`repro.javalib.resources.ResourceModel`)
+    turns acquire/release invocations on object-typed receivers into
+    resource events tracked by the state's resource dimension; pass
+    ``program`` so sites resolve to class names for registry lookups.
+    """
     analysis = TypeEffectAnalysis(
         method,
         loop_label,
         max_iterations=max_iterations,
         strong_updates=strong_updates,
+        resource_model=resource_model,
+        program=program,
     )
     return analysis.run(initial_state=initial_state)

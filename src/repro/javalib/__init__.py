@@ -305,6 +305,75 @@ library class Thread {
 }
 """
 
+# Resource models (see repro.javalib.resources for the declarative
+# acquire/release registry the detector consults).  Each acquire method
+# materializes an internal native-handle object so the heap shape of an
+# open resource is visible to the points-to analysis; each release
+# method destructively drops it — the paper's x.f = null idiom.
+
+_FILESTREAM = """
+library class FileDescriptor { }
+
+library class FileStream {
+  field fd;
+  method open() {
+    d = new FileDescriptor @FileStream:fd;
+    this.fd = d;
+  }
+  method read() {
+    d = this.fd;
+    return d;
+  }
+  method close() {
+    this.fd = null;
+  }
+}
+"""
+
+_DBCONNECTION = """
+library class NativeHandle { }
+
+library class DbConnection {
+  field handle;
+  method connect() {
+    h = new NativeHandle @DbConnection:handle;
+    this.handle = h;
+  }
+  method query(q) {
+    h = this.handle;
+    return h;
+  }
+  method release() {
+    this.handle = null;
+  }
+  method close() {
+    this.handle = null;
+  }
+}
+"""
+
+_SOCKETCHANNEL = """
+library class SocketHandle { }
+
+library class SocketChannel {
+  field sock;
+  method connect() {
+    s = new SocketHandle @SocketChannel:sock;
+    this.sock = s;
+  }
+  method recv() {
+    s = this.sock;
+    return s;
+  }
+  method disconnect() {
+    this.sock = null;
+  }
+  method close() {
+    this.sock = null;
+  }
+}
+"""
+
 _COMPONENTS = {
     "hashmap": _HASHMAP,
     "identityhashmap": _IDENTITY_HASHMAP,
@@ -316,6 +385,9 @@ _COMPONENTS = {
     "hashset": _HASHSET,
     "stringbuilder": _STRINGBUILDER,
     "thread": _THREAD,
+    "filestream": _FILESTREAM,
+    "dbconnection": _DBCONNECTION,
+    "socketchannel": _SOCKETCHANNEL,
 }
 
 #: Every model, ready to concatenate with application source.
@@ -332,6 +404,9 @@ JAVALIB_SOURCE = "\n".join(
         "hashset",
         "stringbuilder",
         "thread",
+        "filestream",
+        "dbconnection",
+        "socketchannel",
     )
 )
 
@@ -352,4 +427,19 @@ def with_javalib(app_source, *names):
     return lib + "\n" + app_source
 
 
-__all__ = ["JAVALIB_SOURCE", "library_source", "with_javalib"]
+from repro.javalib.resources import (
+    DEFAULT_RESOURCES,
+    ResourceModel,
+    ResourceSpec,
+    default_resource_model,
+)
+
+__all__ = [
+    "DEFAULT_RESOURCES",
+    "JAVALIB_SOURCE",
+    "ResourceModel",
+    "ResourceSpec",
+    "default_resource_model",
+    "library_source",
+    "with_javalib",
+]

@@ -116,6 +116,7 @@ class Interpreter:
         max_steps=200_000,
         strict=False,
         iteration_hook=None,
+        call_hook=None,
     ):
         self.program = program
         self.schedule = schedule or FixedSchedule()
@@ -124,6 +125,10 @@ class Interpreter:
         #: optional callable(loop_label, iteration, interpreter) invoked
         #: after each completed loop iteration — used by the GC profiler
         self.iteration_hook = iteration_hook
+        #: optional callable(stmt, receiver, interpreter) invoked for
+        #: every non-static call with a non-null receiver, before
+        #: dispatch — used by the resource-event oracle
+        self.call_hook = call_hook
         self.trace = Trace()
         self._steps = 0
         self._oid = 0
@@ -316,6 +321,8 @@ class Interpreter:
                 if stmt.target:
                     env[stmt.target] = None
                 return
+            if self.call_hook is not None:
+                self.call_hook(stmt, receiver, self)
             if stmt.method_name == "start" and self.program.is_subclass(
                 receiver.class_name, THREAD_CLASS
             ):

@@ -1,0 +1,121 @@
+"""Concrete resource-event oracle: the dynamic analogue of the static
+resource stage (:mod:`repro.core.pipeline.resources`).
+
+The interpreter's ``call_hook`` reports every non-static call with its
+concrete receiver; this module classifies those calls against the
+resource registry (:mod:`repro.javalib.resources`) into acquire and
+release *events* on run-time objects, and lifts them to ground truth:
+
+a run-time object concretely **leaks its resource** with respect to a
+loop when it performs an acquire during some iteration ``k >= 1`` that
+no release (on the same object) ever follows — anywhere later in the
+trace, in-loop or after.  Site-level truth (:meth:`ResourceLog.
+leaked_sites`) is the unit the static stage reports, so the
+differential property test compares the two directly.
+"""
+
+from repro.javalib.resources import ACQUIRE, RELEASE, default_resource_model
+from repro.semantics.interp import Interpreter
+
+
+class ResourceEvent:
+    """One concrete acquire or release on a run-time object."""
+
+    __slots__ = ("index", "event", "obj", "loop_state", "stmt_uid", "method_name")
+
+    def __init__(self, index, event, obj, loop_state, stmt_uid, method_name):
+        #: position in trace order (total order over all events)
+        self.index = index
+        #: :data:`~repro.javalib.resources.ACQUIRE` or ``RELEASE``
+        self.event = event
+        self.obj = obj
+        self.loop_state = dict(loop_state)
+        self.stmt_uid = stmt_uid
+        self.method_name = method_name
+
+    def iteration_in(self, loop_label):
+        """Iteration count of ``loop_label`` when the event fired
+        (0 = outside the loop)."""
+        return self.loop_state.get(loop_label, 0)
+
+    def __repr__(self):
+        return "ResourceEvent(%s %s#%d)" % (
+            self.event,
+            self.obj.site,
+            self.obj.oid,
+        )
+
+
+class ResourceLog:
+    """All resource events of one execution, in trace order."""
+
+    def __init__(self):
+        self.events = []
+
+    def record(self, event, obj, loop_state, stmt_uid, method_name):
+        self.events.append(
+            ResourceEvent(
+                len(self.events), event, obj, loop_state, stmt_uid, method_name
+            )
+        )
+
+    def events_for(self, oid):
+        return [e for e in self.events if e.obj.oid == oid]
+
+    def leaked_instances(self, loop_label):
+        """Run-time objects that concretely leak their resource w.r.t.
+        ``loop_label``: some in-loop acquire is never followed by a
+        release on the same object."""
+        releases = {}
+        for event in self.events:
+            if event.event == RELEASE:
+                releases.setdefault(event.obj.oid, []).append(event.index)
+        leaked = {}
+        for event in self.events:
+            if event.event != ACQUIRE:
+                continue
+            if event.iteration_in(loop_label) == 0:
+                continue  # acquired outside the loop
+            later = releases.get(event.obj.oid, ())
+            if not any(index > event.index for index in later):
+                leaked[event.obj.oid] = event.obj
+        return list(leaked.values())
+
+    def leaked_sites(self, loop_label):
+        """Allocation sites with at least one concretely resource-leaking
+        instance — the unit the static stage reports."""
+        return sorted({obj.site for obj in self.leaked_instances(loop_label)})
+
+    def __repr__(self):
+        return "ResourceLog(%d events)" % len(self.events)
+
+
+def resource_call_hook(log, model=None):
+    """Build an :class:`~repro.semantics.interp.Interpreter` ``call_hook``
+    that records acquire/release events into ``log``."""
+    model = model or default_resource_model()
+
+    def hook(stmt, receiver, interp):
+        event = model.event_for(
+            receiver.class_name, stmt.method_name, program=interp.program
+        )
+        if event is not None:
+            log.record(
+                event, receiver, interp._loop_state(), stmt.uid, stmt.method_name
+            )
+
+    return hook
+
+
+def run_with_resource_log(program, schedule=None, model=None, **kwargs):
+    """Execute ``program`` recording resource events; returns
+    ``(trace, ResourceLog)``."""
+    log = ResourceLog()
+    interp = Interpreter(
+        program,
+        schedule=schedule,
+        call_hook=resource_call_hook(log, model=model),
+        **kwargs,
+    )
+    trace = interp.run()
+    return trace, log

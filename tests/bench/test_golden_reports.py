@@ -1,5 +1,6 @@
-"""Golden-report regression tests: the eight bench apps' canonical
-analysis output must match the checked-in corpus byte for byte.
+"""Golden-report regression tests: the bench corpus (the paper's eight
+subjects plus the retention-idiom apps) must canonicalize to the
+checked-in golden files byte for byte.
 
 A failure here means the analysis output changed.  If the change is
 intentional, regenerate the corpus and review the diff:
@@ -12,7 +13,7 @@ import os
 
 import pytest
 
-from repro.bench.apps import app_names, build_app
+from repro.bench.apps import build_app, corpus_names
 
 from tests.golden.update_golden import golden_path, golden_text
 
@@ -23,7 +24,7 @@ _HINT = (
 )
 
 
-@pytest.mark.parametrize("name", app_names())
+@pytest.mark.parametrize("name", corpus_names())
 def test_report_matches_golden_corpus(name):
     path = golden_path(name)
     assert os.path.exists(path), (
@@ -36,7 +37,7 @@ def test_report_matches_golden_corpus(name):
 
 def test_corpus_covers_every_app_exactly(name_list=None):
     """No stale golden files for apps that no longer exist."""
-    names = set(name_list or app_names())
+    names = set(name_list or corpus_names())
     golden_dir = os.path.dirname(golden_path("x"))
     on_disk = {
         f[: -len(".json")]
@@ -51,7 +52,7 @@ def test_golden_files_are_canonical_json():
     and volatile counters absent."""
     from repro.core.canonical import VOLATILE_COUNTERS
 
-    for name in app_names():
+    for name in corpus_names():
         with open(golden_path(name)) as handle:
             doc = json.load(handle)
         stats = doc["check"]["stats"]
@@ -60,7 +61,7 @@ def test_golden_files_are_canonical_json():
             assert counter not in stats["counters"]
 
 
-@pytest.mark.parametrize("name", app_names())
+@pytest.mark.parametrize("name", corpus_names())
 def test_auto_regions_discovers_golden_region(name):
     """Acceptance: the checked-in auto-regions scan covers the app's
     hand-labelled golden region."""
@@ -79,7 +80,7 @@ def test_auto_regions_discovers_golden_region(name):
     assert region_text(app.region) in scanned
 
 
-@pytest.mark.parametrize("name", app_names())
+@pytest.mark.parametrize("name", corpus_names())
 def test_auto_section_carries_triage(name):
     with open(golden_path(name)) as handle:
         doc = json.load(handle)
@@ -96,4 +97,4 @@ def test_golden_check_mode_passes():
     checked-in corpus."""
     from tests.golden.update_golden import check_corpus
 
-    assert check_corpus(app_names()) == 0
+    assert check_corpus(corpus_names()) == 0

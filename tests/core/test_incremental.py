@@ -276,6 +276,31 @@ class TestChangedScan:
         assert len(result.entries) == 1
         assert outcome.served == ["BWorker.runB:LB"]
 
+    def test_finding_kind_survives_the_served_path(self):
+        """The report codec carries ``kind``: a resource-leak finding
+        served from a snapshot must not decay into a heap-leak."""
+        from repro.core.report import RESOURCE_LEAK
+        from repro.javalib import library_source
+
+        source = library_source("filestream") + """
+entry Main.main;
+class Main {
+  static method main() {
+    loop L (*) {
+      f = new FileStream @stream;
+      call f.open() @do_open;
+    }
+  }
+}
+"""
+        program, cold, payload = _snapshot(source)
+        result, outcome = changed_scan(parse_program(source), payload)
+        assert outcome.fast_path and not outcome.rechecked
+        (spec_report,) = result.entries
+        (finding,) = spec_report[1].findings
+        assert finding.kind == RESOURCE_LEAK
+        assert result.to_json(canonical=True) == cold.to_json(canonical=True)
+
 
 class TestDiffing:
     def test_identical_analyses_are_clean(self):

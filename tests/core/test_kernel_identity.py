@@ -20,7 +20,7 @@ import tempfile
 
 import pytest
 
-from repro.bench.apps import all_apps
+from repro.bench.apps import build_app, corpus_names
 from repro.core.cache.store import ArtifactCache
 from repro.core.detector import DetectorConfig
 from repro.core.scan import scan_all_loops
@@ -126,18 +126,17 @@ class TestCacheIdentity:
 
 
 class TestBenchAppIdentity:
-    """Flat-vs-legacy byte identity on the full bench suite.
+    """Flat-vs-legacy byte identity on the full bench corpus (the
+    paper's eight subjects plus the retention-idiom apps).
 
     This is the CI smoke target: ``pytest tests/core/test_kernel_identity.py
-    -k bench``.  Every app in :func:`repro.bench.apps.all_apps` must scan
-    to identical canonical JSON under both kernels.
+    -k bench``.  Every app in :func:`repro.bench.apps.corpus_names` must
+    scan to identical canonical JSON under both kernels.
     """
 
-    @pytest.mark.parametrize(
-        "name", [model.name for model in all_apps()]
-    )
+    @pytest.mark.parametrize("name", corpus_names())
     def test_app_scans_identically_under_both_kernels(self, name, monkeypatch):
-        model = next(m for m in all_apps() if m.name == name)
+        model = build_app(name)
         config = model.config or DetectorConfig()
 
         monkeypatch.setenv(KERNEL_ENV, "legacy")

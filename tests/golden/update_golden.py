@@ -1,4 +1,5 @@
-"""Golden-report corpus for the eight bench apps.
+"""Golden-report corpus for the bench apps (the paper's eight subjects
+plus the retention-idiom corpus).
 
 Each ``<app>.json`` stores the *canonical* analysis output for one
 bench app — the region check report, the whole-program scan of its
@@ -26,7 +27,7 @@ import json
 import os
 import sys
 
-from repro.bench.apps import app_names, build_app
+from repro.bench.apps import build_app, corpus_names
 from repro.core.canonical import canonical_report_dict, canonical_scan_dict
 from repro.core.pipeline.session import AnalysisSession
 from repro.core.regions import candidate_loops
@@ -91,7 +92,7 @@ def check_corpus(names):
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     check_only = "--check" in argv
-    names = [a for a in argv if not a.startswith("-")] or app_names()
+    names = [a for a in argv if not a.startswith("-")] or corpus_names()
     if check_only:
         failures = check_corpus(names)
         if failures:

@@ -265,3 +265,55 @@ def rich_loop_programs(draw, max_body_stmts=8):
             allow_nested_loops=True,
         )
     )
+
+
+#: Per-resource loop-body shapes.  ``balanced``/``leaked`` are
+#: branch-free (concrete behaviour is schedule-independent, so the
+#: static verdict must match exactly); ``conditional`` releases on one
+#: nondeterministic arm only (the static must-release intersection
+#: reports it; concretely it leaks only on schedules taking the other
+#: arm — a soundness-only case).
+RESOURCE_SHAPES = ("balanced", "leaked", "conditional")
+
+
+@st.composite
+def resource_loop_programs(draw, max_resources=3):
+    """Source of a program whose loop ``L`` acquires 1..N ``FileStream``
+    resources, each held in its own local (singleton points-to, so the
+    static must-release check has no receiver ambiguity) with an
+    independently drawn shape.  Returns ``(source, shapes)`` where
+    ``shapes`` maps the allocation-site label to its drawn shape; the
+    library model (``library_source("filestream")``) is already
+    prepended.
+    """
+    from repro.javalib import library_source
+
+    count = draw(st.integers(min_value=1, max_value=max_resources))
+    shapes = {}
+    body = []
+    for i in range(count):
+        var = "r%d" % i
+        site = "res%d" % i
+        shape = draw(st.sampled_from(RESOURCE_SHAPES))
+        shapes[site] = shape
+        body.append("%s = new FileStream @%s;" % (var, site))
+        body.append("call %s.open() @aq%d;" % (var, i))
+        if draw(st.booleans()):
+            body.append("d%d = call %s.read() @rd%d;" % (i, var, i))
+        if shape == "balanced":
+            body.append("call %s.close() @rl%d;" % (var, i))
+        elif shape == "conditional":
+            body.append(
+                "if (*) { call %s.close() @rl%d; } else { }" % (var, i)
+            )
+    source = library_source("filestream") + """
+entry Main.main;
+class Main {
+  static method main() {
+    loop L (*) {
+      %s
+    }
+  }
+}
+""" % "\n      ".join(body)
+    return source, shapes

@@ -152,6 +152,43 @@ class TestAnalyze:
         assert status == 200
         assert body["scan"]["leaking_sites"] == ["item"]
 
+    def test_resource_leak_surfaces_through_analyze(self):
+        """A FileStream opened every iteration and never closed comes
+        back as a ``resource-leak`` finding (distinct kind, suffixed
+        fingerprint) — the docs' curl example, end to end."""
+        source = """
+        entry Main.main;
+        class Main { static method main() {
+            loop L (*) {
+              f = new FileStream @stream;
+              call f.open() @do_open;
+              d = call f.read() @do_read;
+            } } }
+        """
+        with _serving() as server:
+            _, cold = _post(
+                server, "/analyze", {"program": source, "javalib": True}
+            )
+            _, warm = _post(
+                server, "/analyze", {"program": source, "javalib": True}
+            )
+        for body in (cold, warm):
+            assert body["ok"] is True
+            assert body["scan"]["leaking_sites"] == ["stream"]
+            (entry,) = [
+                loop for loop in body["scan"]["loops"] if loop["loop"] == "L"
+            ]
+            (finding,) = entry["report"]["findings"]
+            assert finding["kind"] == "resource-leak"
+            assert finding["site"] == "stream"
+            (triaged,) = [
+                t
+                for t in body["scan"]["triage"]
+                if t["kind"] == "resource-leak"
+            ]
+            assert triaged["fingerprint"].endswith("|resource-leak")
+        assert warm["warm"] is True
+
 
 class TestDeadline:
     def test_expired_deadline_degrades_instead_of_failing(self):
