@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-kernel table1 profile examples golden-update cache-smoke serve-smoke nightly all
+.PHONY: install test bench bench-kernel bench-summaries table1 profile examples golden-update cache-smoke serve-smoke nightly all
 
 install:
 	pip install -e . --no-build-isolation
@@ -11,6 +11,9 @@ bench:
 
 bench-kernel:
 	PYTHONPATH=src python benchmarks/bench_kernel.py --output BENCH_kernel.json
+
+bench-summaries:
+	PYTHONPATH=src python benchmarks/bench_summaries.py --output BENCH_summaries.json
 
 table1:
 	python -m repro table1

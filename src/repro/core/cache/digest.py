@@ -30,7 +30,10 @@ from repro.ir.printer import program_to_text
 #: snapshots (per-method digests, flow graph, per-region reports).
 #: v4: integer-flat Andersen encoding (kind-tagged: flat arrays + one
 #: mask blob from the kernel, sorted lists from the legacy dict solver).
-CACHE_SCHEMA_VERSION = 4
+#: v5: per-method summary payloads ("summaries": digest-keyed intra
+#: summaries from repro.core.summaries, reused across program versions
+#: when the per-method digest still matches).
+CACHE_SCHEMA_VERSION = 5
 
 
 def program_digest(program):

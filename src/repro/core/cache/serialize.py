@@ -66,7 +66,30 @@ def snapshot_shared(shared, program_dig=None):
         if shared._size_counts is None
         else list(shared._size_counts),
         "infer_catalog": _snapshot_catalog(shared._infer_catalog),
+        "summaries": _snapshot_summaries(shared),
     }
+
+
+def _snapshot_summaries(shared):
+    """Digest-keyed intra-summary payloads (schema v5), or ``None``.
+
+    Composed summaries are *not* stored — they are cheap to re-derive
+    and depend on the call graph; the intra payloads are the per-method,
+    digest-keyed artifacts that survive edits (the incremental engine
+    salvages them from snapshots of earlier program versions)."""
+    summaries = shared._summaries
+    if summaries is not None:
+        return summaries.snapshot_intra()
+    if shared._summary_cache:
+        return {
+            "methods": {
+                sig: [digest, payload]
+                for sig, (digest, payload) in sorted(
+                    shared._summary_cache.items()
+                )
+            }
+        }
+    return None
 
 
 def _snapshot_andersen(andersen):
@@ -225,4 +248,7 @@ def hydrate_shared(program, config, snapshot, program_dig=None):
         shared._size_counts = tuple(snapshot["size_counts"])
     if snapshot["infer_catalog"] is not None:
         shared._infer_catalog = _hydrate_catalog(snapshot["infer_catalog"])
+    summaries = snapshot.get("summaries")
+    if summaries is not None:
+        shared.seed_summary_cache(summaries["methods"])
     return shared

@@ -28,6 +28,13 @@ VOLATILE_COUNTERS = (
     "store_edge_cache_hits",
     "store_edge_cache_misses",
     "region_cache_hits",
+    # Summary-mode bookkeeping: pre-filter discharges, scoped-slice
+    # queries and their whole-program fallbacks change how answers are
+    # produced (REPRO_PTA_SUMMARIES), never what they are.
+    "summary_prefilter_hits",
+    "summary_scoped_queries",
+    "summary_scope_fallbacks",
+    "summary_scoped_solves",
     "artifact_cache_hits",
     "artifact_cache_misses",
     "artifact_cache_saves",
@@ -43,12 +50,23 @@ VOLATILE_COUNTERS = (
 )
 
 
+#: Stages that only exist under a particular execution mode (the
+#: "summaries" stage appears iff REPRO_PTA_SUMMARIES is on) — like the
+#: kernel block, they describe how the run was produced, not what it
+#: found, so canonical output drops them.
+MODE_STAGES = ("summaries",)
+
+
 def _canonical_stats(stats):
     out = dict(stats)
     if "time_seconds" in out:
         out["time_seconds"] = 0.0
     if isinstance(out.get("stages"), dict):
-        out["stages"] = {name: 0.0 for name in sorted(out["stages"])}
+        out["stages"] = {
+            name: 0.0
+            for name in sorted(out["stages"])
+            if name not in MODE_STAGES
+        }
     if isinstance(out.get("counters"), dict):
         out["counters"] = {
             name: value
@@ -88,7 +106,11 @@ def canonical_scan_dict(scan_dict):
     if isinstance(profile, dict):
         profile = dict(profile)
         if isinstance(profile.get("stages"), dict):
-            profile["stages"] = {n: 0.0 for n in sorted(profile["stages"])}
+            profile["stages"] = {
+                n: 0.0
+                for n in sorted(profile["stages"])
+                if n not in MODE_STAGES
+            }
         if isinstance(profile.get("counters"), dict):
             profile["counters"] = {
                 name: value

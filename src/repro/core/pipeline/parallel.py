@@ -62,7 +62,10 @@ def _resolve_workers(max_workers, spec_count):
 
 
 def _check_wrapped(session, spec, backend="thread"):
-    """One region check with the failure labelled by its region."""
+    """One region check with the failure labelled by its region, the
+    active substrate, and the summary-mode flag."""
+    from repro.core.summaries import summaries_mode
+
     try:
         return session.check(spec)
     except RegionCheckError:
@@ -73,6 +76,8 @@ def _check_wrapped(session, spec, backend="thread"):
             "%s: %s" % (type(exc).__name__, exc),
             backend=backend,
             choices=BACKENDS,
+            substrate=session.shared.substrate_key,
+            summaries=summaries_mode(),
         ) from exc
 
 
@@ -178,12 +183,16 @@ def _check_regions_process(session, specs, workers):
             for spec, future in zip(specs, futures):
                 outcome = future.result()
                 if outcome[0] == "error":
+                    from repro.core.summaries import summaries_mode
+
                     _kind, desc, cause, worker_tb = outcome
                     raise RegionCheckError(
                         desc,
                         "%s\n--- worker traceback ---\n%s" % (cause, worker_tb),
                         backend="process",
                         choices=BACKENDS,
+                        substrate=session.shared.substrate_key,
+                        summaries=summaries_mode(),
                     )
                 entries.append((spec, outcome[1]))
     finally:

@@ -37,6 +37,12 @@ BASE_COUNTERS = (
     "flow_pairs_matched",
     "flow_pairs_unmatched",
     "region_cache_hits",
+    # summary-mode work (all volatile: whether queries were discharged,
+    # scoped, or fell back never changes what the region reports)
+    "summary_prefilter_hits",
+    "summary_scoped_queries",
+    "summary_scope_fallbacks",
+    "summary_scoped_solves",
     # persistent artifact cache traffic (session/scan-level bookkeeping,
     # folded in by AnalysisSession.cache_counters / ScanResult)
     "artifact_cache_hits",

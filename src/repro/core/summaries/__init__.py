@@ -1,0 +1,73 @@
+"""Compositional per-method summaries and the escape pre-filter.
+
+The summary layer (ISSUE 8 / ROADMAP open item 1) makes region-scan cost
+scale with the queried region instead of program size:
+
+* :mod:`repro.core.summaries.model` — the escape lattice
+  (``CAPTURED < VIA_RETURN < VIA_FIELD < VIA_GLOBAL``) and the intra /
+  composed summary artifacts;
+* :mod:`repro.core.summaries.compute` — bottom-up, SCC-ordered
+  composition producing :class:`ProgramSummaries`, cacheable and
+  diffable per method digest (cache schema v5);
+* :mod:`repro.core.summaries.compose` — the region scoper that solves a
+  backward-closed sub-PAG covering only a region's transitive summary
+  footprint, exact on every covered variable and field;
+* :mod:`repro.core.summaries.prefilter` — the escape pre-filter that
+  discharges "site cannot outlive the loop" straight from summaries.
+
+``REPRO_PTA_SUMMARIES=off`` (or ``0``/``false``) restores the
+whole-program query path end to end; canonical output is byte-identical
+either way.
+"""
+
+import os
+
+from repro.core.summaries.compose import RegionScope, RegionScoper
+from repro.core.summaries.compute import ProgramSummaries, callsite_target_map
+from repro.core.summaries.model import (
+    CAPTURED,
+    ComposedSummary,
+    LEVEL_NAMES,
+    MethodSummary,
+    VIA_FIELD,
+    VIA_GLOBAL,
+    VIA_RETURN,
+)
+from repro.core.summaries.prefilter import region_prefilter
+
+#: Environment variable gating the summary-aware query path (default on).
+SUMMARIES_ENV = "REPRO_PTA_SUMMARIES"
+
+_OFF_VALUES = {"off", "0", "false", "no"}
+
+
+def summaries_enabled():
+    """Whether the summary path is active (``REPRO_PTA_SUMMARIES``)."""
+    value = os.environ.get(SUMMARIES_ENV)
+    if value is None or not value.strip():
+        return True
+    return value.strip().lower() not in _OFF_VALUES
+
+
+def summaries_mode():
+    """``"on"``/``"off"`` — for profiles and error context."""
+    return "on" if summaries_enabled() else "off"
+
+
+__all__ = [
+    "CAPTURED",
+    "VIA_RETURN",
+    "VIA_FIELD",
+    "VIA_GLOBAL",
+    "LEVEL_NAMES",
+    "MethodSummary",
+    "ComposedSummary",
+    "ProgramSummaries",
+    "RegionScope",
+    "RegionScoper",
+    "callsite_target_map",
+    "region_prefilter",
+    "SUMMARIES_ENV",
+    "summaries_enabled",
+    "summaries_mode",
+]

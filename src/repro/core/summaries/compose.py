@@ -1,0 +1,196 @@
+"""Region-scoped solving: instantiate only a region's summary footprint.
+
+The whole-program solvers pay for every method in the program on every
+scan.  Under summaries mode a region scan instead solves a *sub-PAG*
+restricted to the queried region's transitive footprint: the region's
+method plus everything reachable from it through call-graph edges, then
+closed backwards over the value flows that can reach those variables
+(copy sources, loaded fields, and — per loaded field — every store
+source and store base of that field, program-wide).
+
+The closure makes the restriction *exact*, not just sound: every
+constraint of the whole-program system that can contribute an object to
+a scoped variable or a scoped field slot is inside the slice, so the
+sub-PAG's least fixpoint agrees with the whole-program least fixpoint
+on every covered variable and field (straightforward induction over
+constraint applications).  Queries outside the slice fall back to the
+whole-program solve via :meth:`RegionScope.covers_var` — correctness
+never depends on the footprint being complete.
+
+The sub-PAG is a duck-typed object carrying the exact attribute surface
+both kernels read (``new_edges``, ``assign_edges``, ``store_edges``,
+``load_edges`` plus the per-node indexes), so ``REPRO_PTA_KERNEL``
+keeps selecting the kernel inside summaries mode.
+"""
+
+import threading
+from collections import deque
+
+from repro.pta.kernel import solve_selected
+
+
+class _ScopedPAG:
+    """The restriction of a PAG to a slice (duck-typed for both kernels).
+
+    Built from the PAG's per-key indexes (``assigns_into``,
+    ``loads_into``, ``stores_by_field``), never by filtering the full
+    edge lists — the construction must stay proportional to the slice,
+    not to the program, or the scoped solve loses its point at scale.
+    ``ordered_vars``/``ordered_fields`` are the slice closure's
+    insertion-ordered dicts, keeping edge order deterministic.
+    """
+
+    def __init__(self, pag, ordered_vars, ordered_fields):
+        self.program = pag.program
+        self.callgraph = pag.callgraph
+        self.new_edges = {}
+        self.assign_edges = []
+        self.assigns_into = {}
+        self.assigns_from = {}
+        self.load_edges = []
+        self.loads_by_field = {}
+        self.loads_into = {}
+        for node in ordered_vars:
+            sites = pag.new_edges.get(node)
+            if sites:
+                self.new_edges[node] = sites
+            for edge in pag.assigns_into.get(node, ()):
+                self.assign_edges.append(edge)
+                self.assigns_into.setdefault(edge.dst, []).append(edge)
+                self.assigns_from.setdefault(edge.src, []).append(edge)
+            for edge in pag.loads_into.get(node, ()):
+                self.load_edges.append(edge)
+                self.loads_by_field.setdefault(edge.field, []).append(edge)
+                self.loads_into.setdefault(edge.target, []).append(edge)
+        self.store_edges = []
+        self.stores_by_field = {}
+        for field in ordered_fields:
+            for edge in pag.stores_by_field.get(field, ()):
+                self.store_edges.append(edge)
+                self.stores_by_field.setdefault(edge.field, []).append(edge)
+
+
+class RegionScope:
+    """One region's solved slice, plus its coverage predicate."""
+
+    __slots__ = ("method_sig", "footprint", "vars", "fields", "result")
+
+    def __init__(self, method_sig, footprint, vars_, fields, result):
+        self.method_sig = method_sig
+        #: method sigs whose variables the slice fully covers
+        self.footprint = footprint
+        self.vars = vars_
+        self.fields = fields
+        #: AndersenResult/FlatAndersenResult of the sub-PAG
+        self.result = result
+
+    def covers_var(self, node):
+        # Vars of footprint methods that appear in no PAG edge have the
+        # empty points-to set under both paths, so sig membership alone
+        # is enough cover for them.
+        return node in self.vars or node.method_sig in self.footprint
+
+    def covers_field(self, field):
+        return field in self.fields
+
+
+class RegionScoper:
+    """Builds and memoizes :class:`RegionScope` objects per region method.
+
+    Thread-safe; scan workers of one session share the memo the same way
+    they share the whole-program Andersen result.
+    """
+
+    def __init__(self, pag, callgraph):
+        self.pag = pag
+        self._callees = {}
+        for edge in callgraph.edges:
+            self._callees.setdefault(edge.caller.sig, set()).add(edge.callee.sig)
+        self._vars_by_sig = self._index_vars(pag)
+        self._scopes = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _index_vars(pag):
+        """{method sig -> [VarNode]} in deterministic construction order."""
+        by_sig = {}
+        seen = set()
+
+        def add(node):
+            if node not in seen:
+                seen.add(node)
+                by_sig.setdefault(node.method_sig, []).append(node)
+
+        for node in pag.new_edges:
+            add(node)
+        for edge in pag.assign_edges:
+            add(edge.src)
+            add(edge.dst)
+        for edge in pag.store_edges:
+            add(edge.source)
+            add(edge.base)
+        for edge in pag.load_edges:
+            add(edge.target)
+            add(edge.base)
+        return by_sig
+
+    def footprint_of(self, method_sig):
+        """The region method plus its transitive call-graph callees."""
+        seen = {method_sig}
+        work = deque([method_sig])
+        while work:
+            sig = work.popleft()
+            for callee in sorted(self._callees.get(sig, ())):
+                if callee not in seen:
+                    seen.add(callee)
+                    work.append(callee)
+        return frozenset(seen)
+
+    def scope_for(self, method_sig):
+        """The (memoized) solved scope for a region rooted at ``method_sig``.
+
+        Returns ``(scope, fresh)`` — ``fresh`` says a new sub-PAG solve
+        actually ran (the metering counter for it is volatile).
+        """
+        with self._lock:
+            cached = self._scopes.get(method_sig)
+            if cached is not None:
+                return cached, False
+            scope = self._build(method_sig)
+            self._scopes[method_sig] = scope
+            return scope, True
+
+    def _build(self, method_sig):
+        footprint = self.footprint_of(method_sig)
+        vars_ = {}  # insertion-ordered set
+        fields = {}
+        work = deque()
+
+        def add_var(node):
+            if node not in vars_:
+                vars_[node] = None
+                work.append(node)
+
+        def add_field(field):
+            if field not in fields:
+                fields[field] = None
+                for edge in self.pag.stores_by_field.get(field, ()):
+                    add_var(edge.source)
+                    add_var(edge.base)
+
+        for sig in sorted(footprint):
+            for node in self._vars_by_sig.get(sig, ()):
+                add_var(node)
+        while work:
+            node = work.popleft()
+            for edge in self.pag.assigns_into.get(node, ()):
+                add_var(edge.src)
+            for edge in self.pag.loads_into.get(node, ()):
+                add_var(edge.base)
+                add_field(edge.field)
+
+        sub = _ScopedPAG(self.pag, vars_, fields)
+        result = solve_selected(sub)
+        return RegionScope(
+            method_sig, footprint, frozenset(vars_), frozenset(fields), result
+        )

@@ -1,0 +1,515 @@
+"""Bottom-up, SCC-ordered computation of per-method summaries.
+
+The composer runs a small flow-insensitive abstract interpretation per
+method over tokens (``("p", param)``, ``("s", site)``, ``EXT``) and a
+one-level field-insensitive local heap.  Call sites instantiate the
+*composed* summaries of their callees (all call-graph targets of the
+site, mirroring the PAG's treatment of virtual dispatch; an unresolved
+call — zero targets — contributes nothing, exactly like PAG lowering).
+
+Methods are processed on the condensation of the call graph in reverse
+topological order (callees before callers); within a strongly connected
+component the members are iterated to a fixpoint, which terminates
+because every summary component is monotone over a finite token
+universe.
+
+:class:`ProgramSummaries` is the cacheable artifact: intra summaries
+keyed by the per-method IR digests of
+:mod:`repro.core.incremental.digests`, plus the composed results and
+the global per-site escape fold.  :meth:`ProgramSummaries.refresh`
+recomputes only dirty methods' intra summaries and re-composes only the
+dirty methods plus their SCC ancestors (callers), additionally guarding
+against dispatch retargeting by comparing each method's call-site
+target map.
+"""
+
+from repro.core.summaries.model import (
+    CAPTURED,
+    ComposedSummary,
+    EXT,
+    MethodSummary,
+    VIA_FIELD,
+    VIA_GLOBAL,
+    VIA_RETURN,
+    param_token,
+    site_token,
+)
+
+_EMPTY = frozenset()
+
+
+def callsite_target_map(callgraph):
+    """{(caller sig, callsite label) -> (callee sigs...)} — deterministic."""
+    raw = {}
+    for edge in callgraph.edges:
+        raw.setdefault((edge.caller.sig, edge.invoke.callsite), set()).add(
+            edge.callee.sig
+        )
+    return {key: tuple(sorted(sigs)) for key, sigs in raw.items()}
+
+
+def _call_adjacency(sigs, targets):
+    adj = {sig: set() for sig in sigs}
+    for (caller, _callsite), callees in targets.items():
+        if caller in adj:
+            adj[caller].update(c for c in callees if c in adj)
+    return adj
+
+
+def _condense_sccs(sigs, adj):
+    """Iterative Tarjan; emits SCCs callees-first (reverse topological)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    sccs = []
+    counter = [0]
+    for root in sigs:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(adj.get(child, ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(scc)))
+    return sccs
+
+
+class _MethodState:
+    """Mutable fixpoint state of one method's abstract interpretation."""
+
+    __slots__ = ("origins", "heap", "level", "stored", "returned", "owned")
+
+    def __init__(self, intra):
+        self.origins = {}
+        self.heap = {}
+        self.level = {}
+        self.stored = set()
+        self.returned = set()
+        self.owned = {param_token(p) for p in intra.params}
+        self.owned.update(site_token(s) for _v, s in intra.news)
+
+    def join_level(self, tok, lv):
+        if lv > self.level.get(tok, CAPTURED):
+            self.level[tok] = lv
+            return True
+        return False
+
+    def add_origins(self, var, tokens):
+        if not tokens:
+            return False
+        bucket = self.origins.get(var)
+        if bucket is None:
+            self.origins[var] = set(tokens)
+            return True
+        before = len(bucket)
+        bucket |= tokens
+        return len(bucket) != before
+
+
+def _bind_call(summary, base, args, origins):
+    """(param, caller token set) pairs, mirroring PAG call linking."""
+    pairs = []
+    names = summary.param_names
+    rest = names
+    if summary.instance:
+        rest = names[1:]
+        if base is not None:
+            pairs.append((names[0], origins.get(base, _EMPTY)))
+    for arg, name in zip(args, rest):
+        pairs.append((name, origins.get(arg, _EMPTY)))
+    return pairs
+
+
+def _apply_call(state, call, targets, composed):
+    _callsite, target, base, args = call
+    changed = False
+    for callee_sig in targets:
+        summary = composed.get(callee_sig)
+        if summary is None:
+            continue
+        pairs = _bind_call(summary, base, args, state.origins)
+        argmap = dict(pairs)
+        for name, toks in pairs:
+            if not toks:
+                continue
+            lv = summary.param_escape.get(name, CAPTURED)
+            if summary.param_stored.get(name):
+                before = len(state.stored)
+                state.stored |= toks
+                changed |= len(state.stored) != before
+                floor = lv if lv > VIA_FIELD else VIA_FIELD
+                for tok in toks:
+                    changed |= state.join_level(tok, floor)
+            elif lv >= VIA_FIELD:
+                for tok in toks:
+                    changed |= state.join_level(tok, lv)
+            if summary.param_ret.get(name) and target:
+                changed |= state.add_origins(target, toks)
+            exported = summary.param_heap.get(name)
+            if exported:
+                mapped = set()
+                for ctok in exported:
+                    if ctok == EXT or ctok[0] == "s":
+                        mapped.add(ctok)
+                    else:
+                        mapped |= argmap.get(ctok[1], _EMPTY)
+                if mapped:
+                    for tok in toks:
+                        if tok in state.owned:
+                            bucket = state.heap.setdefault(tok, set())
+                            before = len(bucket)
+                            bucket |= mapped
+                            changed |= len(bucket) != before
+                        else:
+                            for mtok in mapped:
+                                changed |= state.join_level(mtok, VIA_GLOBAL)
+    if target:
+        gathered = set()
+        for callee_sig in targets:
+            summary = composed.get(callee_sig)
+            if summary is None:
+                continue
+            gathered.update(site_token(s) for s in summary.ret_sites)
+            if summary.returns_external:
+                gathered.add(EXT)
+        changed |= state.add_origins(target, gathered)
+    return changed
+
+
+def _analyze_method(intra, site_targets, composed):
+    """Run one method to a local fixpoint against current callee summaries."""
+    state = _MethodState(intra)
+    for param in intra.params:
+        state.add_origins(param, {param_token(param)})
+    changed = True
+    while changed:
+        changed = False
+        for var, site in intra.news:
+            changed |= state.add_origins(var, {site_token(site)})
+        for target, source in intra.copies:
+            changed |= state.add_origins(target, state.origins.get(source, _EMPTY))
+        for target, base, _field in intra.loads:
+            gathered = set()
+            for tok in state.origins.get(base, _EMPTY):
+                if tok in state.owned:
+                    gathered |= state.heap.get(tok, _EMPTY)
+                    if tok[0] == "p":
+                        # The local heap of a parameter is only what this
+                        # method (and its callees) stored; the caller may
+                        # have populated its fields long before the call,
+                        # so a load must also yield the unknown token or
+                        # a store through the loaded value would vanish.
+                        gathered.add(EXT)
+                else:
+                    gathered.add(EXT)
+            changed |= state.add_origins(target, gathered)
+        for base, _field, source in intra.stores:
+            src_toks = state.origins.get(source, _EMPTY)
+            base_toks = state.origins.get(base, _EMPTY)
+            if not src_toks or not base_toks:
+                continue
+            before = len(state.stored)
+            state.stored |= src_toks
+            changed |= len(state.stored) != before
+            for tok in src_toks:
+                changed |= state.join_level(tok, VIA_FIELD)
+            for btok in base_toks:
+                if btok in state.owned:
+                    bucket = state.heap.setdefault(btok, set())
+                    size = len(bucket)
+                    bucket |= src_toks
+                    changed |= len(bucket) != size
+                    if btok[0] == "p":
+                        for tok in src_toks:
+                            changed |= state.join_level(tok, VIA_GLOBAL)
+                else:
+                    for tok in src_toks:
+                        changed |= state.join_level(tok, VIA_GLOBAL)
+        for value in intra.returns:
+            toks = state.origins.get(value, _EMPTY)
+            if toks:
+                before = len(state.returned)
+                state.returned |= toks
+                changed |= len(state.returned) != before
+        for call in intra.calls:
+            targets = site_targets.get((intra.sig, call[0]), ())
+            if targets:
+                changed |= _apply_call(state, call, targets, composed)
+        if changed:
+            continue
+        # Post-passes folded into the fixpoint so call re-instantiation
+        # observes them: returned tokens reach VIA_RETURN, and contents
+        # of an escaping container join the container's level.
+        for tok in state.returned:
+            changed |= state.join_level(tok, VIA_RETURN)
+        for tok, contents in state.heap.items():
+            lv = state.level.get(tok, CAPTURED)
+            if lv >= VIA_RETURN:
+                for inner in contents:
+                    changed |= state.join_level(inner, lv)
+    return state
+
+
+def _export(intra, state):
+    """Distil the fixpoint state into (ComposedSummary, site contrib)."""
+    param_escape = {}
+    param_stored = {}
+    param_ret = {}
+    param_heap = {}
+    for name in intra.params:
+        tok = param_token(name)
+        param_escape[name] = state.level.get(tok, CAPTURED)
+        param_stored[name] = tok in state.stored
+        param_ret[name] = tok in state.returned
+        contents = state.heap.get(tok)
+        if contents:
+            param_heap[name] = frozenset(contents)
+    ret_sites = {tok[1] for tok in state.returned if tok != EXT and tok[0] == "s"}
+    summary = ComposedSummary(
+        intra.sig,
+        intra.instance,
+        intra.params,
+        param_escape,
+        param_stored,
+        param_ret,
+        param_heap,
+        ret_sites,
+        EXT in state.returned,
+    )
+    contrib = {}
+    seen = set(state.level)
+    seen |= state.stored
+    seen |= state.returned
+    for tok in seen:
+        if tok == EXT or tok[0] != "s":
+            continue
+        site = tok[1]
+        contrib[site] = (
+            state.level.get(tok, CAPTURED),
+            tok in state.stored,
+            tok in state.returned,
+        )
+    return summary, contrib
+
+
+class ProgramSummaries:
+    """Composed summaries for a whole program, cache- and diff-friendly."""
+
+    def __init__(
+        self, digests, intra, composed, contribs, site_targets, target_keys, counters
+    ):
+        #: {sig -> method IR digest} (the cache key per intra summary)
+        self.digests = digests
+        #: {sig -> MethodSummary}
+        self.intra = intra
+        #: {sig -> ComposedSummary}
+        self.composed = composed
+        #: {sig -> {site -> (level, stored, returned)}} per-method
+        #: contributions, kept separate so a refresh can re-join them
+        self.contribs = contribs
+        self._site_targets = site_targets
+        #: {sig -> hashable call-target signature} (dispatch guard)
+        self._target_keys = target_keys
+        #: build/refresh effort proof: intra/composed computed vs reused
+        self.counters = counters
+        self._site_info = None
+        self._captured = None
+
+    def _fold_sites(self):
+        if self._site_info is not None:
+            return self._site_info
+        info = {}
+        for contrib in self.contribs.values():
+            for site, (level, stored, returned) in contrib.items():
+                prev = info.get(site)
+                if prev is None:
+                    info[site] = (level, stored, returned)
+                else:
+                    info[site] = (
+                        max(prev[0], level),
+                        prev[1] or stored,
+                        prev[2] or returned,
+                    )
+        self._site_info = info
+        return info
+
+    def escape_level(self, site):
+        return self._fold_sites().get(site, (CAPTURED, False, False))[0]
+
+    def site_info(self, site):
+        return self._fold_sites().get(site, (CAPTURED, False, False))
+
+    def captured_sites(self):
+        """Sites that never escape: no store ever has them as source, no
+        method returns them, and no call exports them — the pre-filter's
+        discharge set.  A fully captured site records *no* contribution
+        anywhere (``join_level`` only stores levels above ``CAPTURED``),
+        so enumeration must start from the allocation sites in the intra
+        summaries, not from the fold's keys."""
+        if self._captured is None:
+            info = self._fold_sites()
+            bottom = (CAPTURED, False, False)
+            captured = set()
+            for summary in self.intra.values():
+                for _var, site in summary.news:
+                    level, stored, returned = info.get(site, bottom)
+                    if level == CAPTURED and not stored and not returned:
+                        captured.add(site)
+            self._captured = frozenset(captured)
+        return self._captured
+
+    def snapshot_intra(self):
+        """Digest-keyed plain payload for the cache (schema v5)."""
+        return {
+            "methods": {
+                sig: [self.digests[sig], self.intra[sig].to_plain()]
+                for sig in sorted(self.intra)
+            }
+        }
+
+    @classmethod
+    def build(cls, program, callgraph, cached_intra=None, previous=None):
+        """Compose summaries for ``program``.
+
+        ``cached_intra`` is a ``{sig: (digest, plain payload)}`` map (from
+        a cache snapshot, possibly of a *different* program version) —
+        entries whose digest still matches are decoded instead of
+        re-extracted.  ``previous`` is a prior :class:`ProgramSummaries`
+        of an earlier program version: its intra summaries are reused the
+        same way, and composed summaries are reused for every SCC with no
+        dirty member, no dirty callee SCC, and unchanged dispatch
+        targets.
+        """
+        # Imported lazily: the incremental package's __init__ pulls in
+        # the scan layer, which imports the pipeline session, which
+        # imports this package — a cycle at module-import time only.
+        from repro.core.incremental.digests import method_digests
+
+        digests = method_digests(program)
+        methods = {m.sig: m for m in program.all_methods()}
+        counters = {
+            "intra_computed": 0,
+            "intra_reused": 0,
+            "composed_computed": 0,
+            "composed_reused": 0,
+        }
+
+        intra = {}
+        dirty = set()
+        for sig in sorted(methods):
+            digest = digests[sig]
+            reused = None
+            if cached_intra is not None:
+                entry = cached_intra.get(sig)
+                if entry is not None and entry[0] == digest:
+                    reused = MethodSummary.from_plain(entry[1])
+            if reused is None and previous is not None:
+                if previous.digests.get(sig) == digest:
+                    reused = previous.intra[sig]
+            if reused is None:
+                reused = MethodSummary.of_method(methods[sig])
+                counters["intra_computed"] += 1
+                dirty.add(sig)
+            else:
+                counters["intra_reused"] += 1
+            intra[sig] = reused
+        if previous is not None:
+            dirty.update(sig for sig in previous.digests if sig not in digests)
+            dirty.update(
+                sig for sig in digests if previous.digests.get(sig) != digests[sig]
+            )
+
+        site_targets = callsite_target_map(callgraph)
+        by_owner = {sig: [] for sig in methods}
+        for (owner, callsite), callees in site_targets.items():
+            if owner in by_owner:
+                by_owner[owner].append((callsite, callees))
+        target_keys = {
+            sig: tuple(sorted(entries)) for sig, entries in by_owner.items()
+        }
+        if previous is not None:
+            dirty.update(
+                sig
+                for sig in methods
+                if previous._target_keys.get(sig) != target_keys[sig]
+            )
+
+        sigs = sorted(methods)
+        adj = _call_adjacency(sigs, site_targets)
+        sccs = _condense_sccs(sigs, adj)
+
+        composed = {}
+        contribs = {}
+        recomputed_sccs = set()
+        for scc in sccs:
+            members = set(scc)
+            needs = previous is None or bool(members & dirty)
+            if not needs:
+                for member in scc:
+                    if any(
+                        callee not in members and callee in recomputed_sccs
+                        for callee in adj.get(member, ())
+                    ):
+                        needs = True
+                        break
+                    if member not in previous.composed:
+                        needs = True
+                        break
+            if not needs:
+                for member in scc:
+                    composed[member] = previous.composed[member]
+                    contribs[member] = previous.contribs[member]
+                    counters["composed_reused"] += 1
+                continue
+            recomputed_sccs.update(members)
+            for member in scc:
+                composed[member] = ComposedSummary.bottom(intra[member])
+            stable = False
+            while not stable:
+                stable = True
+                for member in scc:
+                    state = _analyze_method(intra[member], site_targets, composed)
+                    summary, contrib = _export(intra[member], state)
+                    if summary.key() != composed[member].key():
+                        stable = False
+                    composed[member] = summary
+                    contribs[member] = contrib
+            counters["composed_computed"] += len(scc)
+
+        return cls(
+            digests, intra, composed, contribs, site_targets, target_keys, counters
+        )
+
+    def refresh(self, program, callgraph):
+        """Recompute for an edited program, reusing everything clean."""
+        return ProgramSummaries.build(program, callgraph, previous=self)

@@ -1,0 +1,251 @@
+"""Summary model: the escape lattice and the per-method artifact shapes.
+
+Two kinds of summary flow through :mod:`repro.core.summaries`:
+
+* :class:`MethodSummary` — the *intra* summary: a distilled, uid-free,
+  plain-data slice of one method body (allocations, copies, loads,
+  stores, returns, call sites).  It is a pure function of the method's
+  canonical printed IR, so it is keyed by the per-method digest from
+  :mod:`repro.core.incremental.digests` and cached/diffed at that
+  granularity (cache schema v5).
+* :class:`ComposedSummary` — the *composed* summary: what a caller
+  needs to know about a callee after bottom-up, SCC-ordered
+  composition — how far objects passed in each parameter escape,
+  whether they may be stored or returned, what the callee stores into a
+  parameter's heap, and which allocation sites it may return.
+
+The escape lattice (LeakGuard-style, per allocation site and per
+parameter)::
+
+    CAPTURED < VIA_RETURN < VIA_FIELD < VIA_GLOBAL
+
+``CAPTURED`` objects never appear as a store source and never flow to a
+return — under allocation-site Andersen semantics they can occur in no
+``field_pts`` slot and produce no flows-out pairs, which is exactly the
+guarantee the escape pre-filter (:mod:`repro.core.summaries.prefilter`)
+discharges region queries with.  ``VIA_RETURN`` objects escape only by
+being returned; ``VIA_FIELD`` ones are stored into some object
+allocated in the same frame; ``VIA_GLOBAL`` ones reach pre-existing
+heap (a parameter's object, a loaded object, or an object that already
+escaped) and are therefore visible program-wide.
+"""
+
+from repro.ir.stmts import (
+    CopyStmt,
+    InvokeStmt,
+    LoadStmt,
+    NewStmt,
+    ReturnStmt,
+    StoreStmt,
+    THIS_VAR,
+)
+
+#: The escape lattice, ordered; join is ``max``.
+CAPTURED = 0
+VIA_RETURN = 1
+VIA_FIELD = 2
+VIA_GLOBAL = 3
+
+LEVEL_NAMES = {
+    CAPTURED: "captured",
+    VIA_RETURN: "via-return",
+    VIA_FIELD: "via-field",
+    VIA_GLOBAL: "via-global",
+}
+
+#: Abstract tokens of the per-method flow domain: a parameter's object,
+#: an allocation site's object, or an unknown pre-existing object
+#: (loaded from the heap, returned by an unsummarized source).
+EXT = ("ext",)
+
+
+def param_token(name):
+    return ("p", name)
+
+
+def site_token(label):
+    return ("s", label)
+
+
+class MethodSummary:
+    """The intra (digest-keyed) summary of one method body.
+
+    Everything the composer needs, as plain data: no statement uids, no
+    IR object references — the payload round-trips through the cache
+    snapshot and is diffable across program versions.
+    """
+
+    __slots__ = (
+        "sig",
+        "instance",
+        "params",
+        "news",
+        "copies",
+        "loads",
+        "stores",
+        "returns",
+        "calls",
+    )
+
+    def __init__(
+        self, sig, instance, params, news, copies, loads, stores, returns, calls
+    ):
+        self.sig = sig
+        #: instance methods implicitly bind ``this`` (params[0])
+        self.instance = instance
+        self.params = tuple(params)
+        #: [(target var, site label)]
+        self.news = tuple(news)
+        #: [(target, source)]
+        self.copies = tuple(copies)
+        #: [(target, base, field)]
+        self.loads = tuple(loads)
+        #: [(base, field, source)]
+        self.stores = tuple(stores)
+        #: [returned var]
+        self.returns = tuple(returns)
+        #: [(callsite, target-or-None, base-or-None, (args...))]
+        self.calls = tuple(calls)
+
+    def to_plain(self):
+        return {
+            "sig": self.sig,
+            "instance": self.instance,
+            "params": list(self.params),
+            "news": [list(e) for e in self.news],
+            "copies": [list(e) for e in self.copies],
+            "loads": [list(e) for e in self.loads],
+            "stores": [list(e) for e in self.stores],
+            "returns": list(self.returns),
+            "calls": [
+                [cs, target, base, list(args)]
+                for cs, target, base, args in self.calls
+            ],
+        }
+
+    @classmethod
+    def from_plain(cls, data):
+        return cls(
+            data["sig"],
+            bool(data["instance"]),
+            data["params"],
+            [tuple(e) for e in data["news"]],
+            [tuple(e) for e in data["copies"]],
+            [tuple(e) for e in data["loads"]],
+            [tuple(e) for e in data["stores"]],
+            data["returns"],
+            [
+                (cs, target, base, tuple(args))
+                for cs, target, base, args in data["calls"]
+            ],
+        )
+
+    @classmethod
+    def of_method(cls, method):
+        """Extract the intra summary from a live IR method."""
+        params = ([] if method.is_static else [THIS_VAR]) + list(method.params)
+        news, copies, loads, stores, returns, calls = [], [], [], [], [], []
+        for stmt in method.statements():
+            if isinstance(stmt, NewStmt):
+                news.append((stmt.target, stmt.site))
+            elif isinstance(stmt, CopyStmt):
+                copies.append((stmt.target, stmt.source))
+            elif isinstance(stmt, LoadStmt):
+                loads.append((stmt.target, stmt.base, stmt.field))
+            elif isinstance(stmt, StoreStmt):
+                stores.append((stmt.base, stmt.field, stmt.source))
+            elif isinstance(stmt, ReturnStmt) and stmt.value:
+                returns.append(stmt.value)
+            elif isinstance(stmt, InvokeStmt):
+                calls.append(
+                    (stmt.callsite, stmt.target, stmt.base, tuple(stmt.args))
+                )
+        return cls(
+            method.sig,
+            not method.is_static,
+            params,
+            news,
+            copies,
+            loads,
+            stores,
+            returns,
+            calls,
+        )
+
+
+class ComposedSummary:
+    """The composed (caller-facing) summary of one method.
+
+    All facts are transitive over the method's callees (bottom-up SCC
+    composition): ``param_stored[p]`` says an object passed in ``p`` may
+    appear as a store *source* anywhere below this frame, which is the
+    sound negation the escape pre-filter needs.
+    """
+
+    __slots__ = (
+        "sig",
+        "instance",
+        "param_names",
+        "param_escape",
+        "param_stored",
+        "param_ret",
+        "param_heap",
+        "ret_sites",
+        "returns_external",
+    )
+
+    def __init__(
+        self,
+        sig,
+        instance,
+        param_names,
+        param_escape,
+        param_stored,
+        param_ret,
+        param_heap,
+        ret_sites,
+        returns_external,
+    ):
+        self.sig = sig
+        self.instance = instance
+        self.param_names = tuple(param_names)
+        #: {param -> lattice level} for the object passed in
+        self.param_escape = dict(param_escape)
+        #: {param -> bool} may it become a store source below here
+        self.param_stored = dict(param_stored)
+        #: {param -> bool} may it flow to this method's return
+        self.param_ret = dict(param_ret)
+        #: {param -> frozenset(tokens)} stored into the parameter's heap
+        self.param_heap = {p: frozenset(t) for p, t in param_heap.items()}
+        #: allocation sites (own or callees') that may be returned
+        self.ret_sites = frozenset(ret_sites)
+        self.returns_external = bool(returns_external)
+
+    def key(self):
+        """Comparable value for the SCC fixpoint's change detection."""
+        return (
+            tuple(sorted(self.param_escape.items())),
+            tuple(sorted(self.param_stored.items())),
+            tuple(sorted(self.param_ret.items())),
+            tuple(
+                (p, tuple(sorted(toks)))
+                for p, toks in sorted(self.param_heap.items())
+            ),
+            tuple(sorted(self.ret_sites)),
+            self.returns_external,
+        )
+
+    @classmethod
+    def bottom(cls, intra):
+        """The least summary (SCC fixpoint seed)."""
+        return cls(
+            intra.sig,
+            intra.instance,
+            intra.params,
+            {p: CAPTURED for p in intra.params},
+            {p: False for p in intra.params},
+            {p: False for p in intra.params},
+            {},
+            frozenset(),
+            False,
+        )

@@ -1,0 +1,30 @@
+"""The escape pre-filter: discharge "cannot outlive the loop" from summaries.
+
+A region's inside site whose composed escape level is ``CAPTURED`` is
+never a store source anywhere in the program and never flows to a
+return: under allocation-site Andersen semantics it has no outgoing
+store edge (so it can produce no flows-out pair) and occurs in no field
+points-to slot (so it can produce no flows-in pair).  The pipeline can
+therefore skip the per-origin flows-out search for it, and — when every
+inside site is discharged — the whole flows-in query loop, without any
+CFL or whole-program query and without changing a single canonical
+counter (``flow_pairs_out``/``flow_pairs_in`` are provably identical,
+and the pre-filter's own ``summary_prefilter_hits`` is volatile).
+
+Deliberately *not* discharged: sites that only escape into other
+captured objects.  That is semantically just as dead, but the region
+analysis bounds its inside-site set by context depth and per-site caps,
+so a captured container can land *outside* a region and turn the store
+into a reportable flows-out pair — discharging it would change output.
+``CAPTURED`` as defined here is exact: zero store edges, zero heap
+occurrences, byte-identical reports.
+"""
+
+
+def region_prefilter(summaries, context_art, stats):
+    """Inside sites of the region that summaries fully discharge."""
+    captured = summaries.captured_sites()
+    inside = context_art.inside_sites
+    discharged = frozenset(site for site in inside if site in captured)
+    stats.count("summary_prefilter_hits", len(discharged))
+    return discharged

@@ -47,19 +47,42 @@ class RegionCheckError(AnalysisError):
     carries the region description and ``cause_text`` the original
     error rendering (the original traceback cannot always cross a
     process boundary).
+
+    ``substrate`` (the active substrate key) and ``summaries`` (the
+    ``REPRO_PTA_SUMMARIES`` mode, ``"on"``/``"off"``) pin down *which*
+    analysis configuration the failing run was using — without them a
+    worker failure while summaries were toggled mid-run was
+    unattributable to a mode.
     """
 
-    def __init__(self, region_desc, cause_text="", backend=None, choices=()):
+    def __init__(
+        self,
+        region_desc,
+        cause_text="",
+        backend=None,
+        choices=(),
+        substrate=None,
+        summaries=None,
+    ):
         self.region_desc = region_desc
         self.cause_text = cause_text
         self.backend = backend
         self.choices = tuple(choices)
+        self.substrate = None if substrate is None else tuple(substrate)
+        self.summaries = summaries
         message = "region check failed for %s" % region_desc
+        details = []
         if backend:
-            message += " [backend=%s" % backend
+            detail = "backend=%s" % backend
             if self.choices:
-                message += " of %s" % "/".join(self.choices)
-            message += "]"
+                detail += " of %s" % "/".join(self.choices)
+            details.append(detail)
+        if self.substrate is not None:
+            details.append("substrate=%r" % (self.substrate,))
+        if summaries is not None:
+            details.append("summaries=%s" % summaries)
+        if details:
+            message += " [%s]" % " ".join(details)
         if cause_text:
             message += ": %s" % cause_text
         super().__init__(message)
@@ -67,7 +90,14 @@ class RegionCheckError(AnalysisError):
     def __reduce__(self):
         return (
             RegionCheckError,
-            (self.region_desc, self.cause_text, self.backend, self.choices),
+            (
+                self.region_desc,
+                self.cause_text,
+                self.backend,
+                self.choices,
+                self.substrate,
+                self.summaries,
+            ),
         )
 
 

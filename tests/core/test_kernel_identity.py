@@ -24,6 +24,7 @@ from repro.bench.apps import build_app, corpus_names
 from repro.core.cache.store import ArtifactCache
 from repro.core.detector import DetectorConfig
 from repro.core.scan import scan_all_loops
+from repro.core.summaries import SUMMARIES_ENV
 from repro.lang import parse_program
 from repro.pta.kernel import KERNEL_ENV
 
@@ -53,8 +54,10 @@ class Item { field next; }
 """
 
 
-def _scan_json(kernel, monkeypatch, **kwargs):
+def _scan_json(kernel, monkeypatch, summaries=None, **kwargs):
     monkeypatch.setenv(KERNEL_ENV, kernel)
+    if summaries is not None:
+        monkeypatch.setenv(SUMMARIES_ENV, summaries)
     result = scan_all_loops(parse_program(_SOURCE), DetectorConfig(), **kwargs)
     return result, result.to_json(canonical=True)
 
@@ -123,6 +126,78 @@ class TestCacheIdentity:
             shutil.rmtree(root, ignore_errors=True)
         assert warm_text == reference
         assert warm.cache_counters["artifact_cache_hits"] == 1
+
+
+class TestSummaryModeIdentity:
+    """``REPRO_PTA_SUMMARIES`` on/off byte identity.
+
+    Summary mode replaces the whole-program solve with an escape
+    pre-filter plus scoped sub-PAG solves, so its canonical output must
+    match the reference along every axis the kernel identity is pinned
+    on: both kernels, every execution backend, and both cache
+    temperatures (process workers inherit the mode from the
+    environment at fork time, exactly like the kernel choice)."""
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    @pytest.mark.parametrize("kernel", ["legacy", "flat"])
+    def test_serial(self, kernel, mode, monkeypatch, reference):
+        _, text = _scan_json(kernel, monkeypatch, summaries=mode)
+        assert text == reference
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    @pytest.mark.parametrize("kernel", ["legacy", "flat"])
+    def test_thread_backend(self, kernel, mode, monkeypatch, reference):
+        _, text = _scan_json(
+            kernel,
+            monkeypatch,
+            summaries=mode,
+            parallel=True,
+            backend="thread",
+            max_workers=2,
+        )
+        assert text == reference
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    @pytest.mark.parametrize("kernel", ["legacy", "flat"])
+    def test_process_backend(self, kernel, mode, monkeypatch, reference):
+        _, text = _scan_json(
+            kernel,
+            monkeypatch,
+            summaries=mode,
+            parallel=True,
+            backend="process",
+            max_workers=2,
+        )
+        assert text == reference
+
+    @pytest.mark.parametrize("mode", ["on", "off"])
+    def test_cold_and_warm_cache(self, mode, monkeypatch, reference):
+        root = tempfile.mkdtemp(prefix="repro-summary-cache-")
+        try:
+            _, cold_text = _scan_json(
+                "flat", monkeypatch, summaries=mode, cache=ArtifactCache(root)
+            )
+            warm, warm_text = _scan_json(
+                "flat", monkeypatch, summaries=mode, cache=ArtifactCache(root)
+            )
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        assert cold_text == reference
+        assert warm_text == reference
+        assert warm.cache_counters["artifact_cache_hits"] == 1
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_corpus_app_identical_across_summary_modes(self, name, monkeypatch):
+        model = build_app(name)
+        config = model.config or DetectorConfig()
+
+        monkeypatch.setenv(SUMMARIES_ENV, "off")
+        off = scan_all_loops(model.program, config).to_json(canonical=True)
+
+        monkeypatch.setenv(SUMMARIES_ENV, "on")
+        on = scan_all_loops(model.program, config).to_json(canonical=True)
+
+        assert on == off
 
 
 class TestBenchAppIdentity:

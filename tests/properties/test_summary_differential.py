@@ -1,0 +1,111 @@
+"""Differential pinning of compositional summaries to the whole-program
+solvers.
+
+Three promises, each checked on generated programs:
+
+* **canonical identity** — a scan with ``REPRO_PTA_SUMMARIES=on``
+  (escape pre-filter + scoped sub-PAG solves) produces byte-identical
+  canonical JSON to the whole-program path, under both points-to
+  kernels;
+* **sound capture** — every site the summary pass classifies as
+  captured is absent from every field slot of the whole-program
+  Andersen least fixpoint (the exact property that makes discharging
+  it from the flows-out search invisible), and no whole-program scan
+  ever reports a captured site;
+* **scoped exactness** — a region scope's sub-PAG solution agrees with
+  the whole-program solution on every covered variable and every
+  covered field slot.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.callgraph.rta import build_rta
+from repro.core.detector import DetectorConfig
+from repro.core.scan import scan_all_loops
+from repro.core.summaries import SUMMARIES_ENV, ProgramSummaries, RegionScoper
+from repro.lang import parse_program
+from repro.pta.andersen import solve as legacy_solve
+from repro.pta.kernel import KERNEL_ENV
+from repro.pta.pag import PAG
+
+from tests.properties.strategies import loop_programs
+
+_SETTINGS = settings(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _scan_canonical(source, kernel, mode):
+    os.environ[KERNEL_ENV] = kernel
+    os.environ[SUMMARIES_ENV] = mode
+    try:
+        result = scan_all_loops(parse_program(source), DetectorConfig())
+        return result.to_json(canonical=True), result
+    finally:
+        os.environ.pop(KERNEL_ENV, None)
+        os.environ.pop(SUMMARIES_ENV, None)
+
+
+@_SETTINGS
+@given(loop_programs())
+def test_summary_mode_canonical_identity(source):
+    for kernel in ("legacy", "flat"):
+        on, _ = _scan_canonical(source, kernel, "on")
+        off, _ = _scan_canonical(source, kernel, "off")
+        assert on == off, kernel
+
+
+@_SETTINGS
+@given(loop_programs(allow_nested_loops=True))
+def test_summary_mode_canonical_identity_nested(source):
+    for kernel in ("legacy", "flat"):
+        on, _ = _scan_canonical(source, kernel, "on")
+        off, _ = _scan_canonical(source, kernel, "off")
+        assert on == off, kernel
+
+
+@_SETTINGS
+@given(loop_programs())
+def test_captured_sites_absent_from_whole_program_heap(source):
+    """captured => the site sits in no field slot of the oracle solve."""
+    program = parse_program(source)
+    callgraph = build_rta(program)
+    captured = ProgramSummaries.build(program, callgraph).captured_sites()
+    whole = legacy_solve(PAG(program, callgraph))
+    in_fields = {target for _b, _f, target in whole.heap_points_to_pairs()}
+    assert not (captured & in_fields)
+
+
+@_SETTINGS
+@given(loop_programs())
+def test_whole_program_scan_never_reports_captured_sites(source):
+    """The pre-filter's verdict agrees with the unfiltered pipeline:
+    a captured site can never appear in a whole-program finding."""
+    program = parse_program(source)
+    captured = ProgramSummaries.build(program, build_rta(program)).captured_sites()
+    _, result = _scan_canonical(source, "flat", "off")
+    for _spec, report in result.entries:
+        reported = {finding.site.label for finding in report.findings}
+        assert not (reported & captured)
+
+
+@_SETTINGS
+@given(loop_programs(allow_nested_loops=True))
+def test_scoped_solve_matches_whole_program(source):
+    program = parse_program(source)
+    callgraph = build_rta(program)
+    pag = PAG(program, callgraph)
+    whole = legacy_solve(pag)
+    scoper = RegionScoper(pag, callgraph)
+    scope, fresh = scoper.scope_for("Main.main")
+    assert fresh
+    for node in sorted(scope.vars, key=lambda n: (n.method_sig, n.name)):
+        assert scope.result.pts(node) == whole.pts(node), node
+    for base, field, _target in sorted(whole.heap_points_to_pairs()):
+        if scope.covers_field(field):
+            assert scope.result.field_pts(base, field) == whole.field_pts(
+                base, field
+            ), (base, field)
