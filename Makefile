@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-kernel bench-summaries table1 profile examples golden-update cache-smoke serve-smoke nightly all
+.PHONY: install test bench bench-kernel bench-summaries bench-fleet fleet-smoke table1 profile examples golden-update cache-smoke serve-smoke nightly all
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,12 @@ bench-kernel:
 
 bench-summaries:
 	PYTHONPATH=src python benchmarks/bench_summaries.py --output BENCH_summaries.json
+
+bench-fleet:
+	PYTHONPATH=src python benchmarks/bench_fleet.py --output BENCH_fleet.json
+
+fleet-smoke:
+	PYTHONPATH=src python benchmarks/bench_fleet.py --short --output BENCH_fleet.json
 
 table1:
 	python -m repro table1

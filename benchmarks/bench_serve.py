@@ -5,20 +5,20 @@ are served from the session pool via the incremental fast path — no
 call graph, no points-to — so warm ``POST /analyze`` latency must sit
 well below cold.  These benchmarks run against an in-process server
 (real HTTP over a loopback socket, same handler stack as ``repro
-serve``) on the largest Table 1 subject, and
+serve``) on the largest Table 1 subject through
+:class:`repro.client.AnalyzeClient`, and
 ``test_warm_latency_beats_cold`` enforces the ordering that the CI
 smoke job (``make serve-smoke``) checks against a real subprocess.
 """
 
 import itertools
-import json
 import threading
 import time
-import urllib.request
 
 import pytest
 
 from repro.bench.apps import build_app
+from repro.client import AnalyzeClient
 from repro.server import create_server
 
 SUBJECT = "mysql-connector-j"
@@ -29,7 +29,7 @@ def served():
     server = create_server(port=0, max_sessions=4)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
-    yield server
+    yield AnalyzeClient(server.server_address[1])
     server.shutdown()
     server.server_close()
     thread.join(timeout=5)
@@ -40,17 +40,6 @@ def subject_source():
     return build_app(SUBJECT).source
 
 
-def _analyze(server, source):
-    request = urllib.request.Request(
-        "http://127.0.0.1:%d/analyze" % server.server_address[1],
-        data=json.dumps({"program": source}).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
-    with urllib.request.urlopen(request) as response:
-        return json.loads(response.read())
-
-
 def test_cold_analyze(benchmark, served, subject_source):
     """Every round mutates a comment-free filler label so the digest is
     new: always a cold scan."""
@@ -58,20 +47,18 @@ def test_cold_analyze(benchmark, served, subject_source):
 
     def cold_request():
         tag = next(fresh)
-        return _analyze(
-            served, subject_source + "\nclass BenchTag%d { }" % tag
-        )
+        return served.analyze(subject_source + "\nclass BenchTag%d { }" % tag)
 
-    body = benchmark.pedantic(cold_request, rounds=5, iterations=1)
-    assert body["warm"] is False
+    data = benchmark.pedantic(cold_request, rounds=5, iterations=1)
+    assert data["warm"] is False
 
 
 def test_warm_analyze(benchmark, served, subject_source):
-    _analyze(served, subject_source)  # prime the pool
+    served.analyze(subject_source)  # prime the pool
 
-    body = benchmark(_analyze, served, subject_source)
-    assert body["warm"] is True
-    counters = body["scan"]["profile"]["counters"]
+    data = benchmark(served.analyze, subject_source)
+    assert data["warm"] is True
+    counters = data["scan"]["profile"]["counters"]
     assert counters.get("incremental_fast_path") == 1
     assert counters.get("incremental_rechecked", 0) == 0
 
@@ -83,21 +70,21 @@ def test_warm_latency_beats_cold(served, subject_source):
 
     def timed(thunk):
         started = time.perf_counter()
-        body = thunk()
-        return time.perf_counter() - started, body
+        data = thunk()
+        return time.perf_counter() - started, data
 
     cold_times = []
     for _ in range(3):
         source = subject_source + "\nclass WarmTag%d { }" % next(fresh)
-        seconds, body = timed(lambda s=source: _analyze(served, s))
-        assert body["warm"] is False
+        seconds, data = timed(lambda s=source: served.analyze(s))
+        assert data["warm"] is False
         cold_times.append(seconds)
 
-    _analyze(served, subject_source)  # prime
+    served.analyze(subject_source)  # prime
     warm_times = []
     for _ in range(3):
-        seconds, body = timed(lambda: _analyze(served, subject_source))
-        assert body["warm"] is True
+        seconds, data = timed(lambda: served.analyze(subject_source))
+        assert data["warm"] is True
         warm_times.append(seconds)
 
     cold = sorted(cold_times)[1]

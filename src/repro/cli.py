@@ -31,6 +31,7 @@ import sys
 from repro.bench.table1 import run_table1
 from repro.core.detector import DetectorConfig
 from repro.core.regions import candidate_loops, resolve_region
+from repro.core.workers import validate_workers
 from repro.errors import ReproError
 from repro.javalib import JAVALIB_SOURCE
 from repro.lang import parse_program
@@ -164,13 +165,9 @@ def _cmd_scan(args):
             file=sys.stderr,
         )
         return 2
-    if args.jobs is not None and args.jobs < 1:
-        print(
-            "error: --jobs must be a positive worker count (got %d)"
-            % args.jobs,
-            file=sys.stderr,
-        )
-        return 2
+    # Shared with the parallel backends and serve --workers: an invalid
+    # count raises AnalysisError, which main() renders as exit 2.
+    validate_workers(args.jobs, flag="--jobs")
     if args.auto_regions and (args.ranked or args.region):
         print(
             "error: --auto-regions replaces --ranked/--region "
@@ -456,6 +453,11 @@ def _cmd_run(args):
 def _cmd_serve(args):
     from repro.server import create_server, run_server
 
+    if args.workers:
+        validate_workers(args.workers, flag="--workers")
+    extra = {}
+    if args.max_body is not None:
+        extra["max_body"] = args.max_body
     server = create_server(
         host=args.host,
         port=args.port,
@@ -465,16 +467,20 @@ def _cmd_serve(args):
         deadline_ms=args.deadline_ms,
         cache=_cache_from(args),
         max_sessions=args.max_sessions,
+        workers=args.workers,
+        transport=args.fleet_transport,
+        **extra,
     )
     host, port = server.server_address[:2]
     print(
-        "serving on http://%s:%d (jobs=%d, queue=%d, deadline=%s)"
+        "serving on http://%s:%d (jobs=%d, queue=%d, deadline=%s, workers=%d)"
         % (
             host,
             port,
             args.jobs,
             args.max_queue,
             "%dms" % args.deadline_ms if args.deadline_ms else "none",
+            args.workers,
         ),
         flush=True,
     )
@@ -757,7 +763,8 @@ def build_parser():
         "serve",
         help="run the HTTP analysis daemon",
         description="Long-running analysis service: POST /analyze, "
-        "POST /diff, GET /healthz, GET /metrics.  Repeat requests for "
+        "POST /diff, POST /analyze-batch (streamed NDJSON), "
+        "GET /healthz, GET /metrics.  Repeat requests for "
         "an unchanged program are served from the warm session pool; "
         "requests past --deadline-ms degrade to the sound fallback "
         "answer instead of failing; a full queue answers 429 with "
@@ -795,6 +802,27 @@ def build_parser():
         default=None,
         help="persistent artifact-cache directory shared with the "
         "check/scan subcommands",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fleet worker processes sharding POST /analyze-batch "
+        "region scans (0 serves batches in-process)",
+    )
+    serve.add_argument(
+        "--fleet-transport",
+        choices=("process", "inline"),
+        default="process",
+        help="how shard tasks reach fleet workers (inline runs them "
+        "in the daemon process, for debugging)",
+    )
+    serve.add_argument(
+        "--max-body",
+        type=int,
+        default=None,
+        help="largest accepted request body in bytes before answering "
+        "413 (default 8 MiB)",
     )
     add_detector_flags(serve)
     serve.set_defaults(func=_cmd_serve)

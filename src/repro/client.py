@@ -1,0 +1,259 @@
+"""A stdlib-only client for the analysis daemon.
+
+:class:`AnalyzeClient` speaks the versioned wire protocol of
+``repro serve`` (:mod:`repro.server.schema`, ``docs/api.md``) so
+callers stop hand-rolling ``urllib`` requests: the smoke check, the
+service benchmarks, and the fleet benchmark all go through it, which
+means the protocol has exactly one client-side implementation to keep
+honest.
+
+The client defaults to wire version 1 (the enveloped dialect) and
+unwraps the envelope for you — :meth:`AnalyzeClient.analyze` returns
+the ``data`` object, not the transport framing.  Constructed with
+``api_version=0`` it speaks the deprecated dialect and returns the
+legacy top-level bodies verbatim, which is how the compatibility tests
+pin the old shapes.  Errors of either dialect raise
+:class:`ClientError` carrying the parsed machine-readable code,
+message, context, and (for 429) the server's ``Retry-After`` hint.
+
+``POST /analyze-batch`` streams; :meth:`AnalyzeClient.analyze_batch`
+is accordingly a generator of decoded NDJSON records (``region``,
+``error``, then a terminal ``summary``), yielding each as it arrives.
+"""
+
+import json
+import os
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+from repro.server.schema import API_VERSION
+
+__all__ = ["AnalyzeClient", "ClientError", "default_api_version"]
+
+VERSION_ENV = "REPRO_API_VERSION"
+
+
+def default_api_version():
+    """The dialect a client speaks when none is requested explicitly.
+
+    ``REPRO_API_VERSION`` overrides the library default — this is how
+    the CI conformance matrix drives the same smoke flow through both
+    dialects without forking the harness.
+    """
+    raw = os.environ.get(VERSION_ENV)
+    if raw is None:
+        return API_VERSION
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            "%s must be an integer api version (got %r)" % (VERSION_ENV, raw)
+        )
+
+
+class ClientError(ReproError):
+    """An HTTP error response, parsed into its wire-protocol parts.
+
+    ``status`` is the HTTP status code; ``code`` the machine-readable
+    error code (version-1 envelope) or legacy ``kind`` (version 0);
+    ``context`` the error's context object; ``retry_after`` the 429
+    back-off hint in seconds (``None`` otherwise); ``body`` the decoded
+    response body, whatever its dialect.
+    """
+
+    def __init__(self, status, message, code=None, context=None,
+                 retry_after=None, body=None):
+        self.status = status
+        self.code = code
+        self.context = dict(context or {})
+        self.retry_after = retry_after
+        self.body = body
+        super().__init__("HTTP %d [%s]: %s" % (status, code or "?", message))
+
+    @classmethod
+    def from_http_error(cls, error):
+        """Parse a :class:`urllib.error.HTTPError` of either dialect."""
+        raw = error.read()
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            body = None
+        message, code, context = raw.decode("utf-8", "replace"), None, {}
+        if isinstance(body, dict):
+            detail = body.get("error")
+            if isinstance(detail, dict):  # version >= 1 envelope
+                message = detail.get("message", message)
+                code = detail.get("code")
+                context = detail.get("context") or {}
+            elif isinstance(detail, str):  # version 0
+                message = detail
+                code = body.get("kind")
+        retry_after = error.headers.get("Retry-After")
+        if retry_after is not None:
+            try:
+                retry_after = int(retry_after)
+            except ValueError:
+                retry_after = None
+        return cls(
+            error.code,
+            message,
+            code=code,
+            context=context,
+            retry_after=retry_after,
+            body=body,
+        )
+
+
+class AnalyzeClient:
+    """One analysis service, one wire dialect, typed entry points.
+
+    ``base_url`` is the service root (``http://127.0.0.1:8427``); a
+    bare ``host:port`` or port number also works.  ``api_version``
+    selects the dialect for every call (1 by default;
+    ``REPRO_API_VERSION`` overrides when not passed explicitly).
+    """
+
+    def __init__(self, base_url, timeout=120, api_version=None):
+        if api_version is None:
+            api_version = default_api_version()
+        if isinstance(base_url, int):
+            base_url = "http://127.0.0.1:%d" % base_url
+        if "://" not in base_url:
+            base_url = "http://" + base_url
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.api_version = api_version
+
+    # -- endpoints -----------------------------------------------------------
+
+    def analyze(self, program, region=None, deadline_ms=None, javalib=False):
+        """``POST /analyze``: the scan data for one program.
+
+        Returns the data object — ``{"warm", "degraded",
+        "program_digest", "scan"}`` — regardless of dialect (version 0
+        responses inline the same fields, returned verbatim).
+        """
+        payload = {"program": program}
+        if region is not None:
+            payload["region"] = region
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if javalib:
+            payload["javalib"] = True
+        return self._unwrap(self._post_json("/analyze", payload))
+
+    def diff(self, before, after, deadline_ms=None, javalib=False):
+        """``POST /diff``: the finding-level delta of two programs."""
+        payload = {"before": before, "after": after}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if javalib:
+            payload["javalib"] = True
+        return self._unwrap(self._post_json("/diff", payload))
+
+    def analyze_batch(
+        self,
+        programs,
+        deadline_ms=None,
+        include_reports=False,
+    ):
+        """``POST /analyze-batch``: a generator of NDJSON records.
+
+        ``programs`` is a list of entry dicts (``{"id"?, "program",
+        "region"?, "javalib"?}``); a bare source string is accepted and
+        wrapped.  Yields each decoded record as the server streams it:
+        ``region`` and ``error`` records in completion order, then the
+        terminal ``summary``.
+        """
+        entries = [
+            {"program": entry} if isinstance(entry, str) else dict(entry)
+            for entry in programs
+        ]
+        payload = {"programs": entries, "api_version": self.api_version}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if include_reports:
+            payload["include_reports"] = True
+        request = urllib.request.Request(
+            "%s/analyze-batch?api_version=%d"
+            % (self.base_url, self.api_version),
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise ClientError.from_http_error(error)
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def healthz(self):
+        """``GET /healthz``: liveness + occupancy data."""
+        return self._unwrap(self._get_json("/healthz"))
+
+    def metrics(self, prometheus=False):
+        """``GET /metrics``: the JSON snapshot, or the Prometheus text
+        exposition with ``prometheus=True``."""
+        if prometheus:
+            return self._get_text("/metrics?format=prometheus")
+        body = self._get_json("/metrics")
+        if self.api_version >= 1:
+            return body["data"]
+        return body  # version 0 /metrics was never enveloped
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _unwrap(self, body):
+        if self.api_version >= 1:
+            return body["data"]
+        return body
+
+    def _post_json(self, path, payload):
+        payload = dict(payload)
+        payload["api_version"] = self.api_version
+        request = urllib.request.Request(
+            # The version rides in the query string too: errors raised
+            # before the body is read (413, bad Content-Length) still
+            # answer in the dialect this client speaks.
+            "%s%s?api_version=%d" % (self.base_url, path, self.api_version),
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        return self._open_json(request)
+
+    def _get_json(self, path):
+        separator = "&" if "?" in path else "?"
+        url = "%s%s%sapi_version=%d" % (
+            self.base_url, path, separator, self.api_version
+        )
+        return self._open_json(urllib.request.Request(url))
+
+    def _get_text(self, path):
+        try:
+            with urllib.request.urlopen(
+                self.base_url + path, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as error:
+            raise ClientError.from_http_error(error)
+
+    def _open_json(self, request):
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise ClientError.from_http_error(error)
+
+    def __repr__(self):
+        return "AnalyzeClient(%r, api_version=%d)" % (
+            self.base_url,
+            self.api_version,
+        )

@@ -1,0 +1,123 @@
+"""Worker-side snapshot adoption: from a parent's artifacts to a live session.
+
+Every multi-process execution path in the system — the ``scan
+--backend process`` worker pool and the ``repro serve`` analysis fleet
+— faces the same hand-off problem: a parent holds a warmed
+:class:`~repro.core.pipeline.session.AnalysisSession` and a worker in
+another process must answer region checks against *exactly* that
+state without re-solving it.  The currency is the plain-data snapshot
+(:func:`~repro.core.cache.serialize.snapshot_shared`), and the
+zero-copy transport is the flat kernel's packed form
+(:func:`~repro.pta.kernel.pack_snapshot`) in a read-only
+``multiprocessing.shared_memory`` block: a worker attaches and decodes
+points-to bitsets lazily straight out of the mapping, so per-worker
+warmup is microseconds instead of a fresh Andersen solve.
+
+This module is the one place that protocol lives:
+
+* :func:`share_snapshot` — parent side: pack a snapshot into a fresh
+  shared-memory block (or report that the platform cannot);
+* :func:`attach_shared` — worker side: attach to a named block and
+  keep it alive past the resource tracker's misplaced cleanup;
+* :func:`adopt_session` — worker side, one call: program blob +
+  config + (shm name | snapshot dict | nothing) → a ready
+  ``AnalysisSession``, hydrated when state was handed off, cold-built
+  as the sound fallback when not.
+
+Both the scan process pool (:mod:`repro.core.pipeline.parallel`) and
+the fleet worker (:mod:`repro.server.worker`) build on these; keeping
+them here means the cache layer owns every producer *and* consumer of
+its snapshot encoding.
+"""
+
+import pickle
+
+
+def share_snapshot(snapshot):
+    """Pack ``snapshot`` into a shared-memory block.
+
+    Returns ``(shm, name)``; ``(None, None)`` when shared memory is
+    unavailable on this platform (callers then ship the snapshot dict
+    itself).  The caller owns the segment: ``shm.close()`` +
+    ``shm.unlink()`` when every worker is done with it.
+    """
+    from repro.pta.kernel import pack_snapshot
+
+    try:
+        from multiprocessing import shared_memory
+
+        packed = pack_snapshot(snapshot)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, len(packed)))
+        shm.buf[: len(packed)] = packed
+        return shm, shm.name
+    except Exception:
+        return None, None
+
+
+def attach_shared(shm_name):
+    """Attach to the parent's packed-snapshot segment; returns the
+    ``SharedMemory`` handle, which must stay referenced for as long as
+    any session decoded from it answers queries (the mask table holds
+    memoryviews into its buffer)."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        # Attaching registered the segment with this process's resource
+        # tracker (on platforms that track shared memory), which would
+        # unlink it when *this* process exits — but the creator owns the
+        # segment's lifetime.  Unregister; best-effort by design.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm
+
+
+def adopt_session(
+    program_blob,
+    config_kwargs,
+    shm_name=None,
+    snapshot=None,
+    program_digest=None,
+    cache=None,
+):
+    """Build a worker-local session adopting the parent's state.
+
+    ``program_blob`` is the pickled program and ``config_kwargs`` the
+    parent's ``config.describe()``.  State arrives, in preference
+    order, as ``shm_name`` (a packed snapshot in shared memory),
+    ``snapshot`` (the plain dict), or neither — in which case the
+    session is built cold (optionally hydrating from ``cache``, an
+    :class:`~repro.core.cache.store.ArtifactCache`) and warmed, the
+    sound fallback for a worker that missed every hand-off.
+
+    Returns ``(session, shm)``; ``shm`` is the attached segment (or
+    ``None``) and must be kept referenced alongside the session.
+    """
+    from repro.core.cache.serialize import hydrate_shared
+    from repro.core.config import DetectorConfig
+    from repro.core.pipeline.session import AnalysisSession
+
+    program = pickle.loads(program_blob)
+    config = DetectorConfig(**config_kwargs)
+    shm = None
+    if shm_name is not None:
+        from repro.pta.kernel import attach_snapshot
+
+        shm = attach_shared(shm_name)
+        snapshot = attach_snapshot(shm.buf)
+    if snapshot is not None:
+        # The snapshot came straight from a live parent session, so its
+        # recorded digest is trusted — no need to re-hash the program.
+        shared = hydrate_shared(
+            program,
+            config,
+            snapshot,
+            program_dig=program_digest or snapshot["program_digest"],
+        )
+        return AnalysisSession(program, config, shared=shared), shm
+    session = AnalysisSession(program, config, cache=cache)
+    session.warm()
+    return session, shm

@@ -32,9 +32,9 @@ import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.core.workers import DEFAULT_WORKERS, resolve_workers
 from repro.errors import AnalysisError, RegionCheckError
 
-DEFAULT_WORKERS = 4
 BACKENDS = ("thread", "process")
 
 #: Per-process worker state, installed by :func:`_init_process_worker`.
@@ -43,22 +43,6 @@ _WORKER_SESSION = None
 #: the hydrated session's mask table holds memoryviews into its buffer,
 #: so the segment must outlive every query this worker will answer.
 _WORKER_SHM = None
-
-
-def _resolve_workers(max_workers, spec_count):
-    """Validate an explicit worker count; pick a default otherwise.
-
-    The message mirrors the CLI's ``--jobs`` validation verbatim —
-    ``main()`` turns this :class:`AnalysisError` into the same exit-2
-    path an invalid ``--jobs`` flag takes.
-    """
-    if max_workers is None:
-        return min(DEFAULT_WORKERS, spec_count)
-    if max_workers < 1:
-        raise AnalysisError(
-            "--jobs must be a positive worker count (got %d)" % max_workers
-        )
-    return max_workers
 
 
 def _check_wrapped(session, spec, backend="thread"):
@@ -81,26 +65,6 @@ def _check_wrapped(session, spec, backend="thread"):
         ) from exc
 
 
-def _attach_worker_shm(shm_name):
-    """Attach this worker to the parent's packed-snapshot segment."""
-    from multiprocessing import shared_memory
-
-    global _WORKER_SHM
-    shm = shared_memory.SharedMemory(name=shm_name)
-    try:
-        # Attaching registered the segment with this process's resource
-        # tracker (on platforms that track shared memory), which would
-        # unlink it when the *worker* exits — but the parent owns the
-        # segment's lifetime.  Unregister; best-effort by design.
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
-    _WORKER_SHM = shm
-    return shm
-
-
 def _init_process_worker(program_blob, config_kwargs, shm_name, snapshot):
     """Build this worker process's session from the parent's snapshot.
 
@@ -108,25 +72,17 @@ def _init_process_worker(program_blob, config_kwargs, shm_name, snapshot):
     snapshot (see :func:`repro.pta.kernel.pack_snapshot`); the worker
     attaches read-only and decodes points-to masks lazily straight out
     of the mapping.  ``snapshot`` is the plain-dict fallback used when
-    the parent could not allocate shared memory.
+    the parent could not allocate shared memory.  Both arrivals go
+    through the shared adoption protocol
+    (:func:`repro.core.cache.adopt.adopt_session`) — the same one the
+    ``repro serve`` fleet workers use.
     """
-    from repro.core.cache.serialize import hydrate_shared
-    from repro.core.config import DetectorConfig
-    from repro.core.pipeline.session import AnalysisSession
+    from repro.core.cache.adopt import adopt_session
 
-    global _WORKER_SESSION
-    program = pickle.loads(program_blob)
-    config = DetectorConfig(**config_kwargs)
-    if shm_name is not None:
-        from repro.pta.kernel import attach_snapshot
-
-        snapshot = attach_snapshot(_attach_worker_shm(shm_name).buf)
-    # The snapshot came straight from the parent's live session, so its
-    # recorded digest is trusted — no need to re-hash the program here.
-    shared = hydrate_shared(
-        program, config, snapshot, program_dig=snapshot["program_digest"]
+    global _WORKER_SESSION, _WORKER_SHM
+    _WORKER_SESSION, _WORKER_SHM = adopt_session(
+        program_blob, config_kwargs, shm_name=shm_name, snapshot=snapshot
     )
-    _WORKER_SESSION = AnalysisSession(program, config, shared=shared)
 
 
 def _process_check(spec):
@@ -144,28 +100,13 @@ def _process_check(spec):
         )
 
 
-def _share_snapshot(snapshot):
-    """Pack ``snapshot`` into a shared-memory block; ``(shm, name)`` or
-    ``(None, None)`` when shared memory is unavailable."""
-    from repro.pta.kernel import pack_snapshot
-
-    try:
-        from multiprocessing import shared_memory
-
-        packed = pack_snapshot(snapshot)
-        shm = shared_memory.SharedMemory(create=True, size=max(1, len(packed)))
-        shm.buf[: len(packed)] = packed
-        return shm, shm.name
-    except Exception:
-        return None, None
-
-
 def _check_regions_process(session, specs, workers):
     session.warm()
+    from repro.core.cache.adopt import share_snapshot
     from repro.core.cache.serialize import snapshot_shared
 
     snapshot = snapshot_shared(session.shared)
-    shm, shm_name = _share_snapshot(snapshot)
+    shm, shm_name = share_snapshot(snapshot)
     initargs = (
         pickle.dumps(session.program, protocol=pickle.HIGHEST_PROTOCOL),
         session.config.describe(),
@@ -217,7 +158,7 @@ def check_regions_parallel(session, specs, max_workers=None, backend="thread"):
             % (backend, ", ".join(BACKENDS))
         )
     specs = list(specs)
-    workers = _resolve_workers(max_workers, len(specs) or 1)
+    workers = resolve_workers(max_workers, len(specs) or 1)
     if not specs:
         return []
     if workers <= 1 or len(specs) == 1:

@@ -27,6 +27,7 @@ gating in CI.
 
 from repro.core.pipeline.parallel import check_regions_parallel
 from repro.core.pipeline.session import AnalysisSession
+from repro.core.pipeline.sharding import check_spec_list
 from repro.core.pipeline.stats import PipelineStats, stats_from_report
 from repro.core.ranking import rank_loops
 from repro.core.regions import candidate_loops, region_text
@@ -228,8 +229,10 @@ def scan_all_loops(
             session, specs, max_workers=max_workers, backend=backend
         )
     else:
-        with session.points_to.deadline_scope(deadline):
-            entries = [(spec, session.check(spec)) for spec in specs]
+        # The serial path is the fleet worker's shard loop run over the
+        # whole list (repro.core.pipeline.sharding) — one code path,
+        # whatever the process topology.
+        entries = check_spec_list(session, specs, deadline=deadline)
     if session.cache is not None and not session.hydrated_from_cache:
         session.persist()
     return ScanResult(

@@ -9,17 +9,27 @@ See :mod:`~repro.server.app` for the endpoint contract.
 """
 
 from repro.server.app import AnalysisServer, create_server, run_server
+from repro.server.coordinator import Coordinator
 from repro.server.limits import AdmissionControl, Deadline, QueueFull
 from repro.server.metrics import ServerMetrics
 from repro.server.pool import SessionPool
+from repro.server.transport import (
+    InlineTransport,
+    LocalProcessTransport,
+    make_transport,
+)
 
 __all__ = [
     "AdmissionControl",
     "AnalysisServer",
+    "Coordinator",
     "Deadline",
+    "InlineTransport",
+    "LocalProcessTransport",
     "QueueFull",
     "ServerMetrics",
     "SessionPool",
     "create_server",
+    "make_transport",
     "run_server",
 ]

@@ -1,28 +1,49 @@
-"""The analysis daemon: LeakChecker behind four HTTP endpoints.
+"""The analysis daemon: LeakChecker behind five HTTP endpoints.
 
-Stdlib only (:mod:`http.server`), started by ``repro serve``:
+Stdlib only, started by ``repro serve``.  Admission is an **async
+accept loop** (:mod:`asyncio`) feeding a bounded work queue: accepting
+a connection costs one coroutine, not one thread, and the blocking
+analysis work runs on a small thread pool guarded by
+:class:`~repro.server.limits.AdmissionControl` — at most ``jobs``
+analyses at once, at most ``max_queue`` waiting, one more refused with
+``429`` + ``Retry-After`` before any expensive work happens.
+
+Endpoints (see ``docs/api.md`` for the full wire reference and
+:mod:`repro.server.schema` for the machine-checked shapes):
 
 * ``POST /analyze`` — body ``{"program": <source>, "region": <spec |
   [spec, ...]>?, "deadline_ms": <int>?, "javalib": <bool>?}``.  Runs a
   scan through the :class:`~repro.server.pool.SessionPool`: the first
   request for a program is a cold scan, repeats with the same digest
   are served from the pooled snapshot without rebuilding analysis
-  state.  The response embeds the full scan dict (findings, triage,
-  profile) plus ``warm``, ``program_digest`` and ``degraded``.
+  state.
 * ``POST /diff`` — body ``{"before": <source>, "after": <source>,
-  "deadline_ms"?, "javalib"?}``.  Analyzes both programs (pool-warm
-  when possible) and returns the finding-level
-  :class:`~repro.core.incremental.diffing.LeakDelta`.
+  "deadline_ms"?, "javalib"?}``; the finding-level
+  :class:`~repro.core.incremental.diffing.LeakDelta` of two programs.
+* ``POST /analyze-batch`` — body ``{"programs": [{"id"?, "program",
+  "region"?, "javalib"?}, ...], "deadline_ms"?, "include_reports"?}``.
+  Streams NDJSON: one ``region`` record per checked region *as the
+  fleet finishes it*, ``error`` records for programs or regions that
+  failed (the stream continues past them), and a terminal ``summary``
+  record.  With ``serve --workers N`` the regions are sharded across
+  the worker fleet (:mod:`~repro.server.coordinator`); without, they
+  run through the session pool in-process.
 * ``GET /healthz`` — liveness plus admission/pool occupancy.
-* ``GET /metrics`` — cumulative counters and latency quantiles; JSON
-  by default, Prometheus text with ``?format=prometheus`` (or an
-  ``Accept: text/plain`` header).
+* ``GET /metrics`` — cumulative counters, latency quantiles (analyze,
+  diff, batch, per-shard), pool gauges, and — when the fleet is on —
+  per-worker utilization, adoption mix, and queue depth.  JSON by
+  default, Prometheus text with ``?format=prometheus``.
 
-Status codes: ``400`` malformed request (bad JSON, missing fields),
-``404`` unknown path, ``405`` wrong method on a known path, ``422``
-the program failed to parse/resolve (:class:`~repro.errors.ReproError`),
-``429`` + ``Retry-After`` when the bounded queue is full, ``500`` only
-for genuine bugs.
+Responses are versioned (:mod:`repro.server.schema`): ``api_version``
+in a POST body or as a query parameter selects the dialect — 1 is the
+uniform envelope, 0 the deprecated pre-envelope shapes (still the
+default on the endpoints that predate versioning, served with a
+``Deprecation`` header).
+
+Status codes: ``400`` malformed request, ``404`` unknown path, ``405``
+wrong method (with ``Allow``), ``413`` oversized body, ``422`` the
+program failed to parse/resolve, ``429`` + ``Retry-After`` when the
+bounded queue is full, ``500`` only for genuine bugs.
 
 Deadlines degrade, they do not fail: the effective deadline is the
 smaller of the server-wide ``--deadline-ms`` and the request's
@@ -32,33 +53,97 @@ fallback, so the request still completes — flagged ``"degraded":
 true`` rather than turned into an error.
 """
 
+import asyncio
 import json
 import math
+import socket
+import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import ThreadPoolExecutor
+from http import HTTPStatus
 from urllib.parse import parse_qs, urlparse
 
+from repro.core.cache.digest import program_digest
 from repro.core.incremental.diffing import diff_analyses
-from repro.core.regions import resolve_region
+from repro.core.regions import region_text, resolve_region
 from repro.errors import ReproError
 from repro.javalib import JAVALIB_SOURCE
 from repro.lang import parse_program
 from repro.pta.queries import Deadline
+from repro.server import schema
 from repro.server.limits import AdmissionControl, QueueFull
 from repro.server.metrics import ServerMetrics
 from repro.server.pool import SessionPool
+
+#: Largest request body accepted (bytes); beyond it the server answers
+#: ``413`` without reading the payload into memory.
+DEFAULT_MAX_BODY = 8 * 1024 * 1024
+
+#: How much of an oversized body is drained before answering 413, so
+#: well-behaved clients that already sent it get the response parsed.
+_DRAIN_LIMIT = 1024 * 1024
+
+#: Endpoint -> wire version assumed when the request names none.
+#: ``/analyze-batch`` postdates the envelope and never had a version-0
+#: shape; everything else defaults to the deprecated dialect until
+#: clients migrate.
+_DEFAULT_VERSIONS = {
+    "analyze": 0,
+    "diff": 0,
+    "healthz": 0,
+    "metrics": 0,
+    "batch": 1,
+}
+
+_ROUTES = {
+    ("GET", "/healthz"): "healthz",
+    ("GET", "/metrics"): "metrics",
+    ("POST", "/analyze"): "analyze",
+    ("POST", "/diff"): "diff",
+    ("POST", "/analyze-batch"): "batch",
+}
+
+_PATH_METHODS = {
+    "/healthz": "GET",
+    "/metrics": "GET",
+    "/analyze": "POST",
+    "/diff": "POST",
+    "/analyze-batch": "POST",
+}
 
 
 class BadRequest(Exception):
     """Client-side request error; rendered as HTTP 400."""
 
 
-class AnalysisServer(ThreadingHTTPServer):
-    """One daemon process: pool + admission + metrics, shared across
-    handler threads."""
+class PayloadTooLarge(Exception):
+    """Request body beyond ``max_body``; rendered as HTTP 413."""
 
-    daemon_threads = True
-    allow_reuse_address = True
+
+class _Response:
+    """One ready-to-send plain (non-streaming) HTTP response."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(self, status, body, content_type, headers=None):
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = dict(headers or {})
+
+
+class AnalysisServer:
+    """One daemon process: async accept loop in front, session pool +
+    admission + optional worker fleet behind, metrics throughout.
+
+    The listening socket binds eagerly in the constructor (so
+    ``server_address`` is final before :meth:`serve_forever` runs — the
+    tests and the CLI banner depend on that), while the event loop
+    starts inside :meth:`serve_forever`.  The interface mirrors
+    ``socketserver`` (``serve_forever`` / ``shutdown`` /
+    ``server_close``) so callers did not have to move when the
+    threaded server became this accept loop.
+    """
 
     def __init__(
         self,
@@ -70,14 +155,92 @@ class AnalysisServer(ThreadingHTTPServer):
         deadline_ms=None,
         cache=None,
         max_sessions=8,
+        workers=0,
+        transport="process",
+        max_body=DEFAULT_MAX_BODY,
     ):
-        super().__init__(address, RequestHandler)
         self.pool = SessionPool(
             config=config, cache=cache, max_sessions=max_sessions
         )
         self.admission = AdmissionControl(jobs=jobs, max_queue=max_queue)
         self.metrics = ServerMetrics()
         self.default_deadline_ms = deadline_ms
+        self.max_body = max_body
+        self.coordinator = None
+        if workers:
+            from repro.server.coordinator import Coordinator
+
+            self.coordinator = Coordinator(
+                workers,
+                config=self.pool.config,
+                cache=cache,
+                transport=transport,
+                metrics=self.metrics,
+            )
+        # Bind only after the fleet forked: worker processes must not
+        # inherit the listening socket (or, worse, accepted connection
+        # descriptors — which is why the coordinator warms its pool in
+        # its constructor rather than on first use).
+        self._sock = socket.create_server(address, reuse_port=False)
+        self.server_address = self._sock.getsockname()
+        # Enough threads that every admission slot, every queue
+        # position, and a few control requests can hold one at once —
+        # the bounded queue saturates before the executor does, so
+        # QueueFull (not thread starvation) is what callers hit.
+        self._executor = ThreadPoolExecutor(
+            max_workers=jobs + max_queue + 4,
+            thread_name_prefix="repro-serve",
+        )
+        self._loop = None
+        self._stop = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self):
+        """Run the accept loop until :meth:`shutdown` (blocking)."""
+        asyncio.run(self._serve())
+
+    async def _serve(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if self._stopping.is_set():  # shutdown() won the race to start
+            self._sock.close()
+            return
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._sock
+        )
+        try:
+            await self._stop.wait()
+        finally:
+            # The loop thread owns the socket from here on; closing it
+            # from another thread would race the selector.
+            server.close()
+            await server.wait_closed()
+
+    def shutdown(self):
+        """Stop the accept loop (thread-safe, idempotent)."""
+        self._stopping.set()
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+
+    def server_close(self):
+        """Release every resource: executor, fleet — and the listening
+        socket, unless the accept loop ran (it closes its own)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.coordinator is not None:
+            self.coordinator.close()
+        if self._loop is None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    # -- shared helpers ------------------------------------------------------
 
     def effective_deadline_ms(self, requested):
         """The stricter of the server default and the request's ask."""
@@ -93,78 +256,236 @@ class AnalysisServer(ThreadingHTTPServer):
         gauges["queued_requests"] = queued
         return gauges
 
+    def fleet_snapshot(self):
+        """The coordinator's fleet stats, or ``None`` without a fleet."""
+        if self.coordinator is None:
+            return None
+        return self.coordinator.fleet_stats()
 
-class RequestHandler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1.0"
-    protocol_version = "HTTP/1.1"
+    def _retry_after(self, depth):
+        """Seconds a 429'd client should back off: the mean analyze
+        latency times the line length in front of it, at least 1."""
+        mean = self.metrics.mean_latency("analyze")
+        return max(1, int(math.ceil(mean * (depth + 1))))
 
-    # -- routing -------------------------------------------------------------
+    def _count(self, endpoint):
+        self.metrics.count("requests_total")
+        self.metrics.count("%s_requests" % endpoint)
 
-    def do_GET(self):
-        path = urlparse(self.path).path
-        if path == "/healthz":
-            self._count("healthz_requests")
-            return self._handle(self._healthz)
-        if path == "/metrics":
-            self._count("metrics_requests")
-            return self._handle(self._metrics)
-        if path in ("/analyze", "/diff"):
-            return self._method_not_allowed("POST")
-        return self._not_found()
+    # -- connection handling -------------------------------------------------
 
-    def do_POST(self):
-        path = urlparse(self.path).path
-        if path == "/analyze":
-            self._count("analyze_requests")
-            return self._handle(self._analyze, timed="analyze")
-        if path == "/diff":
-            self._count("diff_requests")
-            return self._handle(self._diff, timed="diff")
-        if path in ("/healthz", "/metrics"):
-            return self._method_not_allowed("GET")
-        return self._not_found()
+    async def _handle_connection(self, reader, writer):
+        try:
+            await self._handle_one(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:  # noqa: BLE001 - last-resort: drop the socket
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
-    # -- endpoints -----------------------------------------------------------
+    async def _handle_one(self, reader, writer):
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            await self._send(
+                writer,
+                _Response(400, b'{"ok": false}', "application/json"),
+            )
+            return
+        method, target = parts[0], parts[1]
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        parsed = urlparse(target)
+        path, query = parsed.path, parse_qs(parsed.query)
 
-    def _analyze(self):
-        payload = self._read_json()
-        program = self._parse_program(payload)
-        specs = self._parse_regions(program, payload.get("region"))
-        deadline_ms = self.server.effective_deadline_ms(
-            self._optional_int(payload, "deadline_ms")
+        endpoint = _ROUTES.get((method, path))
+        if endpoint is None:
+            await self._send(writer, self._route_error(method, path, query))
+            return
+        self._count(endpoint)
+        version = _DEFAULT_VERSIONS[endpoint]
+
+        raw_body = b""
+        if method == "POST":
+            try:
+                raw_body = await self._read_body(reader, writer, headers)
+            except PayloadTooLarge as exc:
+                self.metrics.count("payload_too_large")
+                self.metrics.count("client_errors")
+                await self._send(
+                    writer,
+                    self._error_response(
+                        self._query_version(query, version), 413, str(exc)
+                    ),
+                )
+                return
+            except BadRequest as exc:
+                self.metrics.count("client_errors")
+                await self._send(
+                    writer,
+                    self._error_response(
+                        self._query_version(query, version), 400, str(exc)
+                    ),
+                )
+                return
+
+        if endpoint == "batch":
+            await self._handle_batch(writer, raw_body, query)
+            return
+
+        loop = asyncio.get_running_loop()
+        response = await loop.run_in_executor(
+            self._executor, self._respond_plain, endpoint, raw_body, query, headers
+        )
+        await self._send(writer, response)
+
+    async def _read_body(self, reader, writer, headers):
+        length = headers.get("content-length")
+        if length is None:
+            raise BadRequest("Content-Length required")
+        try:
+            length = int(length)
+        except ValueError:
+            raise BadRequest("malformed Content-Length")
+        if length < 0:
+            raise BadRequest("malformed Content-Length")
+        expects_continue = (
+            "100-continue" in headers.get("expect", "").lower()
+        )
+        if length > self.max_body:
+            if not expects_continue:
+                # The body is already in flight; drain a bounded amount
+                # so the client gets to read our 413 instead of a reset.
+                remaining = min(length, _DRAIN_LIMIT)
+                while remaining > 0:
+                    chunk = await reader.read(min(65536, remaining))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+            raise PayloadTooLarge(
+                "request body of %d bytes exceeds the %d byte limit"
+                % (length, self.max_body)
+            )
+        if expects_continue:
+            writer.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+            await writer.drain()
+        try:
+            return await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("request body shorter than Content-Length")
+
+    def _route_error(self, method, path, query):
+        self.metrics.count("requests_total")
+        self.metrics.count("client_errors")
+        allowed = _PATH_METHODS.get(path)
+        version = self._query_version(query, 0)
+        if allowed is not None and allowed != method:
+            response = self._error_response(
+                version, 405, "method not allowed"
+            )
+            response.headers["Allow"] = allowed
+            return response
+        return self._error_response(version, 404, "unknown path")
+
+    @staticmethod
+    def _query_version(query, default):
+        """Best-effort version for errors raised before the body could
+        be read: the query parameter or the endpoint default."""
+        try:
+            return schema.requested_version(None, query, default=default)
+        except schema.SchemaError:
+            return default
+
+    # -- plain endpoints (run on the executor) -------------------------------
+
+    def _respond_plain(self, endpoint, raw_body, query, headers):
+        started = time.perf_counter()
+        timed = endpoint if endpoint in ("analyze", "diff") else None
+        version = _DEFAULT_VERSIONS[endpoint]
+        try:
+            payload = _decode_json(raw_body) if raw_body else None
+            version = schema.requested_version(
+                payload, query, default=_DEFAULT_VERSIONS[endpoint]
+            )
+            if endpoint == "metrics":
+                response = self._metrics_endpoint(version, query, headers)
+            elif endpoint == "healthz":
+                response = self._healthz_endpoint(version)
+            elif endpoint == "analyze":
+                response = self._analyze_endpoint(version, payload)
+            else:
+                response = self._diff_endpoint(version, payload)
+            self.metrics.count("responses_ok")
+        except QueueFull as exc:
+            self.metrics.count("queue_rejections")
+            retry_after = self._retry_after(exc.depth)
+            response = self._error_response(
+                version, 429, str(exc), {"retry_after": retry_after}
+            )
+            response.headers["Retry-After"] = str(retry_after)
+        except (BadRequest, schema.SchemaError) as exc:
+            self.metrics.count("client_errors")
+            response = self._error_response(version, 400, str(exc))
+        except ReproError as exc:
+            self.metrics.count("client_errors")
+            self.metrics.count("analysis_errors")
+            response = self._error_response(version, 422, str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            self.metrics.count("server_errors")
+            response = self._error_response(version, 500, str(exc))
+        if timed is not None:
+            self.metrics.observe_latency(timed, time.perf_counter() - started)
+        return response
+
+    def _analyze_endpoint(self, version, payload):
+        if payload is None:
+            raise BadRequest("request body required")
+        program = _parse_program(payload)
+        specs = _parse_regions(program, payload.get("region"))
+        deadline_ms = self.effective_deadline_ms(
+            _optional_int(payload, "deadline_ms")
         )
         deadline = Deadline.after_ms(deadline_ms)
-        with self.server.admission.slot():
-            result, info = self.server.pool.analyze(
+        with self.admission.slot():
+            result, info = self.pool.analyze(
                 program, specs=specs, deadline=deadline
             )
         degraded = bool(deadline is not None and deadline.was_exceeded)
         self._record_analysis(result, info, degraded)
-        return self._json_response(
-            200,
-            {
-                "ok": True,
-                "warm": info["warm"],
-                "degraded": degraded,
-                "program_digest": info["program_digest"],
-                "scan": result.as_dict(),
-            },
-        )
+        data = {
+            "warm": info["warm"],
+            "degraded": degraded,
+            "program_digest": info["program_digest"],
+            "scan": result.as_dict(),
+        }
+        return self._success_response("analyze", version, data)
 
-    def _diff(self):
-        payload = self._read_json()
-        before = self._parse_program(payload, key="before")
-        after = self._parse_program(payload, key="after")
-        deadline_ms = self.server.effective_deadline_ms(
-            self._optional_int(payload, "deadline_ms")
+    def _diff_endpoint(self, version, payload):
+        if payload is None:
+            raise BadRequest("request body required")
+        before = _parse_program(payload, key="before")
+        after = _parse_program(payload, key="after")
+        deadline_ms = self.effective_deadline_ms(
+            _optional_int(payload, "deadline_ms")
         )
-        with self.server.admission.slot():
-            before_result, before_info = self.server.pool.analyze(
+        with self.admission.slot():
+            before_result, before_info = self.pool.analyze(
                 before, deadline=Deadline.after_ms(deadline_ms)
             )
-            after_deadline = Deadline.after_ms(deadline_ms)
-            after_result, after_info = self.server.pool.analyze(
-                after, deadline=after_deadline
+            after_result, after_info = self.pool.analyze(
+                after, deadline=Deadline.after_ms(deadline_ms)
             )
         for result, info in (
             (before_result, before_info),
@@ -172,98 +493,269 @@ class RequestHandler(BaseHTTPRequestHandler):
         ):
             self._record_analysis(result, info, False)
         delta = diff_analyses(before_result, after_result)
-        return self._json_response(
-            200,
-            {
-                "ok": True,
-                "diff": delta.as_dict(),
-                "before": {
-                    "program_digest": before_info["program_digest"],
-                    "warm": before_info["warm"],
-                },
-                "after": {
-                    "program_digest": after_info["program_digest"],
-                    "warm": after_info["warm"],
-                },
+        data = {
+            "diff": delta.as_dict(),
+            "before": {
+                "program_digest": before_info["program_digest"],
+                "warm": before_info["warm"],
             },
-        )
-
-    def _healthz(self):
-        inflight, queued = self.server.admission.occupancy()
-        return self._json_response(
-            200,
-            {
-                "ok": True,
-                "status": "ok",
-                "inflight": inflight,
-                "queued": queued,
-                "pool": self.server.pool.stats(),
+            "after": {
+                "program_digest": after_info["program_digest"],
+                "warm": after_info["warm"],
             },
-        )
+        }
+        return self._success_response("diff", version, data)
 
-    def _metrics(self):
-        query = parse_qs(urlparse(self.path).query)
+    def _healthz_endpoint(self, version):
+        inflight, queued = self.admission.occupancy()
+        data = {
+            "status": "ok",
+            "inflight": inflight,
+            "queued": queued,
+            "pool": self.pool.stats(),
+        }
+        if self.coordinator is not None:
+            data["pool"] = dict(data["pool"])
+            data["pool"]["fleet_workers"] = self.coordinator.transport.workers
+        return self._success_response("healthz", version, data)
+
+    def _metrics_endpoint(self, version, query, headers):
         wants_text = query.get("format", [""])[0] == "prometheus" or (
-            "text/plain" in self.headers.get("Accept", "")
+            "text/plain" in headers.get("accept", "")
         )
-        gauges = self.server.gauges()
+        fleet = self.fleet_snapshot()
         if wants_text:
-            body = self.server.metrics.prometheus_text(gauges).encode("utf-8")
-            return (200, body, "text/plain; version=0.0.4", None)
-        return self._json_response(200, self.server.metrics.as_dict(gauges))
+            body = self.metrics.prometheus_text(
+                self.gauges(), fleet=fleet
+            ).encode("utf-8")
+            return _Response(200, body, "text/plain; version=0.0.4")
+        data = self.metrics.as_dict(self.gauges(), fleet=fleet)
+        return self._success_response("metrics", version, data)
 
-    # -- request decoding ----------------------------------------------------
+    # -- the batch endpoint --------------------------------------------------
 
-    def _read_json(self):
-        length = self.headers.get("Content-Length")
-        if length is None:
-            raise BadRequest("Content-Length required")
-        try:
-            raw = self.rfile.read(int(length))
-        except ValueError:
-            raise BadRequest("malformed Content-Length")
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise BadRequest("request body is not valid JSON: %s" % exc)
-        if not isinstance(payload, dict):
-            raise BadRequest("request body must be a JSON object")
-        return payload
+    async def _handle_batch(self, writer, raw_body, query):
+        """Stream ``/analyze-batch``: the executor thread runs the
+        fan-out and feeds records through an asyncio queue; this
+        coroutine writes them out as NDJSON lines as they arrive.
 
-    def _parse_program(self, payload, key="program"):
-        source = payload.get(key)
-        if not isinstance(source, str) or not source.strip():
-            raise BadRequest('"%s" must be a non-empty source string' % key)
-        if payload.get("javalib"):
-            source = JAVALIB_SOURCE + "\n" + source
-        return parse_program(source)  # ReproError -> 422
+        The stream head (200 + ``application/x-ndjson``) goes on the
+        wire only after the admission slot is held, so a saturated
+        queue still answers with a proper 429 JSON response."""
+        loop = asyncio.get_running_loop()
+        queue = asyncio.Queue()
 
-    def _parse_regions(self, program, region):
-        if region is None:
-            return None
-        if isinstance(region, str):
-            region = [region]
-        if not isinstance(region, list) or not all(
-            isinstance(text, str) for text in region
-        ):
-            raise BadRequest(
-                '"region" must be a spec string or a list of spec strings'
+        def emit(kind, item=None):
+            loop.call_soon_threadsafe(queue.put_nowait, (kind, item))
+
+        loop.run_in_executor(
+            self._executor, self._run_batch, raw_body, query, emit
+        )
+        kind, item = await queue.get()
+        if kind == "response":  # pre-stream rejection (400/429/...)
+            await self._send(writer, item)
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        while True:
+            kind, item = await queue.get()
+            if kind == "end":
+                break
+            writer.write(
+                json.dumps(item, sort_keys=True).encode("utf-8") + b"\n"
             )
-        return [resolve_region(program, text) for text in region]
+            await writer.drain()
 
-    @staticmethod
-    def _optional_int(payload, key):
-        value = payload.get(key)
-        if value is None:
-            return None
-        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
-            raise BadRequest('"%s" must be a non-negative integer' % key)
-        return value
+    def _run_batch(self, raw_body, query, emit):
+        """The blocking half of ``/analyze-batch`` (executor thread)."""
+        started = time.perf_counter()
+        version = _DEFAULT_VERSIONS["batch"]
+        try:
+            payload = _decode_json(raw_body) if raw_body else None
+            version = schema.requested_version(
+                payload, query, default=_DEFAULT_VERSIONS["batch"]
+            )
+            entries = _batch_entries(payload)
+            deadline_ms = self.effective_deadline_ms(
+                _optional_int(payload, "deadline_ms")
+            )
+            include_reports = bool(payload.get("include_reports"))
+        except (BadRequest, schema.SchemaError) as exc:
+            self.metrics.count("client_errors")
+            emit("response", self._error_response(version, 400, str(exc)))
+            return
+        try:
+            with self.admission.slot():
+                emit("head")
+                summary = self._stream_batch_records(
+                    entries, deadline_ms, include_reports, emit
+                )
+        except QueueFull as exc:
+            self.metrics.count("queue_rejections")
+            retry_after = self._retry_after(exc.depth)
+            response = self._error_response(
+                version, 429, str(exc), {"retry_after": retry_after}
+            )
+            response.headers["Retry-After"] = str(retry_after)
+            emit("response", response)
+            return
+        except Exception as exc:  # noqa: BLE001 - emit, never hang the stream
+            emit(
+                "record",
+                schema.validate_record(
+                    {
+                        "record": "error",
+                        "program_id": None,
+                        "region": None,
+                        "error": {
+                            "code": "internal",
+                            "message": str(exc),
+                            "context": {},
+                        },
+                    }
+                ),
+            )
+            emit("end")
+            self.metrics.count("server_errors")
+            return
+        if summary["errors"] == 0:
+            self.metrics.count("responses_ok")
+        self.metrics.observe_latency("batch", time.perf_counter() - started)
+        emit("end")
+
+    def _stream_batch_records(self, entries, deadline_ms, include_reports, emit):
+        """Analyze every batch entry, emitting records; returns the
+        terminal summary (already emitted)."""
+        started = time.perf_counter()
+        totals = {"regions": 0, "errors": 0, "findings": 0}
+
+        def send(record):
+            emit("record", schema.validate_record(record))
+            self.metrics.count("batch_regions" if record["record"] == "region"
+                               else "batch_record_errors")
+            if record["record"] == "error":
+                totals["errors"] += 1
+
+        self.metrics.count("batch_programs", len(entries))
+        for position, entry in enumerate(entries):
+            program_id = entry.get("id") or ("program-%d" % position)
+            try:
+                program = _parse_program(entry)
+                specs = _parse_regions(program, entry.get("region"))
+            except (BadRequest, ReproError) as exc:
+                status = 400 if isinstance(exc, BadRequest) else 422
+                send(
+                    {
+                        "record": "error",
+                        "program_id": program_id,
+                        "region": None,
+                        "error": {
+                            "code": schema.ERROR_CODES[status],
+                            "message": str(exc),
+                            "context": {},
+                        },
+                    }
+                )
+                continue
+            digest = program_digest(program)
+            for record in self._batch_program_records(
+                program_id, program, digest, specs, deadline_ms, include_reports
+            ):
+                if record["record"] == "region":
+                    totals["regions"] += 1
+                    totals["findings"] += record["findings"]
+                send(record)
+        summary = {
+            "record": "summary",
+            "ok": totals["errors"] == 0,
+            "programs": len(entries),
+            "regions": totals["regions"],
+            "errors": totals["errors"],
+            "findings": totals["findings"],
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        emit("record", schema.validate_record(summary))
+        return summary
+
+    def _batch_program_records(
+        self, program_id, program, digest, specs, deadline_ms, include_reports
+    ):
+        """Yield region/error records for one program, fleet-sharded
+        when a coordinator exists, session-pooled otherwise."""
+
+        def region_record(index, region, report, degraded):
+            record = {
+                "record": "region",
+                "program_id": program_id,
+                "program_digest": digest,
+                "region": region,
+                "index": index,
+                "leaking_sites": list(report.leaking_site_labels),
+                "findings": len(report.findings),
+                "degraded": degraded,
+            }
+            if include_reports:
+                record["report"] = report.as_dict()
+            return record
+
+        if self.coordinator is not None:
+            outcomes = self.coordinator.scan_iter(
+                program,
+                specs=specs,
+                deadline_ms=deadline_ms,
+                shared_snapshot=self.pool.shared_snapshot_for(digest),
+            )
+            for outcome in outcomes:
+                if outcome.kind == "ok":
+                    yield region_record(
+                        outcome.index,
+                        outcome.region,
+                        outcome.report,
+                        outcome.degraded,
+                    )
+                else:
+                    yield {
+                        "record": "error",
+                        "program_id": program_id,
+                        "region": outcome.region,
+                        "error": {
+                            "code": "internal",
+                            "message": outcome.cause or "worker failure",
+                            "context": {"index": outcome.index},
+                        },
+                    }
+            return
+        deadline = Deadline.after_ms(deadline_ms)
+        try:
+            result, info = self.pool.analyze(
+                program, specs=specs, deadline=deadline
+            )
+        except ReproError as exc:
+            self.metrics.count("analysis_errors")
+            yield {
+                "record": "error",
+                "program_id": program_id,
+                "region": None,
+                "error": {
+                    "code": "analysis_error",
+                    "message": str(exc),
+                    "context": {},
+                },
+            }
+            return
+        degraded = bool(deadline is not None and deadline.was_exceeded)
+        self._record_analysis(result, info, degraded)
+        for index, (spec, report) in enumerate(result.entries):
+            yield region_record(index, region_text(spec), report, degraded)
 
     # -- bookkeeping ---------------------------------------------------------
 
     def _record_analysis(self, result, info, degraded):
-        metrics = self.server.metrics
+        metrics = self.metrics
         metrics.count("warm_hits" if info["warm"] else "cold_misses")
         profile = result.aggregate_stats().counters
         metrics.count_many(
@@ -286,95 +778,101 @@ class RequestHandler(BaseHTTPRequestHandler):
             }
         )
 
-    def _count(self, name):
-        self.server.metrics.count("requests_total")
-        self.server.metrics.count(name)
+    # -- response construction -----------------------------------------------
 
-    # -- response plumbing ---------------------------------------------------
-
-    def _handle(self, endpoint, timed=None):
-        """Run an endpoint, record all metrics, then send the response.
-
-        Sending comes strictly last: a client that reads its answer and
-        immediately queries ``/metrics`` on another connection must see
-        this request's counters and latency already folded in.
-        """
-        started = time.perf_counter()
-        try:
-            response = endpoint()
-            self.server.metrics.count("responses_ok")
-        except QueueFull as exc:
-            self.server.metrics.count("queue_rejections")
-            response = self._json_response(
-                429,
-                {"ok": False, "error": str(exc), "kind": "queue_full"},
-                headers={"Retry-After": str(self._retry_after(exc.depth))},
-            )
-        except BadRequest as exc:
-            self.server.metrics.count("client_errors")
-            response = self._json_response(
-                400, {"ok": False, "error": str(exc), "kind": "bad_request"}
-            )
-        except ReproError as exc:
-            self.server.metrics.count("client_errors")
-            self.server.metrics.count("analysis_errors")
-            response = self._json_response(
-                422, {"ok": False, "error": str(exc), "kind": "analysis"}
-            )
-        except Exception as exc:  # noqa: BLE001 - last-resort boundary
-            self.server.metrics.count("server_errors")
-            response = self._json_response(
-                500, {"ok": False, "error": str(exc), "kind": "internal"}
-            )
-        if timed is not None:
-            self.server.metrics.observe_latency(
-                timed, time.perf_counter() - started
-            )
-        self._send(*response)
-
-    def _retry_after(self, depth):
-        """Seconds a 429'd client should back off: the mean analyze
-        latency times the line length in front of it, at least 1."""
-        mean = self.server.metrics.mean_latency("analyze")
-        return max(1, int(math.ceil(mean * (depth + 1))))
-
-    def _method_not_allowed(self, allowed):
-        self.server.metrics.count("requests_total")
-        self.server.metrics.count("client_errors")
-        self._send(
-            *self._json_response(
-                405,
-                {"ok": False, "error": "method not allowed", "kind": "method"},
-                headers={"Allow": allowed},
-            )
+    def _success_response(self, endpoint, version, data):
+        body = schema.success_body(endpoint, version, data)
+        schema.validate_response(endpoint, version, body)
+        return _Response(
+            200,
+            json.dumps(body, sort_keys=True).encode("utf-8"),
+            "application/json",
+            schema.deprecation_headers(version),
         )
 
-    def _not_found(self):
-        self.server.metrics.count("requests_total")
-        self.server.metrics.count("client_errors")
-        self._send(
-            *self._json_response(
-                404,
-                {"ok": False, "error": "unknown path", "kind": "not_found"},
-            )
+    def _error_response(self, version, status, message, context=None):
+        body = schema.error_body(version, status, message, context)
+        schema.validate_error(version, body)
+        headers = schema.deprecation_headers(version)
+        return _Response(
+            status,
+            json.dumps(body, sort_keys=True).encode("utf-8"),
+            "application/json",
+            headers,
         )
 
-    @staticmethod
-    def _json_response(status, payload, headers=None):
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        return status, body, "application/json", headers
+    async def _send(self, writer, response):
+        phrase = HTTPStatus(response.status).phrase
+        head = ["HTTP/1.1 %d %s" % (response.status, phrase)]
+        head.append("Content-Type: %s" % response.content_type)
+        head.append("Content-Length: %d" % len(response.body))
+        head.append("Connection: close")
+        for name, value in response.headers.items():
+            head.append("%s: %s" % (name, value))
+        writer.write(
+            ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + response.body
+        )
+        await writer.drain()
 
-    def _send(self, status, body, content_type, headers=None):
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the metrics endpoint's job
+# -- request decoding (shared by every POST endpoint) -----------------------
+
+
+def _decode_json(raw):
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise BadRequest("request body is not valid JSON: %s" % exc)
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    return payload
+
+
+def _parse_program(payload, key="program"):
+    source = payload.get(key)
+    if not isinstance(source, str) or not source.strip():
+        raise BadRequest('"%s" must be a non-empty source string' % key)
+    if payload.get("javalib"):
+        source = JAVALIB_SOURCE + "\n" + source
+    return parse_program(source)  # ReproError -> 422
+
+
+def _parse_regions(program, region):
+    if region is None:
+        return None
+    if isinstance(region, str):
+        region = [region]
+    if not isinstance(region, list) or not all(
+        isinstance(text, str) for text in region
+    ):
+        raise BadRequest(
+            '"region" must be a spec string or a list of spec strings'
+        )
+    return [resolve_region(program, text) for text in region]
+
+
+def _optional_int(payload, key):
+    value = payload.get(key) if payload else None
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise BadRequest('"%s" must be a non-negative integer' % key)
+    return value
+
+
+def _batch_entries(payload):
+    if payload is None:
+        raise BadRequest("request body required")
+    entries = payload.get("programs")
+    if not isinstance(entries, list) or not entries:
+        raise BadRequest('"programs" must be a non-empty list of objects')
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BadRequest('"programs" must be a non-empty list of objects')
+    return entries
+
+
+# -- construction ------------------------------------------------------------
 
 
 def create_server(
@@ -387,11 +885,17 @@ def create_server(
     deadline_ms=None,
     cache=None,
     max_sessions=8,
+    workers=0,
+    transport="process",
+    max_body=DEFAULT_MAX_BODY,
 ):
     """Build a ready-to-serve :class:`AnalysisServer`.
 
     ``port=0`` binds an ephemeral port (tests); read the actual one
-    from ``server.server_address[1]``.
+    from ``server.server_address[1]``.  ``workers=N`` attaches an
+    N-worker fleet coordinator, the sharded engine behind
+    ``POST /analyze-batch``; ``workers=0`` (default) serves batches
+    through the in-process session pool.
     """
     return AnalysisServer(
         (host, port),
@@ -401,6 +905,9 @@ def create_server(
         deadline_ms=deadline_ms,
         cache=cache,
         max_sessions=max_sessions,
+        workers=workers,
+        transport=transport,
+        max_body=max_body,
     )
 
 

@@ -41,6 +41,11 @@ BASE_COUNTERS = (
     "budget_exhaustions",
     "sessions_evicted",
     "analysis_errors",
+    "payload_too_large",
+    "batch_requests",
+    "batch_programs",
+    "batch_regions",
+    "batch_record_errors",
 )
 
 
@@ -106,12 +111,13 @@ class ServerMetrics:
 
     # -- rendering -----------------------------------------------------------
 
-    def as_dict(self, gauges=None):
-        """JSON-ready snapshot: counters, latency summaries, gauges."""
+    def as_dict(self, gauges=None, fleet=None):
+        """JSON-ready snapshot: counters, latency summaries, gauges —
+        plus the coordinator's fleet snapshot when one is attached."""
         with self._lock:
             counters = dict(self.counters)
             endpoints = list(self._latency_totals)
-        return {
+        snapshot = {
             "counters": counters,
             "latency": {
                 endpoint: self.latency_summary(endpoint)
@@ -119,8 +125,11 @@ class ServerMetrics:
             },
             "gauges": dict(gauges or {}),
         }
+        if fleet is not None:
+            snapshot["fleet"] = dict(fleet)
+        return snapshot
 
-    def prometheus_text(self, gauges=None):
+    def prometheus_text(self, gauges=None, fleet=None):
         """The snapshot in Prometheus exposition format (text v0.0.4)."""
         lines = []
         snapshot = self.as_dict(gauges)
@@ -149,6 +158,30 @@ class ServerMetrics:
                 '%s_sum{endpoint="%s"} %s'
                 % (metric, endpoint, _number(summary["seconds_total"]))
             )
+        if fleet:
+            for name in sorted(fleet):
+                value = fleet[name]
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    metric = "leakchecker_fleet_%s" % name
+                    lines.append("# TYPE %s gauge" % metric)
+                    lines.append("%s %s" % (metric, _number(value)))
+            for kind in sorted(fleet.get("adoptions", ())):
+                lines.append(
+                    'leakchecker_fleet_adoptions{kind="%s"} %d'
+                    % (kind, fleet["adoptions"][kind])
+                )
+            for pid in sorted(fleet.get("per_worker", ())):
+                stats = fleet["per_worker"][pid]
+                lines.append(
+                    'leakchecker_fleet_worker_shards{pid="%s"} %d'
+                    % (pid, stats["shards"])
+                )
+                lines.append(
+                    'leakchecker_fleet_worker_busy_seconds{pid="%s"} %s'
+                    % (pid, _number(stats["busy_seconds"]))
+                )
         return "\n".join(lines) + "\n"
 
 

@@ -144,6 +144,17 @@ class SessionPool:
             entry = self._entries.get(digest)
         return entry.snapshot if entry is not None else None
 
+    def shared_snapshot_for(self, digest):
+        """The stored substrate snapshot for a digest, or ``None``.
+
+        The fleet coordinator donates this to its workers: a program
+        the pool already warmed hands its solved points-to straight to
+        the shard fan-out, with no second warm scan anywhere.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+        return entry.shared_snapshot if entry is not None else None
+
     def _entry_for(self, digest):
         with self._lock:
             entry = self._entries.get(digest)

@@ -1,0 +1,451 @@
+"""The versioned wire protocol: one schema both handlers and tests obey.
+
+Every HTTP response the analysis service emits is built *and checked*
+against this module — the handlers assemble bodies through
+:func:`success_body` / :func:`error_body` and assert conformance with
+:func:`validate_response` before sending, and the test suite validates
+what actually came over the wire with the same functions.  A shape
+drift therefore fails loudly on both sides instead of silently
+breaking clients.
+
+Versioning
+----------
+
+``api_version`` is requested per call — a field in a POST body, a
+query parameter on GETs — and selects the response dialect:
+
+* **version 1** (current): a uniform envelope.  Success is
+  ``{"api_version": 1, "ok": true, "data": {...}}``; every error —
+  400, 404, 405, 413, 422, 429, 500 — is ``{"api_version": 1, "ok":
+  false, "error": {"code", "message", "context"}}`` with ``code`` from
+  :data:`ERROR_CODES`.  A 429's ``Retry-After`` header is mirrored
+  into ``error.context.retry_after``.
+* **version 0** (deprecated): the pre-envelope bodies — ad-hoc
+  success fields at the top level, errors as ``{"ok": false, "error":
+  "<message>", "kind": "<legacy kind>"}``.  Every version-0 response
+  carries a ``Deprecation`` header (:func:`deprecation_headers`).
+
+Omitting ``api_version`` means 0 on the endpoints that predate the
+envelope (``/analyze``, ``/diff``, ``/healthz``, ``/metrics``) and 1
+on ``/analyze-batch``, which never had a version-0 shape.
+
+The NDJSON records of ``POST /analyze-batch`` (``region``, ``error``,
+``summary``) are schema'd here too — :func:`validate_record`.
+"""
+
+__all__ = [
+    "API_VERSION",
+    "BATCH_RECORDS",
+    "ERROR_CODES",
+    "LEGACY_ERROR_KINDS",
+    "SUPPORTED_VERSIONS",
+    "SchemaError",
+    "deprecation_headers",
+    "error_body",
+    "requested_version",
+    "success_body",
+    "validate",
+    "validate_error",
+    "validate_record",
+    "validate_response",
+]
+
+#: The current wire version — what new clients should request and what
+#: :class:`repro.client.AnalyzeClient` speaks by default.
+API_VERSION = 1
+
+#: Versions the server still answers.  0 is deprecated (responses say
+#: so in a ``Deprecation`` header) but not yet removed.
+SUPPORTED_VERSIONS = (0, 1)
+
+#: HTTP status -> stable machine-readable error code (version >= 1).
+ERROR_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "payload_too_large",
+    422: "analysis_error",
+    429: "queue_full",
+    500: "internal",
+}
+
+#: HTTP status -> the historical ``kind`` field (version 0 responses).
+LEGACY_ERROR_KINDS = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method",
+    413: "too_large",
+    422: "analysis",
+    429: "queue_full",
+    500: "internal",
+}
+
+#: Record types a ``/analyze-batch`` NDJSON stream may carry.
+BATCH_RECORDS = ("region", "error", "summary")
+
+
+class SchemaError(Exception):
+    """An instance does not conform to its wire schema; the message
+    names the JSON path of the first violation."""
+
+
+# ---------------------------------------------------------------------------
+# a minimal JSON-schema-style validator (stdlib only)
+# ---------------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value, name):
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False
+    return isinstance(value, expected)
+
+
+def validate(instance, schema, path="$"):
+    """Check ``instance`` against ``schema``; raise :class:`SchemaError`
+    naming the first violating path.
+
+    The schema dialect is the JSON-Schema subset the wire needs:
+    ``type`` (name or list of names), ``required`` + ``properties`` +
+    ``additionalProperties`` (boolean) for objects, ``items`` for
+    arrays, ``enum`` and ``const`` for pinned values.
+    """
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                "%s: expected %s, got %s"
+                % (path, "|".join(names), type(instance).__name__)
+            )
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            "%s: expected %r, got %r" % (path, schema["const"], instance)
+        )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            "%s: %r not one of %r" % (path, instance, schema["enum"])
+        )
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                raise SchemaError("%s: missing required field %r" % (path, name))
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in instance:
+                validate(instance[name], sub, "%s.%s" % (path, name))
+        if schema.get("additionalProperties") is False:
+            extra = sorted(set(instance) - set(properties))
+            if extra:
+                raise SchemaError(
+                    "%s: unexpected fields %s" % (path, ", ".join(extra))
+                )
+    if isinstance(instance, list) and "items" in schema:
+        for index, item in enumerate(instance):
+            validate(item, schema["items"], "%s[%d]" % (path, index))
+    return instance
+
+
+# ---------------------------------------------------------------------------
+# response schemas
+# ---------------------------------------------------------------------------
+
+_ERROR_OBJECT = {
+    "type": "object",
+    "required": ["code", "message", "context"],
+    "properties": {
+        "code": {"type": "string", "enum": sorted(ERROR_CODES.values())},
+        "message": {"type": "string"},
+        "context": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+ERROR_SCHEMAS = {
+    0: {
+        "type": "object",
+        "required": ["ok", "error", "kind"],
+        "properties": {
+            "ok": {"const": False},
+            "error": {"type": "string"},
+            "kind": {
+                "type": "string",
+                "enum": sorted(set(LEGACY_ERROR_KINDS.values())),
+            },
+            "retry_after": {"type": "integer"},
+        },
+    },
+    1: {
+        "type": "object",
+        "required": ["api_version", "ok", "error"],
+        "properties": {
+            "api_version": {"const": 1},
+            "ok": {"const": False},
+            "error": _ERROR_OBJECT,
+        },
+        "additionalProperties": False,
+    },
+}
+
+_DIGEST = {"type": "string"}
+_SIDE = {
+    "type": "object",
+    "required": ["program_digest", "warm"],
+    "properties": {"program_digest": _DIGEST, "warm": {"type": "boolean"}},
+}
+
+#: endpoint -> schema of the *success data* (version-1 ``data`` field;
+#: version 0 inlines the same fields at the top level).
+DATA_SCHEMAS = {
+    "analyze": {
+        "type": "object",
+        "required": ["warm", "degraded", "program_digest", "scan"],
+        "properties": {
+            "warm": {"type": "boolean"},
+            "degraded": {"type": "boolean"},
+            "program_digest": _DIGEST,
+            "scan": {"type": "object"},
+        },
+    },
+    "diff": {
+        "type": "object",
+        "required": ["diff", "before", "after"],
+        "properties": {
+            "diff": {"type": "object"},
+            "before": _SIDE,
+            "after": _SIDE,
+        },
+    },
+    "healthz": {
+        "type": "object",
+        "required": ["status", "inflight", "queued", "pool"],
+        "properties": {
+            "status": {"const": "ok"},
+            "inflight": {"type": "integer"},
+            "queued": {"type": "integer"},
+            "pool": {"type": "object"},
+        },
+    },
+    "metrics": {
+        "type": "object",
+        "required": ["counters", "latency", "gauges"],
+        "properties": {
+            "counters": {"type": "object"},
+            "latency": {"type": "object"},
+            "gauges": {"type": "object"},
+            "fleet": {"type": ["object", "null"]},
+        },
+    },
+}
+
+RECORD_SCHEMAS = {
+    "region": {
+        "type": "object",
+        "required": [
+            "record",
+            "program_id",
+            "program_digest",
+            "region",
+            "index",
+            "leaking_sites",
+            "findings",
+            "degraded",
+        ],
+        "properties": {
+            "record": {"const": "region"},
+            "program_id": {"type": "string"},
+            "program_digest": _DIGEST,
+            "region": {"type": "string"},
+            "index": {"type": "integer"},
+            "leaking_sites": {"type": "array", "items": {"type": "string"}},
+            "findings": {"type": "integer"},
+            "degraded": {"type": "boolean"},
+            "report": {"type": "object"},
+        },
+        "additionalProperties": False,
+    },
+    "error": {
+        "type": "object",
+        "required": ["record", "program_id", "region", "error"],
+        "properties": {
+            "record": {"const": "error"},
+            "program_id": {"type": ["string", "null"]},
+            "region": {"type": ["string", "null"]},
+            "error": _ERROR_OBJECT,
+        },
+        "additionalProperties": False,
+    },
+    "summary": {
+        "type": "object",
+        "required": [
+            "record",
+            "ok",
+            "programs",
+            "regions",
+            "errors",
+            "findings",
+            "elapsed_ms",
+        ],
+        "properties": {
+            "record": {"const": "summary"},
+            "ok": {"type": "boolean"},
+            "programs": {"type": "integer"},
+            "regions": {"type": "integer"},
+            "errors": {"type": "integer"},
+            "findings": {"type": "integer"},
+            "elapsed_ms": {"type": "number"},
+        },
+        "additionalProperties": False,
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# body construction
+# ---------------------------------------------------------------------------
+
+
+def requested_version(payload=None, query=None, default=0):
+    """The wire version a request asked for.
+
+    ``payload`` is the decoded POST body (or ``None``); ``query`` a
+    ``parse_qs`` dict.  A body field wins over a query parameter.
+    Raises :class:`SchemaError` for versions outside
+    :data:`SUPPORTED_VERSIONS` or non-integer values.
+    """
+    value = None
+    if isinstance(payload, dict) and "api_version" in payload:
+        value = payload["api_version"]
+    elif query and "api_version" in query:
+        raw = query["api_version"][0]
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SchemaError("api_version must be an integer, got %r" % raw)
+    if value is None:
+        return default
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SchemaError("api_version must be an integer, got %r" % value)
+    if value not in SUPPORTED_VERSIONS:
+        raise SchemaError(
+            "unsupported api_version %d (supported: %s)"
+            % (value, ", ".join(str(v) for v in SUPPORTED_VERSIONS))
+        )
+    return value
+
+
+def success_body(endpoint, api_version, data):
+    """A success response body for ``endpoint`` in the requested dialect.
+
+    Version 1 wraps ``data`` in the envelope; version 0 reproduces the
+    historical top-level shape (``/metrics`` never had an ``ok`` field,
+    the others did).
+    """
+    if api_version >= 1:
+        return {"api_version": api_version, "ok": True, "data": data}
+    if endpoint == "metrics":
+        return dict(data)
+    legacy = {"ok": True}
+    legacy.update(data)
+    return legacy
+
+
+def error_body(api_version, status, message, context=None):
+    """An error response body: uniform envelope on version >= 1, the
+    historical ``{ok, error, kind}`` on version 0.  A ``retry_after``
+    in ``context`` is mirrored top-level on version 0, so deprecated
+    clients see the 429 hint in the body too."""
+    context = dict(context or {})
+    if api_version >= 1:
+        return {
+            "api_version": api_version,
+            "ok": False,
+            "error": {
+                "code": ERROR_CODES.get(status, "internal"),
+                "message": message,
+                "context": context,
+            },
+        }
+    body = {
+        "ok": False,
+        "error": message,
+        "kind": LEGACY_ERROR_KINDS.get(status, "internal"),
+    }
+    if "retry_after" in context:
+        body["retry_after"] = context["retry_after"]
+    return body
+
+
+def deprecation_headers(api_version):
+    """Headers announcing a deprecated dialect: version-0 responses
+    carry ``Deprecation`` (draft RFC style) naming the successor."""
+    if api_version >= 1:
+        return {}
+    return {
+        "Deprecation": 'version="0"',
+        "X-Api-Successor-Version": str(API_VERSION),
+    }
+
+
+# ---------------------------------------------------------------------------
+# conformance checks
+# ---------------------------------------------------------------------------
+
+
+def validate_response(endpoint, api_version, body):
+    """Assert ``body`` is a well-formed success response of
+    ``endpoint`` in dialect ``api_version``; returns ``body``."""
+    if api_version >= 1:
+        validate(
+            body,
+            {
+                "type": "object",
+                "required": ["api_version", "ok", "data"],
+                "properties": {
+                    "api_version": {"const": api_version},
+                    "ok": {"const": True},
+                    "data": DATA_SCHEMAS[endpoint],
+                },
+                "additionalProperties": False,
+            },
+        )
+        return body
+    if endpoint == "metrics":
+        validate(body, DATA_SCHEMAS[endpoint])
+        return body
+    legacy = {
+        "type": "object",
+        "required": ["ok"] + list(DATA_SCHEMAS[endpoint].get("required", ())),
+        "properties": dict(
+            DATA_SCHEMAS[endpoint].get("properties", {}), ok={"const": True}
+        ),
+    }
+    validate(body, legacy)
+    return body
+
+
+def validate_error(api_version, body):
+    """Assert ``body`` is a well-formed error response; returns it."""
+    validate(body, ERROR_SCHEMAS[1 if api_version >= 1 else 0])
+    return body
+
+
+def validate_record(record):
+    """Assert an ``/analyze-batch`` NDJSON record conforms; returns it."""
+    kind = record.get("record") if isinstance(record, dict) else None
+    if kind not in RECORD_SCHEMAS:
+        raise SchemaError(
+            "$.record: %r not one of %r" % (kind, BATCH_RECORDS)
+        )
+    validate(record, RECORD_SCHEMAS[kind])
+    return record

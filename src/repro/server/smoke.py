@@ -1,7 +1,9 @@
 """Service smoke check: ``python -m repro.server.smoke``.
 
 Boots a real ``repro serve`` subprocess on an ephemeral port, then runs
-the request loop the daemon exists for:
+the request loop the daemon exists for — through
+:class:`repro.client.AnalyzeClient`, so the smoke exercises the same
+client library users are pointed at:
 
 * a cold ``POST /analyze`` of the largest Table 1 subject,
 * a loop of warm repeats, each of which must be answered from the
@@ -15,21 +17,22 @@ job runs this (``make serve-smoke``); it is also the quickest local
 end-to-end check after touching :mod:`repro.server`.
 """
 
-import json
 import subprocess
 import sys
 import time
-import urllib.request
 
 from repro.bench.apps import build_app
+from repro.client import AnalyzeClient
 
 SUBJECT = "mysql-connector-j"
 WARM_REQUESTS = 5
 
 
-def _start_server():
+def start_server(extra_args=()):
+    """Boot ``repro serve`` on an ephemeral port; return (process, port)."""
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -44,38 +47,25 @@ def _start_server():
     return process, port
 
 
-def _post(port, path, payload):
-    request = urllib.request.Request(
-        "http://127.0.0.1:%d%s" % (port, path),
-        data=json.dumps(payload).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
-        method="POST",
-    )
+def _timed_analyze(client, source):
     started = time.perf_counter()
-    with urllib.request.urlopen(request, timeout=120) as response:
-        body = json.loads(response.read())
-    return time.perf_counter() - started, body
-
-
-def _get(port, path):
-    with urllib.request.urlopen(
-        "http://127.0.0.1:%d%s" % (port, path), timeout=30
-    ) as response:
-        return json.loads(response.read())
+    data = client.analyze(source)
+    return time.perf_counter() - started, data
 
 
 def main():
     source = build_app(SUBJECT).source
-    process, port = _start_server()
+    process, port = start_server()
+    client = AnalyzeClient(port)
     problems = []
     try:
-        cold_seconds, cold = _post(port, "/analyze", {"program": source})
+        cold_seconds, cold = _timed_analyze(client, source)
         if cold.get("warm") is not False:
             problems.append("first request was not cold: %r" % cold.get("warm"))
 
         warm_seconds = []
         for i in range(WARM_REQUESTS):
-            seconds, warm = _post(port, "/analyze", {"program": source})
+            seconds, warm = _timed_analyze(client, source)
             warm_seconds.append(seconds)
             counters = warm["scan"]["profile"]["counters"]
             if warm.get("warm") is not True:
@@ -96,7 +86,7 @@ def main():
                 % (median_warm, cold_seconds)
             )
 
-        metrics = _get(port, "/metrics")["counters"]
+        metrics = client.metrics()["counters"]
         if metrics.get("cold_misses") != 1:
             problems.append("expected 1 cold miss, got %r" % metrics)
         if metrics.get("warm_hits") != WARM_REQUESTS:

@@ -1,0 +1,141 @@
+"""The fleet's transport seam: how shard tasks reach workers.
+
+The coordinator plans shards; a :class:`Transport` executes them.  The
+interface is deliberately tiny — submit a plain-data task, get a
+:class:`~concurrent.futures.Future` of a plain-data result — because
+that is the whole contract a multi-host backend would need to honor:
+tasks and results are already picklable, program state already travels
+by digest + snapshot, and ordering is already reconstructed from
+indices on the coordinator side.  Today two transports exist:
+
+* :class:`LocalProcessTransport` — the production default: a
+  *persistent* ``ProcessPoolExecutor`` (workers survive across
+  requests and keep their adopted-session LRUs warm), shard hand-off
+  via shared-memory snapshots.  A broken pool (a worker killed
+  mid-task) is rebuilt once per incident rather than taking the
+  daemon down.
+* :class:`InlineTransport` — same code path, zero processes: shards
+  run synchronously in the caller.  This is the deterministic
+  harness for tests and the ``workers``-without-multiprocessing
+  fallback; because it executes :func:`repro.server.worker.run_shard`
+  verbatim, everything from adoption accounting to the failpoint
+  behaves identically to the process fleet.
+"""
+
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.server.worker import run_shard
+
+TRANSPORTS = ("process", "inline")
+
+
+class Transport:
+    """Submit shard tasks somewhere; the seam a multi-host fleet
+    implements.  ``wants_shm`` tells the coordinator whether packing
+    snapshots into shared memory is worth it for this transport."""
+
+    kind = "abstract"
+    wants_shm = False
+    workers = 1
+
+    def submit(self, task):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def warm(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class InlineTransport(Transport):
+    """Run shards synchronously in the calling process."""
+
+    kind = "inline"
+    wants_shm = False
+
+    def __init__(self, workers=1):
+        self.workers = max(1, workers)
+
+    def submit(self, task):
+        future = Future()
+        try:
+            future.set_result(run_shard(task))
+        except Exception as exc:  # noqa: BLE001 - surfaces via the future
+            future.set_exception(exc)
+        return future
+
+
+class LocalProcessTransport(Transport):
+    """A persistent local process pool; the production fleet backend."""
+
+    kind = "process"
+    wants_shm = True
+
+    def __init__(self, workers):
+        self.workers = max(1, workers)
+        self._lock = threading.Lock()
+        self._pool = None
+        self.rebuilds = 0
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def submit(self, task):
+        with self._lock:
+            pool = self._ensure_pool()
+            try:
+                return pool.submit(run_shard, task)
+            except BrokenProcessPool:
+                # A worker died hard (OOM kill, segfault).  Replace the
+                # pool and retry once; a second break surfaces to the
+                # coordinator, which degrades the shard to error
+                # outcomes instead of dropping the request.
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+                self.rebuilds += 1
+                return self._ensure_pool().submit(run_shard, task)
+
+    def warm(self):
+        """Spawn every worker process up-front.
+
+        The executor otherwise forks lazily at first submit — inside
+        the daemon that means mid-request, where the children would
+        inherit the accepted connection's descriptor and keep the
+        client waiting for EOF long after the response ended.  One
+        sleeping task per worker forces the full spawn (the executor
+        only reuses a process once it has finished a task), so the
+        coordinator can fork while no connection exists.
+        """
+        with self._lock:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(time.sleep, 0.05) for _ in range(self.workers)
+            ]
+        for future in futures:
+            future.result()
+
+    def close(self):
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+
+def make_transport(kind, workers):
+    """Build a transport by name (the ``serve`` wiring)."""
+    if isinstance(kind, Transport):
+        return kind
+    if kind == "process":
+        return LocalProcessTransport(workers)
+    if kind == "inline":
+        return InlineTransport(workers)
+    raise ValueError(
+        "unknown fleet transport %r (choose from %s)"
+        % (kind, ", ".join(TRANSPORTS))
+    )

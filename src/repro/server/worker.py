@@ -1,0 +1,170 @@
+"""Fleet worker: execute one shard of region checks, warm on any digest.
+
+A worker process is long-lived and *program-agnostic*: every shard
+task names a program digest and carries the hand-off material — the
+pickled program, the detector config, and the parent's substrate
+snapshot as a shared-memory name (zero-copy, preferred) or a plain
+dict (fallback).  The worker keeps a small LRU of adopted sessions
+keyed by ``(digest, config)``; a repeat digest skips adoption
+entirely, a new digest hydrates through
+:func:`repro.core.cache.adopt.adopt_session` — the same protocol the
+``scan --backend process`` pool uses — so any worker can serve any
+pooled program warm, which is what lets the coordinator shard freely
+instead of pinning programs to workers.
+
+:func:`run_shard` is the single entry point, deliberately a top-level
+function of plain-data arguments so every transport can ship it: the
+in-process inline transport calls it directly, the local process pool
+submits it to a ``ProcessPoolExecutor``, and a future multi-host
+transport can wrap it behind an RPC without touching the analysis
+code.  Failures travel as data, per region: one dead region becomes an
+``error`` outcome while the rest of the shard still answers — the
+batch endpoint's partial-result contract depends on this.
+
+``REPRO_FLEET_FAIL_REGION=<Class.method[:LOOP]>`` is a test-only
+failpoint injecting a failure when the named region is checked; the
+mid-stream-failure tests and the fleet benchmark's degradation probe
+use it.
+"""
+
+import os
+import pickle
+import time
+import traceback
+from collections import OrderedDict
+
+from repro.core.regions import region_text
+from repro.pta.queries import Deadline
+
+#: Test-only failpoint: a region spec text whose check raises.
+FAILPOINT_ENV = "REPRO_FLEET_FAIL_REGION"
+
+#: Distinct (digest, config) sessions one worker keeps warm.
+MAX_ADOPTED = 4
+
+#: adoption key -> (AnalysisSession, SharedMemory-or-None), LRU order.
+_SESSIONS = OrderedDict()
+
+
+def make_task(
+    digest,
+    program_blob,
+    config_kwargs,
+    specs,
+    indices,
+    shm_name=None,
+    snapshot=None,
+    deadline_ms=None,
+):
+    """Assemble one plain-data shard task (everything picklable)."""
+    return {
+        "digest": digest,
+        "program_blob": program_blob,
+        "config_kwargs": dict(config_kwargs),
+        "specs_blob": pickle.dumps(list(specs), protocol=pickle.HIGHEST_PROTOCOL),
+        "indices": list(indices),
+        "shm_name": shm_name,
+        "snapshot": snapshot,
+        "deadline_ms": deadline_ms,
+    }
+
+
+def _adoption_key(task):
+    return (
+        task["digest"],
+        tuple(sorted(task["config_kwargs"].items())),
+    )
+
+
+def _session_for(task):
+    """This worker's session for the task's program: LRU hit or adopt.
+
+    Returns ``(session, adoption)`` where ``adoption`` names how the
+    state arrived: ``"lru"`` (already warm here), ``"shm"`` (attached
+    the packed snapshot), ``"snapshot"`` (hydrated the dict), or
+    ``"cold"`` (no hand-off; built and warmed from the program alone).
+    """
+    from repro.core.cache.adopt import adopt_session
+
+    key = _adoption_key(task)
+    hit = _SESSIONS.get(key)
+    if hit is not None:
+        _SESSIONS.move_to_end(key)
+        return hit[0], "lru"
+    session, shm = adopt_session(
+        task["program_blob"],
+        task["config_kwargs"],
+        shm_name=task["shm_name"],
+        snapshot=task["snapshot"],
+        program_digest=task["digest"],
+    )
+    if task["shm_name"] is not None:
+        adoption = "shm"
+    elif task["snapshot"] is not None:
+        adoption = "snapshot"
+    else:
+        adoption = "cold"
+    _SESSIONS[key] = (session, shm)
+    while len(_SESSIONS) > MAX_ADOPTED:
+        _, (_, old_shm) = _SESSIONS.popitem(last=False)
+        if old_shm is not None:
+            try:
+                old_shm.close()
+            except OSError:
+                pass
+    return session, adoption
+
+
+def run_shard(task):
+    """Check every region in one shard; return a plain-data result.
+
+    The result dict carries ``outcomes`` — per region, in shard order,
+    either ``(index, "ok", LeakReport)`` or ``(index, "error",
+    region_text, cause, worker_traceback)`` — plus the bookkeeping the
+    coordinator folds into fleet metrics: the worker ``pid``, busy
+    wall-clock seconds, how the program state was adopted, and whether
+    the shard's deadline degraded any demand-driven query.
+    """
+    started = time.perf_counter()
+    session, adoption = _session_for(task)
+    specs = pickle.loads(task["specs_blob"])
+    deadline = Deadline.after_ms(task.get("deadline_ms"))
+    failpoint = os.environ.get(FAILPOINT_ENV)
+    outcomes = []
+    with session.points_to.deadline_scope(deadline):
+        for index, spec in zip(task["indices"], specs):
+            text = region_text(spec)
+            try:
+                if failpoint and text == failpoint:
+                    raise RuntimeError(
+                        "injected fleet failpoint at %s" % failpoint
+                    )
+                outcomes.append((index, "ok", session.check(spec)))
+            except Exception as exc:  # noqa: BLE001 - failures travel as data
+                outcomes.append(
+                    (
+                        index,
+                        "error",
+                        text,
+                        "%s: %s" % (type(exc).__name__, exc),
+                        traceback.format_exc(),
+                    )
+                )
+    return {
+        "pid": os.getpid(),
+        "busy_seconds": time.perf_counter() - started,
+        "adoption": adoption,
+        "degraded": bool(deadline is not None and deadline.was_exceeded),
+        "outcomes": outcomes,
+    }
+
+
+def reset_worker_state():
+    """Drop every adopted session (tests; harmless in production)."""
+    while _SESSIONS:
+        _, (_, shm) = _SESSIONS.popitem()
+        if shm is not None:
+            try:
+                shm.close()
+            except OSError:
+                pass

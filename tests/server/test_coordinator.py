@@ -1,0 +1,194 @@
+"""The fleet coordinator: identity, fan-out, failure, observability."""
+
+import os
+
+import pytest
+
+from repro.core.regions import candidate_loops, region_text
+from repro.core.scan import scan_all_loops
+from repro.errors import AnalysisError, RegionCheckError
+from repro.lang import parse_program
+from repro.server.coordinator import Coordinator
+from repro.server.transport import (
+    InlineTransport,
+    LocalProcessTransport,
+    make_transport,
+)
+from repro.server.worker import FAILPOINT_ENV, reset_worker_state
+
+MULTI = """
+entry Main.main;
+class Main {
+  static method main() {
+    c = new Cache @cache;
+    loop L1 (*) {
+      x = new Item @item;
+      c.slot = x;
+    }
+    loop L2 (*) {
+      t = new Temp @temp;
+    }
+    loop L3 (*) {
+      y = new Row @row;
+      c.other = y;
+    }
+  }
+}
+class Cache { field slot; field other; }
+class Item { }
+class Temp { }
+class Row { }
+"""
+
+
+@pytest.fixture
+def program():
+    return parse_program(MULTI)
+
+
+@pytest.fixture
+def inline(request):
+    coordinator = Coordinator(2, transport="inline", shard_size=1)
+    request.addfinalizer(coordinator.close)
+    reset_worker_state()
+    request.addfinalizer(reset_worker_state)
+    return coordinator
+
+
+class TestIdentity:
+    def test_inline_fleet_matches_serial_canonically(self, program, inline):
+        serial = scan_all_loops(program).to_json(canonical=True)
+        fleet = inline.scan_program(program).to_json(canonical=True)
+        assert fleet == serial
+
+    def test_process_fleet_matches_serial_canonically(self, program):
+        coordinator = Coordinator(2, transport="process")
+        try:
+            serial = scan_all_loops(program).to_json(canonical=True)
+            fleet = coordinator.scan_program(program).to_json(canonical=True)
+        finally:
+            coordinator.close()
+        assert fleet == serial
+
+    def test_explicit_spec_order_preserved(self, program, inline):
+        specs = list(reversed(candidate_loops(program)))
+        result = inline.scan_program(program, specs=specs)
+        assert [region_text(spec) for spec, _ in result.entries] == [
+            region_text(spec) for spec in specs
+        ]
+
+
+class TestFanOut:
+    def test_outcomes_cover_every_region_once(self, program, inline):
+        outcomes = list(inline.scan_iter(program))
+        assert sorted(o.index for o in outcomes) == [0, 1, 2]
+        assert all(o.kind == "ok" for o in outcomes)
+
+    def test_empty_program_scans_nothing(self, inline):
+        empty = parse_program(
+            "entry Main.main;\nclass Main { static method main() { } }"
+        )
+        assert list(inline.scan_iter(empty)) == []
+        assert inline.scan_program(empty).entries == []
+
+    def test_program_handle_reused_across_scans(self, program, inline):
+        inline.scan_program(program)
+        inline.scan_program(program)
+        stats = inline.fleet_stats()
+        assert stats["programs_cached"] == 1
+        # Second scan adopts from the worker LRU, not a fresh hydration.
+        assert stats["adoptions"]["lru"] > 0
+
+    def test_lru_evicts_old_programs(self, program):
+        coordinator = Coordinator(
+            1, transport="inline", max_programs=1
+        )
+        try:
+            other = parse_program(MULTI + "\nclass Extra { }")
+            coordinator.scan_program(program)
+            coordinator.scan_program(other)
+            stats = coordinator.fleet_stats()
+        finally:
+            coordinator.close()
+            reset_worker_state()
+        assert stats["programs_cached"] == 1
+        assert stats["programs_evicted"] == 1
+
+
+class TestFailure:
+    def test_failpoint_surfaces_as_error_outcome(self, program, inline):
+        os.environ[FAILPOINT_ENV] = "Main.main:L2"
+        try:
+            outcomes = list(inline.scan_iter(program))
+        finally:
+            del os.environ[FAILPOINT_ENV]
+        by_kind = {}
+        for outcome in outcomes:
+            by_kind.setdefault(outcome.kind, []).append(outcome)
+        assert len(by_kind["error"]) == 1
+        assert by_kind["error"][0].region == "Main.main:L2"
+        assert "failpoint" in by_kind["error"][0].cause
+        assert len(by_kind["ok"]) == 2
+
+    def test_scan_program_raises_region_check_error(self, program, inline):
+        os.environ[FAILPOINT_ENV] = "Main.main:L2"
+        try:
+            with pytest.raises(RegionCheckError) as excinfo:
+                inline.scan_program(program)
+        finally:
+            del os.environ[FAILPOINT_ENV]
+        assert "Main.main:L2" in str(excinfo.value)
+        assert "backend=fleet" in str(excinfo.value)
+
+
+class TestObservability:
+    def test_fleet_stats_shape(self, program, inline):
+        inline.scan_program(program)
+        stats = inline.fleet_stats()
+        assert stats["workers"] == 2
+        assert stats["transport"] == "inline"
+        assert stats["queue_depth"] == 0
+        assert stats["shards_total"] == 3  # shard_size=1, three loops
+        assert stats["regions_total"] == 3
+        assert stats["shard_errors"] == 0
+        assert sum(stats["adoptions"].values()) == 3
+        assert stats["per_worker"]  # at least this process's pid
+        for worker in stats["per_worker"].values():
+            assert worker["shards"] >= 1
+            assert worker["busy_seconds"] >= 0
+
+    def test_shard_latency_recorded_when_metrics_attached(self, program):
+        from repro.server.metrics import ServerMetrics
+
+        metrics = ServerMetrics()
+        coordinator = Coordinator(
+            1, transport="inline", metrics=metrics
+        )
+        try:
+            coordinator.scan_program(program)
+        finally:
+            coordinator.close()
+            reset_worker_state()
+        assert metrics.latency_summary("shard")["count"] >= 1
+
+
+class TestConstruction:
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(AnalysisError, match="--workers"):
+            Coordinator(0, transport="inline")
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown fleet transport"):
+            make_transport("carrier-pigeon", 2)
+
+    def test_transport_instances_pass_through(self):
+        transport = InlineTransport(3)
+        assert make_transport(transport, 99) is transport
+
+    def test_process_transport_is_default(self):
+        coordinator = Coordinator(2)
+        try:
+            assert isinstance(coordinator.transport, LocalProcessTransport)
+            assert coordinator.transport.workers == 2
+        finally:
+            coordinator.close()
