@@ -21,6 +21,14 @@ coordinator/worker fleet:
   either 200 or 429+``Retry-After`` (mirrored into the error body) —
   no dropped connections, no 5xx, and at least one rejection proving
   backpressure engaged.
+* **remote fleet identity + requeue** — a two-"host" remote fleet
+  (two ``repro worker`` subprocesses with *separate* artifact-cache
+  directories on localhost, dialed over the TCP wire protocol) must
+  reproduce the serial scan byte-identically under both kernels: once
+  clean, and once with the ``REPRO_REMOTE_FAIL_SHARD`` failpoint
+  killing a worker's connection mid-shard — the shard must requeue
+  onto the survivor (``remote_requeues >= 1``) without exhausting any
+  retry budget, and the result must *still* be byte-identical.
 
 Usage::
 
@@ -188,6 +196,88 @@ def run_saturation(factor, burst):
     }
 
 
+def run_remote(factor):
+    """Two-host remote fleet: identity clean and through a worker kill.
+
+    "Hosts" are subprocess workers with separate cache directories on
+    localhost — identical to real remote workers from the transport's
+    side.  The requeue phase arms the connection-drop failpoint on both
+    workers (each dies at most once), so the doomed shard *must* travel
+    the detect-dead-worker -> requeue-on-survivor path and still come
+    back byte-identical to the serial scan.
+    """
+    import tempfile
+
+    from repro.core.regions import candidate_loops, region_text
+    from repro.server.remote_worker import spawn_worker
+
+    section = {"factor": factor, "kernels": {}}
+    ok = True
+    for kernel in KERNELS:
+        os.environ[KERNEL_ENV] = kernel
+        try:
+            program = build_scaled("memocache", factor=factor).program
+            serial = scan_all_loops(program).to_json(canonical=True)
+            fail_region = region_text(candidate_loops(program)[0])
+            entry = {}
+            for phase, extra_env in (
+                ("clean", {}),
+                (
+                    "requeue",
+                    {
+                        "REPRO_REMOTE_FAIL_SHARD": fail_region,
+                        "REPRO_REMOTE_FAIL_TIMES": "1",
+                    },
+                ),
+            ):
+                env = dict(extra_env)
+                env[KERNEL_ENV] = kernel
+                procs = []
+                try:
+                    addresses = []
+                    for _ in range(2):
+                        cache_dir = tempfile.mkdtemp(prefix="fleet-host-")
+                        proc, address = spawn_worker(
+                            cache_dir=cache_dir, env=env
+                        )
+                        procs.append(proc)
+                        addresses.append(address)
+                    coordinator = Coordinator(
+                        transport="remote", worker_hosts=addresses
+                    )
+                    try:
+                        fleet = coordinator.scan_program(program).to_json(
+                            canonical=True
+                        )
+                        stats = coordinator.fleet_stats()
+                    finally:
+                        coordinator.close()
+                finally:
+                    for proc in procs:
+                        proc.kill()
+                        proc.wait(timeout=10)
+                entry[phase] = {
+                    "matches_serial": fleet == serial,
+                    "requeues": stats["remote_requeues"],
+                    "retry_exhaustions": stats["remote_retry_exhaustions"],
+                    "snapshot_pushes": stats["remote_snapshot_pushes"],
+                    "workers_alive": stats["remote_workers_alive"],
+                }
+        finally:
+            del os.environ[KERNEL_ENV]
+        kernel_ok = (
+            entry["clean"]["matches_serial"]
+            and entry["requeue"]["matches_serial"]
+            and entry["requeue"]["requeues"] >= 1
+            and entry["requeue"]["retry_exhaustions"] == 0
+        )
+        entry["ok"] = kernel_ok
+        ok = ok and kernel_ok
+        section["kernels"][kernel] = entry
+    section["ok"] = ok
+    return section
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_fleet.json")
@@ -211,10 +301,11 @@ def main(argv=None):
         "identity": run_identity(factor=min(factor, 8), workers=2),
         "scaling": run_scaling(factor=factor, rounds=rounds, worker_ladder=ladder),
         "saturation": run_saturation(factor=min(factor, 8), burst=6),
+        "remote": run_remote(factor=min(factor, 8)),
     }
     report["ok"] = all(
         report[section]["ok"]
-        for section in ("identity", "scaling", "saturation")
+        for section in ("identity", "scaling", "saturation", "remote")
     )
 
     with open(args.output, "w") as handle:
@@ -224,9 +315,15 @@ def main(argv=None):
     identity = report["identity"]
     scaling = report["scaling"]
     saturation = report["saturation"]
+    remote = report["remote"]
+    requeues = sum(
+        entry["requeue"]["requeues"]
+        for entry in remote["kernels"].values()
+    )
     print(
         "fleet bench: identity %s | throughput %s regions/s best "
-        "(x%.2f vs single, gate %s) | saturation %d served / %d rejected"
+        "(x%.2f vs single, gate %s) | saturation %d served / %d rejected "
+        "| remote %s (%d requeues)"
         % (
             "ok" if identity["ok"] else "DIVERGED",
             max(r["regions_per_second"] for r in scaling["ladder"]),
@@ -238,10 +335,12 @@ def main(argv=None):
             else "n/a",
             saturation["served"],
             saturation["rejected"],
+            "ok" if remote["ok"] else "DIVERGED",
+            requeues,
         )
     )
     if not report["ok"]:
-        for section in ("identity", "scaling", "saturation"):
+        for section in ("identity", "scaling", "saturation", "remote"):
             if not report[section]["ok"]:
                 print("FAIL %s: %s" % (section, json.dumps(report[section])))
         return 1

@@ -455,6 +455,20 @@ def _cmd_serve(args):
 
     if args.workers:
         validate_workers(args.workers, flag="--workers")
+    worker_hosts = None
+    if args.worker_hosts:
+        from repro.server.remote import parse_hosts
+
+        worker_hosts = [
+            "%s:%d" % pair for pair in parse_hosts(args.worker_hosts)
+        ]
+    if args.fleet_transport == "remote" and not worker_hosts:
+        print(
+            "error: --fleet-transport remote needs --worker-hosts "
+            "(a comma-separated host:port per worker)",
+            file=sys.stderr,
+        )
+        return 2
     extra = {}
     if args.max_body is not None:
         extra["max_body"] = args.max_body
@@ -469,22 +483,49 @@ def _cmd_serve(args):
         max_sessions=args.max_sessions,
         workers=args.workers,
         transport=args.fleet_transport,
+        worker_hosts=worker_hosts,
         **extra,
     )
     host, port = server.server_address[:2]
+    fleet = (
+        "hosts=%s" % ",".join(worker_hosts)
+        if args.fleet_transport == "remote"
+        else "workers=%d" % args.workers
+    )
     print(
-        "serving on http://%s:%d (jobs=%d, queue=%d, deadline=%s, workers=%d)"
+        "serving on http://%s:%d (jobs=%d, queue=%d, deadline=%s, %s)"
         % (
             host,
             port,
             args.jobs,
             args.max_queue,
             "%dms" % args.deadline_ms if args.deadline_ms else "none",
-            args.workers,
+            fleet,
         ),
         flush=True,
     )
     run_server(server)
+    return 0
+
+
+def _cmd_worker(args):
+    from repro.server.remote_worker import RemoteWorkerServer
+
+    server = RemoteWorkerServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        max_adopted=args.max_adopted,
+    )
+    # The announcement line is the contract spawn_worker() and the
+    # fleet benchmark parse; keep its shape stable.
+    print("worker listening on %s" % server.address, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -812,10 +853,21 @@ def build_parser():
     )
     serve.add_argument(
         "--fleet-transport",
-        choices=("process", "inline"),
+        "--transport",
+        dest="fleet_transport",
+        choices=("process", "inline", "remote"),
         default="process",
-        help="how shard tasks reach fleet workers (inline runs them "
-        "in the daemon process, for debugging)",
+        help="how shard tasks reach fleet workers: 'process' forks a "
+        "local pool, 'inline' runs them in the daemon process (for "
+        "debugging), 'remote' dials the 'repro worker' endpoints "
+        "named by --worker-hosts",
+    )
+    serve.add_argument(
+        "--worker-hosts",
+        default=None,
+        help="comma-separated host:port list of 'repro worker' "
+        "processes for --fleet-transport remote; the fleet sizes "
+        "itself to this list",
     )
     serve.add_argument(
         "--max-body",
@@ -826,6 +878,37 @@ def build_parser():
     )
     add_detector_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a fleet worker for 'serve --fleet-transport remote'",
+        description="One multi-host fleet worker: listens for shard "
+        "tasks over the versioned TCP wire protocol and executes them "
+        "with the same code path as the local fleet, so results are "
+        "byte-identical wherever a shard runs.  Announces "
+        "'worker listening on HOST:PORT' on stdout once bound "
+        "(--port 0 picks an ephemeral port).",
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument(
+        "--port", type=int, default=8431, help="0 picks an ephemeral port"
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        help="this worker's content-addressed artifact cache: program "
+        "snapshots pushed over the wire are saved here, and later "
+        "shards for a known digest hydrate from disk instead of "
+        "asking the coordinator again",
+    )
+    worker.add_argument(
+        "--max-adopted",
+        type=int,
+        default=4,
+        help="distinct (program, config) sessions kept warm before "
+        "LRU eviction",
+    )
+    worker.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -89,12 +89,7 @@ class ClientError(ReproError):
             elif isinstance(detail, str):  # version 0
                 message = detail
                 code = body.get("kind")
-        retry_after = error.headers.get("Retry-After")
-        if retry_after is not None:
-            try:
-                retry_after = int(retry_after)
-            except ValueError:
-                retry_after = None
+        retry_after = _parse_retry_after(error.headers.get("Retry-After"))
         return cls(
             error.code,
             message,
@@ -103,6 +98,28 @@ class ClientError(ReproError):
             retry_after=retry_after,
             body=body,
         )
+
+
+def _parse_retry_after(raw):
+    """Seconds from a ``Retry-After`` header, or ``None``.
+
+    Servers are allowed to send fractional seconds (this one's
+    coordinator-side estimator rounds up, but proxies in front of it
+    may not), so parse as a float rather than rejecting ``"1.5"``;
+    negative values clamp to 0.  Integral values come back as ``int``
+    so existing callers comparing against whole seconds see the same
+    type they always did.
+    """
+    if raw is None:
+        return None
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return None
+    if seconds != seconds or seconds in (float("inf"), float("-inf")):
+        return None
+    seconds = max(0.0, seconds)
+    return int(seconds) if seconds == int(seconds) else seconds
 
 
 class AnalyzeClient:

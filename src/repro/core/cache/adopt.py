@@ -43,6 +43,7 @@ def share_snapshot(snapshot):
     """
     from repro.pta.kernel import pack_snapshot
 
+    shm = None
     try:
         from multiprocessing import shared_memory
 
@@ -51,6 +52,15 @@ def share_snapshot(snapshot):
         shm.buf[: len(packed)] = packed
         return shm, shm.name
     except Exception:
+        # A segment created before the failure (e.g. the copy into the
+        # buffer raised) must not outlive this call: nobody else knows
+        # its name, so close *and unlink* it here.
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except OSError:
+                pass
         return None, None
 
 
@@ -103,21 +113,34 @@ def adopt_session(
     program = pickle.loads(program_blob)
     config = DetectorConfig(**config_kwargs)
     shm = None
-    if shm_name is not None:
-        from repro.pta.kernel import attach_snapshot
+    try:
+        if shm_name is not None:
+            from repro.pta.kernel import attach_snapshot
 
-        shm = attach_shared(shm_name)
-        snapshot = attach_snapshot(shm.buf)
-    if snapshot is not None:
-        # The snapshot came straight from a live parent session, so its
-        # recorded digest is trusted — no need to re-hash the program.
-        shared = hydrate_shared(
-            program,
-            config,
-            snapshot,
-            program_dig=program_digest or snapshot["program_digest"],
-        )
-        return AnalysisSession(program, config, shared=shared), shm
+            shm = attach_shared(shm_name)
+            snapshot = attach_snapshot(shm.buf)
+        if snapshot is not None:
+            # The snapshot came straight from a live parent session, so
+            # its recorded digest is trusted — no need to re-hash the
+            # program.
+            shared = hydrate_shared(
+                program,
+                config,
+                snapshot,
+                program_dig=program_digest or snapshot["program_digest"],
+            )
+            return AnalysisSession(program, config, shared=shared), shm
+    except Exception:
+        # Adoption failed mid-decode (corrupt snapshot, truncated
+        # segment): the attached handle must not leak with the
+        # exception.  The segment itself belongs to the parent, so
+        # close without unlinking.
+        if shm is not None:
+            try:
+                shm.close()
+            except OSError:
+                pass
+        raise
     session = AnalysisSession(program, config, cache=cache)
     session.warm()
     return session, shm

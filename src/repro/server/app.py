@@ -157,6 +157,7 @@ class AnalysisServer:
         max_sessions=8,
         workers=0,
         transport="process",
+        worker_hosts=None,
         max_body=DEFAULT_MAX_BODY,
     ):
         self.pool = SessionPool(
@@ -167,14 +168,15 @@ class AnalysisServer:
         self.default_deadline_ms = deadline_ms
         self.max_body = max_body
         self.coordinator = None
-        if workers:
+        if workers or worker_hosts:
             from repro.server.coordinator import Coordinator
 
             self.coordinator = Coordinator(
-                workers,
+                workers or len(worker_hosts or ()),
                 config=self.pool.config,
                 cache=cache,
                 transport=transport,
+                worker_hosts=worker_hosts,
                 metrics=self.metrics,
             )
         # Bind only after the fleet forked: worker processes must not
@@ -887,6 +889,7 @@ def create_server(
     max_sessions=8,
     workers=0,
     transport="process",
+    worker_hosts=None,
     max_body=DEFAULT_MAX_BODY,
 ):
     """Build a ready-to-serve :class:`AnalysisServer`.
@@ -895,7 +898,9 @@ def create_server(
     from ``server.server_address[1]``.  ``workers=N`` attaches an
     N-worker fleet coordinator, the sharded engine behind
     ``POST /analyze-batch``; ``workers=0`` (default) serves batches
-    through the in-process session pool.
+    through the in-process session pool.  ``worker_hosts`` (with
+    ``transport="remote"``) names the ``repro worker`` endpoints of a
+    multi-host fleet; the coordinator sizes itself to that list.
     """
     return AnalysisServer(
         (host, port),
@@ -907,6 +912,7 @@ def create_server(
         max_sessions=max_sessions,
         workers=workers,
         transport=transport,
+        worker_hosts=worker_hosts,
         max_body=max_body,
     )
 

@@ -115,16 +115,20 @@ class Coordinator:
         config=None,
         cache=None,
         transport="process",
+        worker_hosts=None,
         shard_size=None,
         max_programs=DEFAULT_MAX_PROGRAMS,
         metrics=None,
     ):
         from repro.core.config import DetectorConfig
 
+        if transport == "remote" and worker_hosts:
+            # Remote fleets are sized by their host list, not --workers.
+            workers = len(worker_hosts)
         validate_workers(workers, flag="--workers")
         self.config = config or DetectorConfig()
         self.cache = cache
-        self.transport = make_transport(transport, workers)
+        self.transport = make_transport(transport, workers, hosts=worker_hosts)
         self.shard_size = shard_size
         self.max_programs = max_programs
         self.metrics = metrics
@@ -137,6 +141,7 @@ class Coordinator:
             "regions_total": 0,
             "region_errors": 0,
             "programs_evicted": 0,
+            "adoption_failures": 0,
         }
         self._adoptions = {"lru": 0, "shm": 0, "snapshot": 0, "cold": 0}
         self._per_worker = {}
@@ -168,9 +173,14 @@ class Coordinator:
                 program, protocol=pickle.HIGHEST_PROTOCOL
             )
             handle.config_kwargs = self.config.describe()
+            # Transports that manage their own program hand-off (the
+            # remote transport packs the snapshot once and ships it to
+            # workers on demand) register it here instead of having it
+            # ride inside every shard task.
+            self.transport.prepare_program(digest, snapshot)
             if self.transport.wants_shm:
                 handle.shm, handle.shm_name = share_snapshot(snapshot)
-            if handle.shm_name is None:
+            if handle.shm_name is None and self.transport.wants_snapshot:
                 handle.snapshot = snapshot
             handle.ready = True
             return handle
@@ -185,6 +195,7 @@ class Coordinator:
             while len(self._programs) > self.max_programs:
                 _, old = self._programs.popitem(last=False)
                 old.release()
+                self.transport.release_program(old.digest)
                 self._counters["programs_evicted"] += 1
             return handle
 
@@ -320,6 +331,9 @@ class Coordinator:
             self._adoptions[result["adoption"]] = (
                 self._adoptions.get(result["adoption"], 0) + 1
             )
+            self._counters["adoption_failures"] += result.get(
+                "adoption_failures", 0
+            )
             stats = self._per_worker.setdefault(
                 result["pid"], {"shards": 0, "busy_seconds": 0.0}
             )
@@ -351,6 +365,10 @@ class Coordinator:
             "per_worker": per_worker,
         }
         snapshot.update(counters)
+        # Transport-level robustness counters (the remote transport
+        # reports reconnects/requeues/retry exhaustions/liveness); the
+        # numeric entries flow into the Prometheus fleet section too.
+        snapshot.update(self.transport.stats())
         return snapshot
 
     def close(self):
@@ -361,6 +379,7 @@ class Coordinator:
             self._programs.clear()
         for handle in handles:
             handle.release()
+            self.transport.release_program(handle.digest)
 
     def __repr__(self):
         with self._lock:

@@ -20,6 +20,12 @@ indices on the coordinator side.  Today two transports exist:
   fallback; because it executes :func:`repro.server.worker.run_shard`
   verbatim, everything from adoption accounting to the failpoint
   behaves identically to the process fleet.
+* :class:`~repro.server.remote.RemoteTransport` (``kind="remote"``,
+  built by :func:`make_transport` from a ``host:port`` list) — workers
+  on other hosts reached over the length-prefixed JSON+blob wire
+  protocol of :mod:`repro.server.remote`, with heartbeat liveness,
+  automatic shard requeue onto surviving workers, and per-shard retry
+  budgets.
 """
 
 import threading
@@ -29,20 +35,36 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.server.worker import run_shard
 
-TRANSPORTS = ("process", "inline")
+TRANSPORTS = ("process", "inline", "remote")
 
 
 class Transport:
     """Submit shard tasks somewhere; the seam a multi-host fleet
     implements.  ``wants_shm`` tells the coordinator whether packing
-    snapshots into shared memory is worth it for this transport."""
+    snapshots into shared memory is worth it for this transport;
+    ``wants_snapshot`` whether the plain snapshot dict should ride
+    inside every shard task when shared memory is unavailable (the
+    remote transport answers no to both — it hands programs off through
+    :meth:`prepare_program` and its own wire/cache protocol instead)."""
 
     kind = "abstract"
     wants_shm = False
+    wants_snapshot = True
     workers = 1
 
     def submit(self, task):  # pragma: no cover - interface
         raise NotImplementedError
+
+    def prepare_program(self, digest, snapshot):
+        """A program became fleet-ready; transports that manage their
+        own hand-off (remote) register the snapshot here."""
+
+    def release_program(self, digest):
+        """The coordinator evicted ``digest``; drop any hand-off state."""
+
+    def stats(self):
+        """Transport-level counters folded into the fleet snapshot."""
+        return {}
 
     def warm(self):
         pass
@@ -81,25 +103,41 @@ class LocalProcessTransport(Transport):
         self._pool = None
         self.rebuilds = 0
 
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
     def _ensure_pool(self):
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._pool = self._make_pool()
         return self._pool
 
     def submit(self, task):
         with self._lock:
             pool = self._ensure_pool()
-            try:
-                return pool.submit(run_shard, task)
-            except BrokenProcessPool:
-                # A worker died hard (OOM kill, segfault).  Replace the
-                # pool and retry once; a second break surfaces to the
-                # coordinator, which degrades the shard to error
-                # outcomes instead of dropping the request.
-                pool.shutdown(wait=False, cancel_futures=True)
+        try:
+            return pool.submit(run_shard, task)
+        except BrokenProcessPool:
+            # A worker died hard (OOM kill, segfault).  Replace the
+            # pool and retry once; a second break surfaces to the
+            # coordinator, which degrades the shard to error
+            # outcomes instead of dropping the request.
+            return self._replace_broken(pool).submit(run_shard, task)
+
+    def _replace_broken(self, broken):
+        """Swap a broken pool for a fresh one, exactly once per incident.
+
+        Concurrent submits can all observe the same broken pool; only
+        the first to get here may tear it down and bump ``rebuilds`` —
+        the identity re-check sends everyone else straight to the
+        replacement that thread built (or to a newer one, if the
+        replacement broke too and a third thread already swapped it).
+        """
+        with self._lock:
+            if self._pool is broken:
+                broken.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
                 self.rebuilds += 1
-                return self._ensure_pool().submit(run_shard, task)
+            return self._ensure_pool()
 
     def warm(self):
         """Spawn every worker process up-front.
@@ -127,14 +165,27 @@ class LocalProcessTransport(Transport):
                 self._pool = None
 
 
-def make_transport(kind, workers):
-    """Build a transport by name (the ``serve`` wiring)."""
+def make_transport(kind, workers, hosts=None):
+    """Build a transport by name (the ``serve`` wiring).
+
+    ``hosts`` is the ``host:port`` worker list the remote transport
+    requires (``--worker-hosts``); the local transports ignore it.
+    """
     if isinstance(kind, Transport):
         return kind
     if kind == "process":
         return LocalProcessTransport(workers)
     if kind == "inline":
         return InlineTransport(workers)
+    if kind == "remote":
+        if not hosts:
+            raise ValueError(
+                "the remote fleet transport needs --worker-hosts "
+                "(a host:port per worker)"
+            )
+        from repro.server.remote import RemoteTransport
+
+        return RemoteTransport(hosts)
     raise ValueError(
         "unknown fleet transport %r (choose from %s)"
         % (kind, ", ".join(TRANSPORTS))

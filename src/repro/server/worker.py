@@ -79,10 +79,14 @@ def _adoption_key(task):
 def _session_for(task):
     """This worker's session for the task's program: LRU hit or adopt.
 
-    Returns ``(session, adoption)`` where ``adoption`` names how the
-    state arrived: ``"lru"`` (already warm here), ``"shm"`` (attached
-    the packed snapshot), ``"snapshot"`` (hydrated the dict), or
-    ``"cold"`` (no hand-off; built and warmed from the program alone).
+    Returns ``(session, adoption, adoption_failures)`` where
+    ``adoption`` names how the state arrived: ``"lru"`` (already warm
+    here), ``"shm"`` (attached the packed snapshot), ``"snapshot"``
+    (hydrated the dict), or ``"cold"`` (no hand-off, or a hand-off that
+    failed to decode; built and warmed from the program alone).
+    ``adoption_failures`` is 1 when a hand-off was offered but could
+    not be adopted — the sound cold rebuild served instead — so the
+    coordinator can count decode failures without losing the shard.
     """
     from repro.core.cache.adopt import adopt_session
 
@@ -90,19 +94,34 @@ def _session_for(task):
     hit = _SESSIONS.get(key)
     if hit is not None:
         _SESSIONS.move_to_end(key)
-        return hit[0], "lru"
-    session, shm = adopt_session(
-        task["program_blob"],
-        task["config_kwargs"],
-        shm_name=task["shm_name"],
-        snapshot=task["snapshot"],
-        program_digest=task["digest"],
-    )
-    if task["shm_name"] is not None:
-        adoption = "shm"
-    elif task["snapshot"] is not None:
-        adoption = "snapshot"
-    else:
+        return hit[0], "lru", 0
+    failures = 0
+    try:
+        session, shm = adopt_session(
+            task["program_blob"],
+            task["config_kwargs"],
+            shm_name=task["shm_name"],
+            snapshot=task["snapshot"],
+            program_digest=task["digest"],
+        )
+        if task["shm_name"] is not None:
+            adoption = "shm"
+        elif task["snapshot"] is not None:
+            adoption = "snapshot"
+        else:
+            adoption = "cold"
+    except Exception:
+        if task["shm_name"] is None and task["snapshot"] is None:
+            raise  # the cold path itself failed; nothing to fall back to
+        # The hand-off was unusable (corrupt snapshot, vanished shm
+        # segment).  adopt_session released the handle; rebuild cold —
+        # slower, never wrong — and report the failure as data.
+        failures = 1
+        session, shm = adopt_session(
+            task["program_blob"],
+            task["config_kwargs"],
+            program_digest=task["digest"],
+        )
         adoption = "cold"
     _SESSIONS[key] = (session, shm)
     while len(_SESSIONS) > MAX_ADOPTED:
@@ -112,21 +131,28 @@ def _session_for(task):
                 old_shm.close()
             except OSError:
                 pass
-    return session, adoption
+    return session, adoption, failures
 
 
-def run_shard(task):
+def run_shard(task, session_resolver=None):
     """Check every region in one shard; return a plain-data result.
 
     The result dict carries ``outcomes`` — per region, in shard order,
     either ``(index, "ok", LeakReport)`` or ``(index, "error",
     region_text, cause, worker_traceback)`` — plus the bookkeeping the
     coordinator folds into fleet metrics: the worker ``pid``, busy
-    wall-clock seconds, how the program state was adopted, and whether
-    the shard's deadline degraded any demand-driven query.
+    wall-clock seconds, how the program state was adopted, whether the
+    shard's deadline degraded any demand-driven query, and how many
+    hand-offs failed to adopt (served by the cold fallback instead).
+
+    ``session_resolver`` overrides the process-global adoption LRU —
+    the remote worker server keeps per-instance session state and
+    passes its own resolver; the inline and local-process transports
+    use the default.
     """
     started = time.perf_counter()
-    session, adoption = _session_for(task)
+    resolver = session_resolver or _session_for
+    session, adoption, adoption_failures = resolver(task)
     specs = pickle.loads(task["specs_blob"])
     deadline = Deadline.after_ms(task.get("deadline_ms"))
     failpoint = os.environ.get(FAILPOINT_ENV)
@@ -154,6 +180,7 @@ def run_shard(task):
         "pid": os.getpid(),
         "busy_seconds": time.perf_counter() - started,
         "adoption": adoption,
+        "adoption_failures": adoption_failures,
         "degraded": bool(deadline is not None and deadline.was_exceeded),
         "outcomes": outcomes,
     }

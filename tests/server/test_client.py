@@ -162,3 +162,40 @@ class TestErrors:
         assert (
             AnalyzeClient("http://h:1/").base_url == "http://h:1"
         )
+
+
+class TestRetryAfterParsing:
+    """Regression: ``Retry-After: 1.5`` used to hit ``int("1.5")`` ->
+    ``ValueError`` and silently drop the hint to ``None``."""
+
+    def _parse(self, raw):
+        from repro.client import _parse_retry_after
+
+        return _parse_retry_after(raw)
+
+    def test_whole_seconds_stay_int(self):
+        assert self._parse("3") == 3
+        assert isinstance(self._parse("3"), int)
+
+    def test_fractional_seconds_accepted(self):
+        assert self._parse("1.5") == 1.5
+
+    def test_integral_float_normalizes_to_int(self):
+        assert self._parse("2.0") == 2
+        assert isinstance(self._parse("2.0"), int)
+
+    def test_negative_clamps_to_zero(self):
+        assert self._parse("-4") == 0
+        assert self._parse("-0.5") == 0
+
+    def test_garbage_and_absence_are_none(self):
+        assert self._parse(None) is None
+        assert self._parse("soon") is None
+        # An HTTP-date Retry-After is legal but unsupported: None, not
+        # a crash.
+        assert self._parse("Fri, 08 Aug 2026 00:00:00 GMT") is None
+
+    def test_non_finite_rejected(self):
+        assert self._parse("inf") is None
+        assert self._parse("-inf") is None
+        assert self._parse("nan") is None

@@ -192,3 +192,98 @@ class TestConstruction:
             assert coordinator.transport.workers == 2
         finally:
             coordinator.close()
+
+
+class _FakePool:
+    """Stands in for a ProcessPoolExecutor; optionally born broken."""
+
+    def __init__(self, broken=False):
+        self.broken = broken
+        self.submits = 0
+        self.shutdowns = 0
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        if self.broken:
+            raise BrokenProcessPool("worker died")
+        self.submits += 1
+        future = Future()
+        future.set_result("ok")
+        return future
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        self.shutdowns += 1
+
+
+class TestBrokenPoolRebuild:
+    """Regression: concurrent submits observing the same broken pool
+    must trigger exactly one rebuild, not a rebuild per submitter."""
+
+    def _transport_with_broken_first_pool(self):
+        import threading
+
+        transport = LocalProcessTransport(2)
+        pools = []
+
+        def make_pool():
+            pool = _FakePool(broken=not pools)  # first broken, rest fine
+            pools.append(pool)
+            return pool
+
+        transport._make_pool = make_pool
+        return transport, pools, threading
+
+    def test_single_broken_submit_rebuilds_once(self):
+        transport, pools, _ = self._transport_with_broken_first_pool()
+        assert transport.submit({"fake": True}).result() == "ok"
+        assert transport.rebuilds == 1
+        assert len(pools) == 2
+        assert pools[0].shutdowns == 1
+        assert pools[1].submits == 1
+
+    def test_concurrent_broken_submits_rebuild_once(self):
+        transport, pools, threading = self._transport_with_broken_first_pool()
+        # Everyone grabs the broken pool before anyone retries, the
+        # worst-case race: all then contend on _replace_broken.
+        transport._ensure_pool()
+        barrier = threading.Barrier(8)
+        results = []
+
+        def submit():
+            barrier.wait()
+            results.append(transport.submit({"fake": True}).result())
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == ["ok"] * 8
+        assert transport.rebuilds == 1
+        assert len(pools) == 2
+        assert pools[0].shutdowns == 1
+        assert pools[1].submits == 8
+
+
+class TestAdoptionFailures:
+    def test_corrupt_snapshot_falls_back_cold_and_counts(self, program):
+        """A hand-off that fails to decode must not fail the shard: the
+        worker rebuilds cold, answers correctly, and the coordinator
+        counts the failure."""
+        coordinator = Coordinator(1, transport="inline", shard_size=1)
+        try:
+            reset_worker_state()
+            serial = scan_all_loops(program).to_json(canonical=True)
+            handle = coordinator.ensure_program(program)
+            handle.snapshot = {"bogus": "not a snapshot"}
+            fleet = coordinator.scan_program(program).to_json(canonical=True)
+            stats = coordinator.fleet_stats()
+        finally:
+            coordinator.close()
+            reset_worker_state()
+        assert fleet == serial
+        assert stats["adoption_failures"] >= 1
+        assert stats["adoptions"]["cold"] >= 1
+        assert stats["adoptions"]["snapshot"] == 0
